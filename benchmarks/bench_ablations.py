@@ -1,0 +1,35 @@
+"""Benches for the design-choice ablations called out in DESIGN.md § 7.
+
+Not paper figures — these quantify the two filter-step design decisions:
+UST-tree pruning as a whole, and per-tic MBR refinement on top of the
+segment-level index entries.
+"""
+
+from repro.experiments.figures import ablation_pruning, ablation_refinement
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_ablation_pruning(benchmark):
+    result = benchmark.pedantic(
+        ablation_pruning, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    panel = result.panels[0]
+    refined = panel.series["objects refined"]
+    # Pruning must strictly reduce the refinement workload.
+    assert refined[0] <= refined[1]
+
+
+def test_ablation_refinement(benchmark):
+    result = benchmark.pedantic(
+        ablation_refinement, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    panel = result.panels[0]
+    # Tighter bounds can only shrink candidate and influence sets.
+    assert panel.series["|C(q)|"][1] <= panel.series["|C(q)|"][0]
+    assert panel.series["|I(q)|"][1] <= panel.series["|I(q)|"][0]

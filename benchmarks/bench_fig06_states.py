@@ -1,0 +1,25 @@
+"""Bench for paper Fig. 6: P∀NNQ / P∃NNQ while varying the state count N.
+
+Regenerates both panels (CPU time for TS/FA/EX; |C(q)| and |I(q)|) and
+prints them; the benchmark timing wraps the full experiment sweep.
+Run with ``--benchmark-only -s`` to see the series tables.
+"""
+
+from repro.experiments.figures import fig06_states
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig06_states(benchmark):
+    result = benchmark.pedantic(
+        fig06_states, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    timing = result.panel("CPU time (s)")
+    counts = result.panel("|C(q)| and |I(q)|")
+    # Shape checks (paper Fig. 6): pruning gets more effective with N, so
+    # influence sets shrink (or stay flat) as the state space grows.
+    assert len(timing.series["TS"]) == len(timing.x_values)
+    assert counts.series["|I(q)|"][0] >= counts.series["|I(q)|"][-1]

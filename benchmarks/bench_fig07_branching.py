@@ -1,0 +1,21 @@
+"""Bench for paper Fig. 7: varying the branching factor b.
+
+The paper reports higher run-times and larger influence sets for denser
+networks; the bench regenerates both panels at reproduction scale.
+"""
+
+from repro.experiments.figures import fig07_branching
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig07_branching(benchmark):
+    result = benchmark.pedantic(
+        fig07_branching, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    counts = result.panel("|C(q)| and |I(q)|")
+    # Shape check (paper Fig. 7 right): denser networks -> more influencers.
+    assert counts.series["|I(q)|"][-1] >= counts.series["|I(q)|"][0]

@@ -1,0 +1,23 @@
+"""Bench for paper Fig. 8: varying the database size |D| (synthetic).
+
+The paper reports decreasing performance (higher TS and query cost) with
+more objects; the bench regenerates both panels.
+"""
+
+from repro.experiments.figures import fig08_objects
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig08_objects(benchmark):
+    result = benchmark.pedantic(
+        fig08_objects, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    timing = result.panel("CPU time (s)")
+    # Shape check (paper Fig. 8): adaptation cost grows with |D|.
+    assert timing.series["TS"][-1] > timing.series["TS"][0]
+    counts = result.panel("|C(q)| and |I(q)|")
+    assert counts.series["|I(q)|"][-1] >= counts.series["|I(q)|"][0]

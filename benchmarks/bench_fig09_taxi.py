@@ -1,0 +1,25 @@
+"""Bench for paper Fig. 9: the taxi ("real data") experiment over |D|.
+
+Uses the simulated T-Drive substitute (see DESIGN.md).  The paper's
+observations: smaller state space -> higher object density -> more
+candidates/influencers than the synthetic counterpart, and cost grows
+with the fleet size.
+"""
+
+from repro.experiments.figures import fig09_taxi
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig09_taxi(benchmark):
+    result = benchmark.pedantic(
+        fig09_taxi, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    timing = result.panel("CPU time (s)")
+    counts = result.panel("|C(q)| and |I(q)|")
+    assert timing.series["TS"][-1] > timing.series["TS"][0]
+    # Denser-than-synthetic influence sets grow with the fleet.
+    assert counts.series["|I(q)|"][-1] >= counts.series["|I(q)|"][0]

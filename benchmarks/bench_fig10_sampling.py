@@ -1,0 +1,29 @@
+"""Bench for paper Fig. 10: sampling cost without model adaptation.
+
+The paper's headline motivation for Algorithm 2: naive rejection (TS1)
+needs exponentially many draws in the observation count, segment-wise
+rejection (TS2) linearly many, the forward-backward sampler exactly one.
+"""
+
+from repro.experiments.figures import fig10_sampling
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig10_sampling(benchmark):
+    result = benchmark.pedantic(
+        fig10_sampling, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    panel = result.panel("samples per valid trajectory")
+    ts1 = panel.series["TS1 (full rejection)"]
+    ts2 = panel.series["TS2 (segment-wise)"]
+    fb = panel.series["FB (Algorithm 2)"]
+    # Shape checks: FB flat at 1; TS1 dominates TS2 at the largest m;
+    # both rejection schemes grow with the observation count.
+    assert all(v == 1.0 for v in fb)
+    assert ts1[-1] >= ts2[-1]
+    assert ts2[-1] > ts2[0]
+    assert ts1[-1] > ts1[0]

@@ -1,0 +1,29 @@
+"""Bench for paper Fig. 11: estimator calibration (SA vs SS vs REF).
+
+The paper's scatter plots show our sampler (SA) hugging the diagonal while
+the snapshot competitor (SS, [19] adapted) systematically underestimates
+P∀NN and overestimates P∃NN.  The bench reproduces the summary metrics.
+"""
+
+from repro.experiments.figures import fig11_effectiveness
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig11_effectiveness(benchmark):
+    result = benchmark.pedantic(
+        fig11_effectiveness, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    forall_panel = result.panel("P∀NN")
+    exists_panel = result.panel("P∃NN")
+    bias_idx = forall_panel.x_values.index("bias")
+    rmse_idx = forall_panel.x_values.index("rmse")
+    # Shape checks: SS overestimates P∃NN; SA is better calibrated than SS
+    # on the ∃ semantics (where temporal correlation bites hardest).
+    assert exists_panel.series["SS"][bias_idx] > 0.0
+    assert exists_panel.series["SA"][rmse_idx] <= exists_panel.series["SS"][rmse_idx]
+    # SS must not *over*estimate the ∀ probability on average.
+    assert forall_panel.series["SS"][bias_idx] <= 0.005

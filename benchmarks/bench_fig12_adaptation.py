@@ -1,0 +1,29 @@
+"""Bench for paper Fig. 12: effectiveness of the model adaptation.
+
+Reproduces the mean-error-per-tic curves for the five variants on the
+(simulated) taxi data, leave-one-out.  Paper shape: NO worst and growing;
+F resets only at observations; FB best; U worse than FB; FBU in between.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig12_adaptation
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig12_adaptation(benchmark):
+    result = benchmark.pedantic(
+        fig12_adaptation, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    panel = result.panels[0]
+    mean_of = {label: float(np.mean(vals)) for label, vals in panel.series.items()}
+    # Shape checks matching the paper's ordering discussion.
+    assert mean_of["FB"] <= mean_of["NO"]
+    assert mean_of["FB"] <= mean_of["U"] + 1e-9
+    assert mean_of["F"] <= mean_of["NO"] + 1e-9
+    # FB error vanishes at the first observation.
+    assert panel.series["FB"][0] == 0.0

@@ -1,0 +1,24 @@
+"""Bench for paper Fig. 13: PCNN queries while varying |D|.
+
+Paper shape: adaptation (TS) grows with the database size while the number
+of candidate timestamp sets *decreases* (more pruners -> smaller
+probabilities -> fewer qualifying intervals).
+"""
+
+from repro.experiments.figures import fig13_pcnn_objects
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig13_pcnn_objects(benchmark):
+    result = benchmark.pedantic(
+        fig13_pcnn_objects, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    timing = result.panel("CPU time (s)")
+    counts = result.panel("Timestamp Sets")
+    assert timing.series["TS"][-1] > timing.series["TS"][0]
+    # Paper Fig. 13 right: more objects -> fewer qualifying timestamp sets.
+    assert counts.series["#qualifying"][-1] <= counts.series["#qualifying"][0]

@@ -1,0 +1,26 @@
+"""Bench for paper Fig. 14: PCNN queries while varying the threshold τ.
+
+Paper shape: the result set (timestamp sets) shrinks as τ grows, and the
+sampling evaluation (SA) gets cheaper; the adaptation phase (TS) does not
+depend on τ.
+"""
+
+from repro.experiments.figures import fig14_pcnn_tau
+from repro.experiments.report import format_figure
+
+SCALE = "tiny"
+
+
+def test_fig14_pcnn_tau(benchmark):
+    result = benchmark.pedantic(
+        fig14_pcnn_tau, args=(SCALE,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    print()
+    print(format_figure(result))
+    timing = result.panel("CPU time (s)")
+    counts = result.panel("Timestamp Sets")
+    # TS is constant across tau (adaptation is query-independent).
+    assert len(set(timing.series["TS"])) == 1
+    # Higher tau -> fewer qualifying sets and fewer evaluations.
+    assert counts.series["#qualifying"][-1] <= counts.series["#qualifying"][0]
+    assert counts.series["#evaluated"][-1] <= counts.series["#evaluated"][0]

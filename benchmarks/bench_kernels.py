@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper figure — these isolate the computational kernels behind the
+figure experiments so performance regressions are attributable:
+Algorithm 2 adaptation, posterior sampling, world statistics, the R*-tree
+and UST pruning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.core.queries import Query
+from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+from repro.markov.adaptation import adapt_model
+from repro.spatial.geometry import Rect
+from repro.spatial.rstar import RStarTree
+from repro.trajectory.nn import forall_nn_prob
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticWorkloadConfig(
+        n_states=2000, n_objects=40, lifetime=40, horizon=100, obs_interval=8
+    )
+    return generate_workload(config, np.random.default_rng(0))
+
+
+def test_bench_adaptation(benchmark, workload):
+    """Algorithm 2 on one object (forward + backward sweep)."""
+    obj = next(iter(workload.db))
+    chain, obs = obj.chain, obj.observations.as_pairs()
+    benchmark(lambda: adapt_model(chain, obs))
+
+
+def test_bench_posterior_sampling(benchmark, workload):
+    """1000 posterior trajectories over a full lifetime."""
+    obj = next(iter(workload.db))
+    model = obj.adapted
+    rng = np.random.default_rng(1)
+    benchmark(lambda: model.sample_paths(rng, 1000))
+
+
+def test_bench_world_statistics(benchmark):
+    """∀NN counting over a 1000-world tensor."""
+    rng = np.random.default_rng(2)
+    dist = rng.uniform(size=(1000, 20, 10))
+    benchmark(lambda: forall_nn_prob(dist))
+
+
+def test_bench_rstar_insert(benchmark):
+    """Insert 500 rects with R* splits and reinsertion."""
+    rng = np.random.default_rng(3)
+    lows = rng.uniform(0, 100, size=(500, 2))
+    rects = [Rect(tuple(lo), tuple(lo + 2.0)) for lo in lows]
+
+    def build():
+        tree = RStarTree(max_entries=16)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        return tree
+
+    benchmark(build)
+
+
+def test_bench_rstar_bulk_load(benchmark):
+    """STR bulk loading of 5000 rects."""
+    rng = np.random.default_rng(4)
+    lows = rng.uniform(0, 100, size=(5000, 3))
+    items = [(Rect(tuple(lo), tuple(lo + 1.0)), i) for i, lo in enumerate(lows)]
+    benchmark(lambda: RStarTree.bulk_load(items, max_entries=16))
+
+
+def test_bench_ust_pruning(benchmark, workload):
+    """§ 6 filter step: candidates and influencers for one query."""
+    engine = QueryEngine(workload.db, n_samples=10, seed=5)
+    tree = engine.ust_tree
+    q = Query.from_state(workload.db.space, workload.sample_query_state())
+    times = workload.sample_query_times(8)
+    coords = q.coords_at(times)
+    benchmark(lambda: tree.prune(coords, times))
+
+
+def test_bench_full_forall_query(benchmark, workload):
+    """End-to-end P∀NNQ (filter + sample + count) at 500 samples."""
+    engine = QueryEngine(workload.db, n_samples=500, seed=6)
+    _ = engine.ust_tree
+    for obj in workload.db:
+        _ = obj.adapted  # pre-adapt: the bench isolates query cost
+    q = Query.from_state(workload.db.space, workload.sample_query_state())
+    times = workload.sample_query_times(8)
+    benchmark(lambda: engine.forall_nn(q, times))

@@ -1,0 +1,8 @@
+"""Benchmark bootstrap: src-layout import path (mirrors the root conftest)."""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

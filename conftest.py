@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the src layout importable without installation.
+
+The canonical workflow is ``pip install -e .``; this fallback keeps the
+test suite runnable in offline environments where editable installs are
+unavailable (no ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,84 @@
+"""Geo-social check-ins: "find my nearest friends during the event".
+
+The paper's introduction motivates PNN queries with geo-social networks:
+users publish occasional check-ins, and for a historical event one wants
+the friends who were probably nearby — e.g. to share pictures.  Check-ins
+are sparse and irregular per user, so positions between them are
+uncertain.
+
+This example builds a downtown grid, five friends with hand-written
+check-in histories (different sparsity per user), and answers:
+which friends were probably among the 2 nearest during the concert?
+
+Run:  python examples/geosocial_checkins.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro import Query, QueryEngine, TrajectoryDatabase
+from repro.analysis.hoeffding import samples_needed
+from repro.statespace.grid import build_grid_space
+
+
+def main() -> None:
+    # A 12x12 downtown grid; people can wait (stay probability) or move
+    # to the 8 neighboring blocks per tic.
+    grid = build_grid_space(12, 12, diagonal=True, stay_probability=0.4)
+    db = TrajectoryDatabase(grid.space, grid.chain)
+
+    # One tic = 10 minutes; the timeline covers an evening (t = 0..24).
+    # The concert runs t = 12..18 at the main square (6, 6).
+    checkins = {
+        "ana": [(0, grid.state_at(2, 2)), (10, grid.state_at(5, 5)), (24, grid.state_at(7, 8))],
+        "bo": [(0, grid.state_at(11, 0)), (12, grid.state_at(8, 5)), (20, grid.state_at(6, 6))],
+        "chen": [(4, grid.state_at(0, 11)), (22, grid.state_at(2, 9))],  # sparse!
+        "dee": [(0, grid.state_at(6, 7)), (8, grid.state_at(6, 6)), (16, grid.state_at(6, 6)), (24, grid.state_at(5, 5))],
+        "eva": [(0, grid.state_at(9, 9)), (14, grid.state_at(7, 7)), (24, grid.state_at(10, 10))],
+    }
+    for user, obs in checkins.items():
+        db.add_object(user, obs)
+    print(f"{len(db)} friends on a {grid.width}x{grid.height} downtown grid")
+
+    square = Query.from_point(grid.space.coords[grid.state_at(6, 6)])
+    concert = np.arange(12, 19)
+
+    # Size the Monte-Carlo run for ±0.03 at 95% confidence.
+    n = samples_needed(0.03, 0.05)
+    engine = QueryEngine(db, n_samples=n, seed=0)
+    print(f"concert window: tics {concert[0]}-{concert[-1]}; {n} sampled worlds")
+
+    print("\n=== Probably closest friend at some point (P∃NNQ, τ=0.2) ===")
+    some = engine.exists_nn(square, concert, tau=0.2)
+    for r in some.results:
+        print(f"  {r.object_id:5s} P∃NN ≈ {r.probability:.3f}")
+
+    print("\n=== Among the 2 nearest the whole concert (P∀2NNQ, τ=0.2) ===")
+    both = engine.forall_nn(square, concert, tau=0.2, k=2)
+    for r in both.results:
+        print(f"  {r.object_id:5s} P∀2NN ≈ {r.probability:.3f}")
+
+    print("\n=== Who to ask for which part (PC2NNQ, τ=0.5, k=2) ===")
+    pcnn = engine.continuous_nn(square, concert, tau=0.5, k=2, maximal_only=True)
+    best: dict[str, object] = {}
+    for entry in pcnn.entries:
+        key = (len(entry.times), entry.probability)
+        if entry.object_id not in best or key > best[entry.object_id][0]:
+            best[entry.object_id] = (key, entry)
+    for user, (_, entry) in sorted(best.items()):
+        print(
+            f"  {user:5s} tics {entry.format_times():8s} (P ≈ {entry.probability:.3f})"
+        )
+
+    print(
+        "\nNote how dee (checked in at the square itself) dominates, while "
+        "chen's 18-tic check-in gap leaves him everywhere and nowhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

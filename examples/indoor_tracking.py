@@ -1,0 +1,80 @@
+"""Indoor tracking: RFID-style sparse observations on a grid of rooms.
+
+The paper's introduction motivates the model with indoor tracking: static
+RFID readers see a person only when passing a reader, so positions between
+reads are uncertain.  This example builds a floor plan (grid with walls),
+tracks two staff members via sparse reads, and asks which of them was
+probably nearest to a sensitive asset — including the case where linear
+interpolation would cut straight through a wall, which the Markov model
+correctly rules out.
+
+Run:  python examples/indoor_tracking.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro import Query, QueryEngine, TrajectoryDatabase
+from repro.statespace.grid import build_grid_space
+
+
+def main() -> None:
+    # A 9x7 floor with a wall (cells blocked) splitting two corridors.
+    wall = {(4, row) for row in range(1, 6)}
+    grid = build_grid_space(9, 7, stay_probability=0.2, blocked=wall)
+    db = TrajectoryDatabase(grid.space, grid.chain)
+    print(f"floor plan: 9x7 cells, wall at column 4 (rows 1-5)")
+
+    # Alice is read at the west door (t=0) and the north-west reader (t=10).
+    db.add_object(
+        "alice",
+        [(0, grid.state_at(0, 3)), (10, grid.state_at(2, 6))],
+    )
+    # Bob is read at the south corridor (t=0) and the east wing (t=10):
+    # the wall forces him through the gap at row 0 or row 6.
+    db.add_object(
+        "bob",
+        [(0, grid.state_at(3, 0)), (10, grid.state_at(6, 2))],
+    )
+
+    # The asset sits in the north-east area.
+    asset = Query.from_point(grid.space.coords[grid.state_at(6, 5)])
+    window = np.arange(0, 11)
+
+    engine = QueryEngine(db, n_samples=5000, seed=3)
+
+    print("\n=== Who was probably nearest to the asset? ===")
+    estimates = engine.nn_probabilities(asset, window)
+    for who, (p_forall, p_exists) in sorted(estimates.items()):
+        print(f"  {who:6s} P∀NN ≈ {p_forall:.3f}   P∃NN ≈ {p_exists:.3f}")
+
+    print("\n=== When was each person nearest (PCNNQ, τ=0.5)? ===")
+    pcnn = engine.continuous_nn(asset, window, tau=0.5, maximal_only=True)
+    best: dict[str, object] = {}
+    for entry in pcnn.entries:
+        # Definition 3 allows many incomparable maximal sets per person;
+        # report each person's largest (ties: most probable).
+        key = (len(entry.times), entry.probability)
+        if entry.object_id not in best or key > best[entry.object_id][0]:
+            best[entry.object_id] = (key, entry)
+    for who, (_, entry) in sorted(best.items()):
+        print(
+            f"  {who:6s} tics {entry.format_times()}"
+            f"  (P ≈ {entry.probability:.3f})"
+        )
+
+    print("\n=== The wall matters: Bob's possible positions at t=5 ===")
+    posterior = db.get("bob").adapted.posterior(5)
+    cells = [grid.cell_of(int(s)) for s in posterior.states]
+    blocked_hits = [c for c in cells if c in wall]
+    print(f"  support size: {len(cells)} cells; wall cells in support: {blocked_hits}")
+    assert not blocked_hits, "the Markov model never walks through walls"
+    print("  (linear interpolation between his reads would cross the wall)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Quickstart: the paper's Example 1, end to end.
+
+Builds the two-object scenario of Figure 1, evaluates all three query
+semantics both exactly (possible-world enumeration) and with the
+sampling engine, and prints the probabilities the paper reports:
+P∀NN(o1) = 0.75 and P∃NN(o2) = 0.25.
+
+Run:  python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+from scipy import sparse
+
+from repro import MarkovChain, Query, QueryEngine, StateSpace, TrajectoryDatabase
+from repro.core.exact import exact_nn_probabilities
+
+S1, S2, S3, S4 = 0, 1, 2, 3
+
+
+def build_example_database() -> TrajectoryDatabase:
+    """Figure 1: four states on a line, query closest to s1."""
+    coords = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [4.0, 0.0]])
+    space = StateSpace(coords)
+    identity = MarkovChain(sparse.identity(4, format="csr"))
+    db = TrajectoryDatabase(space, identity)
+
+    # Object o1: observed at s2 at t=1, then branches with probability 0.5
+    # (three possible trajectories: the paper's tr1,1 / tr1,2 / tr1,3).
+    chain_o1 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    db.add_object("o1", [(1, S2)], chain=chain_o1, extend_to=3)
+
+    # Object o2: observed at s3 at t=1, two possible trajectories.
+    chain_o2 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0, 0.0],
+                    [0.0, 0.5, 0.0, 0.5],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    db.add_object("o2", [(1, S3)], chain=chain_o2, extend_to=3)
+    return db
+
+
+def main() -> None:
+    db = build_example_database()
+    q = Query.from_point([0.0, 0.0])
+    times = [1, 2, 3]
+
+    print("=== Exact evaluation (possible-world enumeration) ===")
+    exact = exact_nn_probabilities(db, q, times)
+    for oid, (p_forall, p_exists) in sorted(exact.items()):
+        print(f"  {oid}:  P∀NN = {p_forall:.4f}   P∃NN = {p_exists:.4f}")
+    print("  (paper: P∀NN(o1) = 0.75, P∃NN(o2) = 0.25)")
+
+    print("\n=== Sampling engine (Algorithm 2 + Monte-Carlo) ===")
+    engine = QueryEngine(db, n_samples=20_000, seed=42)
+    estimates = engine.nn_probabilities(q, times)
+    for oid, (p_forall, p_exists) in sorted(estimates.items()):
+        print(f"  {oid}:  P∀NN ≈ {p_forall:.4f}   P∃NN ≈ {p_exists:.4f}")
+
+    print("\n=== Threshold queries ===")
+    result = engine.forall_nn(q, times, tau=0.5)
+    print(f"  P∀NNQ(τ=0.5) -> {[r.object_id for r in result.results]}")
+    result = engine.exists_nn(q, times, tau=0.2)
+    print(f"  P∃NNQ(τ=0.2) -> {[r.object_id for r in result.results]}")
+
+    print("\n=== Continuous query (PCNNQ, τ=0.1, maximal sets) ===")
+    pcnn = engine.continuous_nn(q, times, tau=0.1, maximal_only=True)
+    for entry in sorted(pcnn.entries, key=lambda e: e.object_id):
+        print(
+            f"  {entry.object_id}: times {list(entry.times)} "
+            f"with P∀NN ≈ {entry.probability:.3f}"
+        )
+    print("  (paper: o1 with {1,2,3}, o2 with {2,3})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — Probabilistic NN queries on uncertain moving object trajectories.
+
+A from-scratch reproduction of Niedermayer, Züfle, Emrich, Renz, Mamoulis,
+Chen, Kriegel: "Probabilistic Nearest Neighbor Queries on Uncertain Moving
+Object Trajectories", PVLDB 7(3), 2013.
+
+Public API tour
+---------------
+* Model a discrete world: :class:`StateSpace`, :class:`MarkovChain`
+  (or generate one: :func:`build_synthetic_space`, :func:`build_grid_space`,
+  :func:`build_city_network`).
+* Store uncertain objects: :class:`TrajectoryDatabase`,
+  :class:`ObservationSet`, :class:`Trajectory`.
+* Query: :class:`QueryEngine` with :class:`Query` references —
+  ``forall_nn`` (P∀NNQ), ``exists_nn`` (P∃NNQ), ``continuous_nn`` (PCNNQ),
+  each with optional ``k`` (Section 8).
+* Inspect the machinery: :func:`adapt_model` (Algorithm 2),
+  :class:`USTTree` (Section 6 pruning), :mod:`repro.core.exact` oracles.
+"""
+
+from .core.evaluator import QueryEngine
+from .core.queries import Query, normalize_times
+from .core.results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
+from .markov.chain import InhomogeneousMarkovChain, MarkovChain, uniformized
+from .markov.distributions import SparseDistribution
+from .spatial.geometry import Rect
+from .spatial.rstar import RStarTree
+from .spatial.ust_tree import USTTree
+from .statespace.base import StateSpace
+from .statespace.generator import build_synthetic_space
+from .statespace.grid import build_grid_space
+from .statespace.network import build_city_network
+from .trajectory.database import TrajectoryDatabase
+from .trajectory.observation import Observation, ObservationSet
+from .trajectory.trajectory import Trajectory, UncertainObject
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptedModel",
+    "InhomogeneousMarkovChain",
+    "MarkovChain",
+    "Observation",
+    "ObservationContradictionError",
+    "ObservationSet",
+    "ObjectProbability",
+    "PCNNEntry",
+    "PCNNResult",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "Rect",
+    "RStarTree",
+    "SparseDistribution",
+    "StateSpace",
+    "Trajectory",
+    "TrajectoryDatabase",
+    "USTTree",
+    "UncertainObject",
+    "adapt_model",
+    "build_city_network",
+    "build_grid_space",
+    "build_synthetic_space",
+    "normalize_times",
+    "uniformized",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Statistical analyses: sample sizing, calibration, adaptation quality."""
+
+from .calibration import CalibrationStudy, CalibrationSummary
+from .effectiveness import VARIANTS, VariantPredictor, mean_error_curve
+from .hoeffding import confidence_radius, error_probability, samples_needed
+
+__all__ = [
+    "VARIANTS",
+    "CalibrationStudy",
+    "CalibrationSummary",
+    "VariantPredictor",
+    "confidence_radius",
+    "error_probability",
+    "mean_error_curve",
+    "samples_needed",
+]

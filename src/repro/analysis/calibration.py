@@ -1,0 +1,66 @@
+"""Estimator-calibration utilities for the Fig. 11 scatter study.
+
+Fig. 11 plots, per (object, query) case, the estimated probability of each
+approach (SA = our sampler, SS = the snapshot competitor) against a
+high-sample reference probability (REF).  This module collects such pairs
+and summarizes bias and error — the quantities behind the paper's
+"SS systematically underestimates P∀NN / overestimates P∃NN" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CalibrationSummary", "CalibrationStudy"]
+
+
+@dataclass
+class CalibrationSummary:
+    """Aggregate calibration metrics of one estimator vs the reference."""
+
+    n_cases: int
+    mean_bias: float
+    mean_absolute_error: float
+    root_mean_squared_error: float
+    worst_error: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n_cases} bias={self.mean_bias:+.4f} "
+            f"mae={self.mean_absolute_error:.4f} rmse={self.root_mean_squared_error:.4f} "
+            f"worst={self.worst_error:.4f}"
+        )
+
+
+@dataclass
+class CalibrationStudy:
+    """Accumulates (reference, estimate) pairs per estimator label."""
+
+    pairs: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def record(self, label: str, reference: float, estimate: float) -> None:
+        if not (0.0 <= reference <= 1.0 and 0.0 <= estimate <= 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self.pairs.setdefault(label, []).append((float(reference), float(estimate)))
+
+    def scatter(self, label: str) -> np.ndarray:
+        """``(n, 2)`` array of (reference, estimate) — the Fig. 11 points."""
+        if label not in self.pairs:
+            raise KeyError(f"no pairs recorded for {label!r}")
+        return np.asarray(self.pairs[label], dtype=float)
+
+    def summary(self, label: str) -> CalibrationSummary:
+        data = self.scatter(label)
+        err = data[:, 1] - data[:, 0]
+        return CalibrationSummary(
+            n_cases=data.shape[0],
+            mean_bias=float(err.mean()),
+            mean_absolute_error=float(np.abs(err).mean()),
+            root_mean_squared_error=float(np.sqrt(np.mean(err * err))),
+            worst_error=float(np.abs(err).max()),
+        )
+
+    def labels(self) -> list[str]:
+        return sorted(self.pairs)

@@ -1,0 +1,130 @@
+"""Model-adaptation effectiveness: the NO / F / FB / U / FBU study (Fig. 12).
+
+Given objects with held-out ground-truth trajectories, each variant
+predicts a state distribution per tic; its error at ``t`` is the expected
+distance between the predicted state and the true position:
+
+``err(t) = Σ_s P̂(o(t) = s) · d(coords[s], truth(t))``
+
+Variants (paper legend):
+
+* **NO** — a-priori chain propagated from the first observation only.
+* **F**  — forward phase only (conditioned on past observations).
+* **FB** — full forward-backward posterior (Algorithm 2, this paper).
+* **U**  — uniform over the reachable diamond states (the
+  cylinders/beads-style competitor [13, 16]).
+* **FBU** — forward-backward over the *uniformized* chain (graph known,
+  transition probabilities not learned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..markov.adaptation import adapt_model
+from ..markov.chain import TransitionModel, uniformized
+from ..markov.distributions import SparseDistribution
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.diamonds import compute_diamonds
+from ..trajectory.trajectory import UncertainObject
+
+__all__ = ["VARIANTS", "VariantPredictor", "mean_error_curve"]
+
+VARIANTS = ("NO", "F", "FB", "U", "FBU")
+
+
+class VariantPredictor:
+    """Per-tic state distributions of one object under one model variant."""
+
+    def __init__(self, obj: UncertainObject, variant: str) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick one of {VARIANTS}")
+        self.obj = obj
+        self.variant = variant
+        self._apriori_cache: dict[int, SparseDistribution] = {}
+        self._diamonds = None
+        self._fbu_model = None
+
+    # ------------------------------------------------------------------
+    def distribution_at(self, t: int) -> SparseDistribution:
+        obj = self.obj
+        if not obj.adapted.covers(t):
+            raise KeyError(f"time {t} outside object span")
+        if self.variant == "FB":
+            return obj.adapted.posterior(t)
+        if self.variant == "F":
+            return obj.adapted.forward_marginal(t)
+        if self.variant == "NO":
+            return self._apriori_at(t)
+        if self.variant == "U":
+            return SparseDistribution.uniform(self._diamond_states(t))
+        return self._fbu_at(t)
+
+    # ------------------------------------------------------------------
+    def _apriori_at(self, t: int) -> SparseDistribution:
+        """Forward propagation from the first observation, ignoring the rest."""
+        if not self._apriori_cache:
+            first = self.obj.observations.first
+            self._apriori_cache[first.time] = SparseDistribution.point(first.state)
+        latest = max(self._apriori_cache)
+        while latest < t:
+            current = self._apriori_cache[latest]
+            matrix = self.obj.chain.matrix_at(latest)
+            self._apriori_cache[latest + 1] = current.propagate(matrix)
+            latest += 1
+        return self._apriori_cache[t]
+
+    def _diamond_states(self, t: int) -> np.ndarray:
+        if self._diamonds is None:
+            self._diamonds = compute_diamonds(self.obj.chain, self.obj.observations)
+        for diamond in self._diamonds:
+            if diamond.t_start <= t <= diamond.t_end:
+                return diamond.states_at(t)
+        raise KeyError(f"time {t} outside all diamonds")
+
+    def _fbu_at(self, t: int) -> SparseDistribution:
+        if self._fbu_model is None:
+            uniform_chain: TransitionModel = uniformized(self.obj.chain)
+            self._fbu_model = adapt_model(
+                uniform_chain, self.obj.observations.as_pairs()
+            )
+        return self._fbu_model.posterior(t)
+
+
+def mean_error_curve(
+    db: TrajectoryDatabase,
+    variant: str,
+    window: int,
+    object_ids: list[str] | None = None,
+) -> np.ndarray:
+    """Mean expected-distance error per tic offset, averaged over objects.
+
+    Offset 0 is each object's first observation; only objects with ground
+    truth and a span of at least ``window`` tics contribute.  This is one
+    curve of Fig. 12.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    ids = object_ids if object_ids is not None else db.object_ids
+    sums = np.zeros(window)
+    counts = np.zeros(window, dtype=np.intp)
+    for oid in ids:
+        obj = db.get(oid)
+        truth = obj.ground_truth
+        if truth is None:
+            continue
+        if obj.t_last - obj.t_first + 1 < window:
+            continue
+        predictor = VariantPredictor(obj, variant)
+        for offset in range(window):
+            t = obj.t_first + offset
+            if not truth.covers(t):
+                continue
+            dist = predictor.distribution_at(t)
+            true_point = db.space.coords[truth.state_at(t)]
+            sums[offset] += dist.expected_distance(db.space.coords, true_point)
+            counts[offset] += 1
+    if not counts.any():
+        raise ValueError("no object contributed (missing ground truth or too short)")
+    with np.errstate(invalid="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)

@@ -1,0 +1,42 @@
+"""Hoeffding bounds for Monte-Carlo sample sizing (Section 5.2.3, [29]).
+
+The event "object o is the ∀NN (∃NN) of q" is Bernoulli per sampled world,
+so Hoeffding's inequality bounds the estimation error of the empirical
+mean: ``P(|p̂ - p| >= eps) <= 2 exp(-2 n eps²)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["samples_needed", "confidence_radius", "error_probability"]
+
+
+def samples_needed(epsilon: float, delta: float) -> int:
+    """Smallest ``n`` with ``P(|p̂ - p| >= epsilon) <= delta``.
+
+    ``n >= ln(2/δ) / (2 ε²)``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    return int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+def confidence_radius(n: int, delta: float) -> float:
+    """Radius ``eps`` of the two-sided 1-δ confidence interval after n draws."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def error_probability(n: int, epsilon: float) -> float:
+    """Upper bound on ``P(|p̂ - p| >= epsilon)`` after ``n`` draws."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    return min(1.0, 2.0 * math.exp(-2.0 * n * epsilon * epsilon))

@@ -1,0 +1,40 @@
+"""Query semantics, engines and oracles (the paper's primary contribution)."""
+
+from .apriori import AprioriBudgetExceeded, MiningStats, mine_timestamp_sets
+from .bounds import ForallBounds, decide_with_bounds, forall_nn_bounds
+from .evaluator import QueryEngine
+from .exact import (
+    PossibleTrajectory,
+    WorldBudgetExceeded,
+    domination_probability,
+    enumerate_consistent_trajectories,
+    exact_forall_nn_over_times,
+    exact_nn_probabilities,
+)
+from .queries import Query, normalize_times
+from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .snapshot import snapshot_nn_probability_at, snapshot_probabilities
+
+__all__ = [
+    "AprioriBudgetExceeded",
+    "ForallBounds",
+    "MiningStats",
+    "ObjectProbability",
+    "PCNNEntry",
+    "PCNNResult",
+    "PossibleTrajectory",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "WorldBudgetExceeded",
+    "decide_with_bounds",
+    "domination_probability",
+    "enumerate_consistent_trajectories",
+    "exact_forall_nn_over_times",
+    "exact_nn_probabilities",
+    "forall_nn_bounds",
+    "mine_timestamp_sets",
+    "normalize_times",
+    "snapshot_nn_probability_at",
+    "snapshot_probabilities",
+]

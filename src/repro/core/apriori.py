@@ -1,0 +1,161 @@
+"""Apriori mining of PCNN timestamp sets (Algorithm 1).
+
+``P∀NN`` is anti-monotonic in the timestamp set: adding times can only
+lower the probability.  Algorithm 1 therefore mines qualifying sets
+level-wise like frequent itemsets [27]: start from qualifying singletons,
+join (k-1)-sets into k-sets whose every (k-1)-subset qualified, validate by
+estimating ``P∀NN`` over a shared pool of sampled worlds.
+
+Sharing one world pool across all candidate sets keeps the empirical
+estimator itself anti-monotonic (an AND over more columns can only have
+fewer satisfying worlds), so the level-wise pruning stays sound even with
+sampled probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..trajectory.nn import forall_prob_over_times
+
+__all__ = ["AprioriBudgetExceeded", "MiningStats", "mine_timestamp_sets"]
+
+
+class AprioriBudgetExceeded(RuntimeError):
+    """Candidate generation exceeded the configured budget.
+
+    Section 4.3 warns that for small τ the result may contain an
+    exponential number of sets (up to ``2^|T|``).  The budget turns a
+    silent blow-up into an explicit error.
+    """
+
+
+@dataclass
+class MiningStats:
+    """Work/result counters for the Apriori run (Figs. 13-14 series)."""
+
+    sets_evaluated: int = 0
+    sets_qualifying: int = 0
+    max_level_reached: int = 0
+
+
+def mine_timestamp_sets(
+    indicator: np.ndarray,
+    times: np.ndarray,
+    tau: float,
+    max_candidates: int = 100_000,
+    use_certain_shortcut: bool = False,
+) -> tuple[list[tuple[tuple[int, ...], float]], MiningStats]:
+    """Run Algorithm 1 for one object.
+
+    Parameters
+    ----------
+    indicator:
+        Boolean ``(worlds, |T|)`` matrix: was the object NN of ``q`` at each
+        time in each sampled world?
+    times:
+        The actual timestamps labelling the columns.
+    tau:
+        Probability threshold; must be positive (``τ = 0`` would qualify
+        all ``2^|T|`` subsets — exactly the blow-up Section 4.3 describes).
+    max_candidates:
+        Budget on validated candidate sets before aborting.
+    use_certain_shortcut:
+        Apply the § 4.3 speed-up: times with ``P∀NN = 1`` extend every
+        qualifying set without changing its probability, so they are mined
+        separately and unioned into each result.  With the shortcut on, the
+        returned collection contains every *maximal* qualifying set but
+        omits padded subsets of the certain times.
+
+    Returns
+    -------
+    (results, stats)
+        ``results`` holds ``(timestamp tuple, probability)`` pairs for every
+        qualifying set that was materialized.
+    """
+    indicator = np.asarray(indicator, dtype=bool)
+    times = np.asarray(times, dtype=np.intp)
+    if indicator.ndim != 2 or indicator.shape[1] != times.size:
+        raise ValueError("indicator must be (worlds, |T|) matching times")
+    if not 0.0 < tau <= 1.0:
+        raise ValueError("tau must be in (0, 1]; see Section 4.3 on tau -> 0")
+
+    stats = MiningStats()
+    n_cols = times.size
+    col_probs = indicator.mean(axis=0)
+    stats.sets_evaluated += n_cols
+
+    certain_cols: tuple[int, ...] = ()
+    if use_certain_shortcut:
+        certain_cols = tuple(int(c) for c in np.flatnonzero(col_probs >= 1.0))
+
+    mining_cols = [c for c in range(n_cols) if c not in set(certain_cols)]
+
+    # L1: qualifying singletons over the mined columns.
+    level: dict[tuple[int, ...], float] = {}
+    for col in mining_cols:
+        p = float(col_probs[col])
+        if p >= tau:
+            level[(col,)] = p
+            stats.sets_qualifying += 1
+
+    all_qualifying: dict[tuple[int, ...], float] = dict(level)
+    k = 1
+    while level:
+        stats.max_level_reached = k
+        k += 1
+        candidates = _join(level, k)
+        next_level: dict[tuple[int, ...], float] = {}
+        for cand in candidates:
+            if not _all_subsets_qualify(cand, level):
+                continue
+            stats.sets_evaluated += 1
+            if stats.sets_evaluated > max_candidates:
+                raise AprioriBudgetExceeded(
+                    f"exceeded {max_candidates} candidate validations at level {k}; "
+                    "raise the budget or increase tau"
+                )
+            p = forall_prob_over_times(indicator, np.asarray(cand))
+            if p >= tau:
+                next_level[cand] = p
+                stats.sets_qualifying += 1
+        all_qualifying.update(next_level)
+        level = next_level
+
+    results: list[tuple[tuple[int, ...], float]] = []
+    if use_certain_shortcut and certain_cols:
+        # Every qualifying mined set extends with the certain times at
+        # unchanged probability; the certain set itself qualifies with P=1.
+        base = tuple(int(times[c]) for c in certain_cols)
+        results.append((base, 1.0))
+        stats.sets_qualifying += 1
+        for cols, p in all_qualifying.items():
+            merged = tuple(sorted(int(times[c]) for c in cols + certain_cols))
+            results.append((merged, p))
+    else:
+        for cols, p in all_qualifying.items():
+            results.append((tuple(int(times[c]) for c in cols), p))
+    results.sort(key=lambda item: (len(item[0]), item[0]))
+    return results, stats
+
+
+def _join(level: dict[tuple[int, ...], float], k: int) -> list[tuple[int, ...]]:
+    """Apriori join: merge (k-1)-sets sharing their first k-2 columns."""
+    keys = sorted(level)
+    out: list[tuple[int, ...]] = []
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            if a[:-1] != b[:-1]:
+                break
+            out.append(a + (b[-1],))
+    return out
+
+
+def _all_subsets_qualify(
+    candidate: tuple[int, ...], level: dict[tuple[int, ...], float]
+) -> bool:
+    """Anti-monotone check: every (k-1)-subset must be in the last level."""
+    return all(sub in level for sub in combinations(candidate, len(candidate) - 1))

@@ -1,0 +1,130 @@
+"""PTIME probability bounds for P∀NN from pairwise domination (Lemma 2).
+
+Section 4.2 proves that the *pairwise* domination probability
+``P(o ≺_q^T o_a)`` is computable in polynomial time via the joint chain,
+while the conjunction over all competitors is not (the conditioned model
+loses the Markov property).  The pairwise probabilities still bound the
+conjunction:
+
+* **Upper bound** — ``P(∧_a o ≺ o_a) ≤ min_a P(o ≺ o_a)``;
+* **Lower bound** — Boole/Fréchet: ``P(∧_a A_a) ≥ 1 − Σ_a P(¬A_a)``.
+
+These bounds are exact for a single competitor and allow a query engine
+to decide thresholds *without sampling* whenever a bound is conclusive
+(``lower ≥ τ`` accepts, ``upper < τ`` rejects) — an optional fast path on
+top of the paper's sampling solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trajectory.database import TrajectoryDatabase
+from .exact import domination_probability
+from .queries import Query, normalize_times
+
+__all__ = ["ForallBounds", "forall_nn_bounds", "decide_with_bounds"]
+
+
+@dataclass(frozen=True)
+class ForallBounds:
+    """Bracketing interval for one object's ``P∀NN``."""
+
+    object_id: str
+    lower: float
+    upper: float
+    #: pairwise domination probabilities per competitor id
+    pairwise: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not -1e-9 <= self.lower <= self.upper + 1e-9:
+            raise ValueError(
+                f"inconsistent bounds for {self.object_id}: "
+                f"[{self.lower}, {self.upper}]"
+            )
+
+    def decides(self, tau: float) -> bool | None:
+        """True/False when the bounds settle the threshold, else ``None``."""
+        if self.lower >= tau:
+            return True
+        if self.upper < tau:
+            return False
+        return None
+
+
+def forall_nn_bounds(
+    db: TrajectoryDatabase,
+    object_id: str,
+    q: Query,
+    times,
+    competitor_ids: list[str] | None = None,
+) -> ForallBounds:
+    """Compute Lemma 2 bounds on ``P∀NN(o, q, D, T)``.
+
+    The object must cover all of ``T``.  Competitors not covering all of
+    ``T`` contribute their domination probability over the covered part
+    only — during their absent tics they cannot beat ``o``, which keeps
+    both bounds valid.
+    """
+    times = normalize_times(times)
+    obj = db.get(object_id)
+    if not obj.covers_all(times):
+        raise KeyError(f"object {object_id!r} does not cover the query times")
+
+    if competitor_ids is None:
+        competitor_ids = [
+            o.object_id
+            for o in db.objects_overlapping(times)
+            if o.object_id != obj.object_id
+        ]
+
+    coords = db.space.coords
+    pairwise: dict[str, float] = {}
+    for other_id in competitor_ids:
+        other = db.get(other_id)
+        mask = other.alive_during(times)
+        if not mask.any():
+            pairwise[other_id] = 1.0
+            continue
+        shared = times[mask]
+        pairwise[other_id] = domination_probability(
+            obj.adapted, other.adapted, q, shared, coords
+        )
+
+    if pairwise:
+        upper = min(pairwise.values())
+        lower = max(0.0, 1.0 - sum(1.0 - p for p in pairwise.values()))
+    else:
+        upper = lower = 1.0  # no competitors: o is trivially always NN
+    return ForallBounds(
+        object_id=obj.object_id, lower=lower, upper=min(1.0, upper), pairwise=pairwise
+    )
+
+
+def decide_with_bounds(
+    db: TrajectoryDatabase,
+    q: Query,
+    times,
+    tau: float,
+    candidate_ids: list[str],
+) -> tuple[list[str], list[str], list[str]]:
+    """Partition candidates into (accepted, rejected, undecided) by bounds.
+
+    Conclusive candidates never need sampling; only the undecided rest
+    goes through the Monte-Carlo refinement.
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+    times = normalize_times(times)
+    accepted: list[str] = []
+    rejected: list[str] = []
+    undecided: list[str] = []
+    for oid in candidate_ids:
+        verdict = forall_nn_bounds(db, oid, q, times).decides(tau)
+        if verdict is True:
+            accepted.append(oid)
+        elif verdict is False:
+            rejected.append(oid)
+        else:
+            undecided.append(oid)
+    return accepted, rejected, undecided

@@ -1,0 +1,258 @@
+"""The sampling-based PNN query engine (Sections 5 and 6).
+
+Pipeline per query: (1) filter — the UST-tree's dmin/dmax pruning yields
+candidates ``C(q)`` and influence objects ``I(q)``; (2) refinement — the
+a-posteriori models of all influence objects are sampled into possible
+worlds; (3) counting — world statistics estimate the requested probability
+per candidate, compared against the threshold τ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spatial.ust_tree import PruningResult, USTTree
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.nn import (
+    exists_knn_prob,
+    forall_knn_prob,
+    knn_indicator,
+    nn_indicator,
+)
+from .apriori import mine_timestamp_sets
+from .queries import Query, normalize_times
+from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Evaluates P∃NNQ, P∀NNQ, PCNNQ (and their kNN forms) on a database.
+
+    Parameters
+    ----------
+    db:
+        The uncertain trajectory database.
+    n_samples:
+        Possible worlds sampled per query (the paper uses 10k; Hoeffding's
+        inequality — :mod:`repro.analysis.hoeffding` — bounds the induced
+        estimation error).
+    seed / rng:
+        Source of randomness; pass exactly one.
+    use_pruning:
+        Toggle UST-tree filtering (ablation hook).  Without pruning every
+        object overlapping ``T`` is refined.
+    refine_per_tic:
+        Tighten index bounds with per-tic diamond MBRs during pruning.
+    """
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        n_samples: int = 1000,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        use_pruning: bool = True,
+        refine_per_tic: bool = True,
+        ust_tree: USTTree | None = None,
+    ) -> None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        self.db = db
+        self.n_samples = int(n_samples)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.use_pruning = use_pruning
+        self.refine_per_tic = refine_per_tic
+        self._ust = ust_tree
+        self._ust_version = db.version if ust_tree is not None else None
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    @property
+    def ust_tree(self) -> USTTree:
+        """The UST-tree over the database (built lazily, rebuilt on change).
+
+        The database's mutation counter detects added/removed objects and
+        newly ingested observations, so queries never run against a stale
+        index.
+        """
+        if self._ust is None or self._ust_version != self.db.version:
+            self._ust = USTTree(self.db)
+            self._ust_version = self.db.version
+        return self._ust
+
+    def invalidate_index(self) -> None:
+        """Drop the index explicitly (mutations are detected automatically)."""
+        self._ust = None
+        self._ust_version = None
+
+    # ------------------------------------------------------------------
+    # filter step
+    # ------------------------------------------------------------------
+    def filter_objects(
+        self, q: Query, times: np.ndarray, k: int = 1
+    ) -> PruningResult:
+        """Run the § 6 filter step (or the no-pruning fallback)."""
+        times = normalize_times(times)
+        if self.use_pruning:
+            return self.ust_tree.prune(
+                q.coords_at(times), times, k=k, refine_per_tic=self.refine_per_tic
+            )
+        overlapping = self.db.objects_overlapping(times)
+        influencers = [o.object_id for o in overlapping]
+        candidates = [o.object_id for o in overlapping if o.covers_all(times)]
+        return PruningResult(
+            candidates=candidates,
+            influencers=influencers,
+            prune_distances=np.full(times.size, np.inf),
+            examined_entries=0,
+        )
+
+    # ------------------------------------------------------------------
+    # refinement: possible worlds
+    # ------------------------------------------------------------------
+    def distance_tensor(
+        self, object_ids: list[str], q: Query, times: np.ndarray, n_samples: int | None = None
+    ) -> np.ndarray:
+        """Sample worlds and return ``dist[w, o, t]`` (inf where not alive).
+
+        Objects are sampled independently — the paper's object-independence
+        assumption — and each world combines one sampled trajectory per
+        object.
+        """
+        times = normalize_times(times)
+        n = self.n_samples if n_samples is None else int(n_samples)
+        q_coords = q.coords_at(times)
+        dist = np.full((n, len(object_ids), times.size), np.inf)
+        for col, object_id in enumerate(object_ids):
+            obj = self.db.get(object_id)
+            alive = obj.alive_during(times)
+            if not alive.any():
+                continue
+            alive_times = times[alive]
+            states = obj.sample_states(alive_times, n, self.rng)
+            coords = self.db.space.coords_of(states)  # (n, n_alive, d)
+            diff = coords - q_coords[alive][None, :, :]
+            dist[:, col, alive] = np.sqrt(np.sum(diff * diff, axis=-1))
+        return dist
+
+    # ------------------------------------------------------------------
+    # P∀NNQ / P∃NNQ (Definitions 1, 2; k-extension of Section 8)
+    # ------------------------------------------------------------------
+    def forall_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
+        """``P∀kNNQ(q, D, T, τ)`` — NN at *every* time of ``T``."""
+        return self._threshold_query(q, times, tau, k, mode="forall")
+
+    def exists_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
+        """``P∃kNNQ(q, D, T, τ)`` — NN at *some* time of ``T``."""
+        return self._threshold_query(q, times, tau, k, mode="exists")
+
+    def _threshold_query(
+        self, q: Query, times, tau: float, k: int, mode: str
+    ) -> QueryResult:
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        times = normalize_times(times)
+        pruning = self.filter_objects(q, times, k=k)
+        # For ∃ semantics every influence object is a potential result
+        # (Section 6, "Pruning for the P∃NNQ query").
+        result_ids = pruning.candidates if mode == "forall" else pruning.influencers
+        refine_ids = pruning.influencers
+        if not refine_ids:
+            return QueryResult([], {}, pruning.candidates, pruning.influencers, 0, times)
+
+        dist = self.distance_tensor(refine_ids, q, times)
+        if mode == "forall":
+            probs = forall_knn_prob(dist, k)
+        else:
+            probs = exists_knn_prob(dist, k)
+        by_id = {oid: float(p) for oid, p in zip(refine_ids, probs)}
+        estimates = {oid: by_id[oid] for oid in result_ids}
+        results = [
+            ObjectProbability(oid, p) for oid, p in estimates.items() if p >= tau
+        ]
+        results.sort(key=lambda r: (-r.probability, r.object_id))
+        return QueryResult(
+            results=results,
+            probabilities=estimates,
+            candidates=pruning.candidates,
+            influencers=pruning.influencers,
+            n_samples=self.n_samples,
+            times=times,
+        )
+
+    # ------------------------------------------------------------------
+    # PCNNQ (Definition 3, Algorithm 1)
+    # ------------------------------------------------------------------
+    def continuous_nn(
+        self,
+        q: Query,
+        times,
+        tau: float,
+        k: int = 1,
+        max_candidates: int = 100_000,
+        use_certain_shortcut: bool = False,
+        maximal_only: bool = False,
+    ) -> PCNNResult:
+        """``PCkNNQ(q, D, T, τ)`` — per-object qualifying timestamp sets.
+
+        Any object alive during part of ``T`` can qualify on sub-intervals,
+        so the refinement set is ``I(q)``, not ``C(q)``.
+        """
+        times = normalize_times(times)
+        pruning = self.filter_objects(q, times, k=k)
+        refine_ids = pruning.influencers
+        entries: list[PCNNEntry] = []
+        sets_evaluated = 0
+        if refine_ids:
+            dist = self.distance_tensor(refine_ids, q, times)
+            is_nn = knn_indicator(dist, k) if k > 1 else nn_indicator(dist)
+            for col, object_id in enumerate(refine_ids):
+                indicator = is_nn[:, col, :]
+                mined, stats = mine_timestamp_sets(
+                    indicator,
+                    times,
+                    tau,
+                    max_candidates=max_candidates,
+                    use_certain_shortcut=use_certain_shortcut,
+                )
+                sets_evaluated += stats.sets_evaluated
+                for timeset, p in mined:
+                    entries.append(PCNNEntry(object_id, timeset, p))
+        result = PCNNResult(
+            entries=entries,
+            candidates=pruning.candidates,
+            influencers=pruning.influencers,
+            n_samples=self.n_samples,
+            sets_evaluated=sets_evaluated,
+        )
+        if maximal_only:
+            result.entries = result.maximal_entries()
+        return result
+
+    # ------------------------------------------------------------------
+    # raw probability access (calibration experiments)
+    # ------------------------------------------------------------------
+    def nn_probabilities(
+        self, q: Query, times, k: int = 1, n_samples: int | None = None
+    ) -> dict[str, tuple[float, float]]:
+        """Per influence object: ``(P∀kNN, P∃kNN)`` estimates.
+
+        Bypasses thresholding — the calibration experiments (Fig. 11) use
+        this to compare estimators on the same object set.
+        """
+        times = normalize_times(times)
+        pruning = self.filter_objects(q, times, k=k)
+        refine_ids = pruning.influencers
+        if not refine_ids:
+            return {}
+        dist = self.distance_tensor(refine_ids, q, times, n_samples=n_samples)
+        p_all = forall_knn_prob(dist, k)
+        p_any = exists_knn_prob(dist, k)
+        return {
+            oid: (float(a), float(e))
+            for oid, a, e in zip(refine_ids, p_all, p_any)
+        }

@@ -1,0 +1,263 @@
+"""Exact PNN evaluation at validation scale.
+
+Two oracles back-stop the sampling engine in tests and calibration studies:
+
+* **Possible-world enumeration** — materialize every observation-consistent
+  trajectory of every object with its probability (Example 1 of the paper),
+  then aggregate over the cartesian product of worlds.  Exponential, guarded
+  by explicit budgets; this is exactly the computation Sections 4.1-4.2
+  prove infeasible in general.
+* **Pairwise domination** (Lemma 2) — ``P(o ≺_q^T o_a)`` via the joint
+  chain of the two objects on ``S × S``, zeroing non-dominating entries at
+  every query time.  Polynomial, and exact for two-object databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..markov.adaptation import AdaptedModel
+from ..markov.chain import TransitionModel
+from ..trajectory.database import TrajectoryDatabase
+from .queries import Query, normalize_times
+
+__all__ = [
+    "WorldBudgetExceeded",
+    "PossibleTrajectory",
+    "enumerate_consistent_trajectories",
+    "exact_nn_probabilities",
+    "exact_forall_nn_over_times",
+    "domination_probability",
+]
+
+
+class WorldBudgetExceeded(RuntimeError):
+    """Enumeration would exceed the configured budget of possible worlds."""
+
+
+@dataclass(frozen=True)
+class PossibleTrajectory:
+    """One observation-consistent trajectory and its probability."""
+
+    states: tuple[int, ...]
+    probability: float
+
+
+def enumerate_consistent_trajectories(
+    chain: TransitionModel,
+    observations: list[tuple[int, int]],
+    max_paths: int = 100_000,
+    extend_to: int | None = None,
+) -> list[PossibleTrajectory]:
+    """All a-priori paths hitting every observation, with probabilities.
+
+    Probabilities are conditioned on consistency (normalized over the
+    surviving paths) — i.e. the exact a-posteriori trajectory distribution
+    that Algorithm 2 samples from.  ``extend_to`` continues paths past the
+    last observation unconditioned (Example 1 semantics).
+    """
+    obs = sorted((int(t), int(s)) for t, s in observations)
+    if not obs:
+        raise ValueError("need at least one observation")
+    t_first, s_first = obs[0]
+    t_last = obs[-1][0]
+    if extend_to is not None and int(extend_to) > t_last:
+        t_last = int(extend_to)
+    by_time = dict(obs)
+
+    paths: list[tuple[tuple[int, ...], float]] = [((s_first,), 1.0)]
+    for t in range(t_first + 1, t_last + 1):
+        matrix = chain.matrix_at(t - 1)
+        nxt: list[tuple[tuple[int, ...], float]] = []
+        must_be = by_time.get(t)
+        for states, prob in paths:
+            row = matrix.getrow(states[-1])
+            for state, p in zip(row.indices, row.data):
+                if must_be is not None and state != must_be:
+                    continue
+                nxt.append((states + (int(state),), prob * float(p)))
+        if len(nxt) > max_paths:
+            raise WorldBudgetExceeded(
+                f"more than {max_paths} consistent paths at time {t}"
+            )
+        paths = nxt
+        if not paths:
+            raise ValueError(f"observations contradict the chain at time {t}")
+    total = sum(p for _, p in paths)
+    return [PossibleTrajectory(states, p / total) for states, p in paths]
+
+
+def _trajectory_sets(
+    db: TrajectoryDatabase,
+    object_ids: list[str],
+    max_paths: int,
+) -> dict[str, list[PossibleTrajectory]]:
+    return {
+        oid: enumerate_consistent_trajectories(
+            db.get(oid).chain,
+            db.get(oid).observations.as_pairs(),
+            max_paths,
+            extend_to=db.get(oid).extend_to,
+        )
+        for oid in object_ids
+    }
+
+
+def exact_nn_probabilities(
+    db: TrajectoryDatabase,
+    q: Query,
+    times,
+    k: int = 1,
+    max_worlds: int = 1_000_000,
+    max_paths: int = 100_000,
+) -> dict[str, tuple[float, float]]:
+    """Exact ``(P∀kNN, P∃kNN)`` per object by world enumeration.
+
+    Every object overlapping ``T`` participates; objects are combined under
+    the independence assumption (probability of a world is the product of
+    its trajectories' probabilities, Example 1).
+    """
+    times = normalize_times(times)
+    objects = db.objects_overlapping(times)
+    ids = [o.object_id for o in objects]
+    traj_sets = _trajectory_sets(db, ids, max_paths)
+
+    n_worlds = 1
+    for oid in ids:
+        n_worlds *= len(traj_sets[oid])
+        if n_worlds > max_worlds:
+            raise WorldBudgetExceeded(
+                f"database induces more than {max_worlds} possible worlds"
+            )
+
+    q_coords = q.coords_at(times)
+    # Precompute, per object and per possible trajectory, its distance to q
+    # at each query time (inf while not alive).
+    dists: dict[str, list[np.ndarray]] = {}
+    for oid in ids:
+        obj = db.get(oid)
+        alive = obj.alive_during(times)
+        rows = []
+        for ptraj in traj_sets[oid]:
+            row = np.full(times.size, np.inf)
+            if alive.any():
+                alive_times = times[alive]
+                states = np.asarray(ptraj.states, dtype=np.intp)[
+                    alive_times - obj.t_first
+                ]
+                diff = db.space.coords_of(states) - q_coords[alive]
+                row[alive] = np.sqrt(np.sum(diff * diff, axis=-1))
+            rows.append(row)
+        dists[oid] = rows
+
+    p_forall = {oid: 0.0 for oid in ids}
+    p_exists = {oid: 0.0 for oid in ids}
+    choices = [range(len(traj_sets[oid])) for oid in ids]
+    for combo in product(*choices):
+        w_prob = 1.0
+        for oid, idx in zip(ids, combo):
+            w_prob *= traj_sets[oid][idx].probability
+        dist_matrix = np.stack([dists[oid][idx] for oid, idx in zip(ids, combo)])
+        closer = np.sum(
+            dist_matrix[None, :, :] < dist_matrix[:, None, :], axis=1
+        )
+        is_nn = (closer < k) & np.isfinite(dist_matrix)
+        for row, oid in enumerate(ids):
+            if is_nn[row].all():
+                p_forall[oid] += w_prob
+            if is_nn[row].any():
+                p_exists[oid] += w_prob
+    return {oid: (p_forall[oid], p_exists[oid]) for oid in ids}
+
+
+def exact_forall_nn_over_times(
+    db: TrajectoryDatabase,
+    q: Query,
+    times,
+    max_worlds: int = 1_000_000,
+    max_paths: int = 100_000,
+) -> dict[str, dict[tuple[int, ...], float]]:
+    """Exact ``P∀NN(o, q, D, T_i)`` for *every* subset ``T_i ⊆ T``.
+
+    The exact counterpart of PCNN mining; exponential in ``|T|`` on top of
+    world enumeration, so strictly a validation tool.
+    """
+    times = normalize_times(times)
+    base = exact_nn_probabilities(db, q, times, max_worlds=max_worlds, max_paths=max_paths)
+    ids = list(base)
+
+    out: dict[str, dict[tuple[int, ...], float]] = {oid: {} for oid in ids}
+    n = times.size
+    for mask in range(1, 2**n):
+        subset = tuple(int(times[i]) for i in range(n) if mask >> i & 1)
+        sub = exact_nn_probabilities(
+            db, q, subset, max_worlds=max_worlds, max_paths=max_paths
+        )
+        for oid in ids:
+            if oid in sub:
+                out[oid][subset] = sub[oid][0]
+    return out
+
+
+def domination_probability(
+    model_o: AdaptedModel,
+    model_oa: AdaptedModel,
+    q: Query,
+    times,
+    coords: np.ndarray,
+) -> float:
+    """Lemma 2: ``P(o ≺_q^T o_a)`` via the joint a-posteriori chain.
+
+    Treats ``(o, o_a)`` as one stochastic process on ``S × S`` (independent
+    components), walks it across ``[min T, max T]`` and zeroes every joint
+    state violating ``d(q(t), o(t)) ≤ d(q(t), o_a(t))`` at each ``t ∈ T``.
+    The surviving mass is the domination probability — computed in
+    polynomial time, unlike the full ``P∀NN``.
+    """
+    times = normalize_times(times)
+    t_lo, t_hi = int(times.min()), int(times.max())
+    for model in (model_o, model_oa):
+        if not (model.covers(t_lo) and model.covers(t_hi)):
+            raise KeyError("both objects must cover the query interval")
+    query_times = set(int(t) for t in times)
+    q_coords = {int(t): c for t, c in zip(times, q.coords_at(times))}
+
+    def distances(t: int, states: np.ndarray) -> np.ndarray:
+        diff = coords[states] - q_coords[t]
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    # Joint distribution as a dict (state_o, state_oa) -> probability.
+    dist_o = model_o.posterior(t_lo)
+    dist_oa = model_oa.posterior(t_lo)
+    joint: dict[tuple[int, int], float] = {}
+    for i, pi in zip(dist_o.states, dist_o.probs):
+        for j, pj in zip(dist_oa.states, dist_oa.probs):
+            joint[(int(i), int(j))] = float(pi * pj)
+
+    def constrain(t: int, current: dict[tuple[int, int], float]) -> dict:
+        if t not in query_times:
+            return current
+        states_i = np.asarray([key[0] for key in current], dtype=np.intp)
+        states_j = np.asarray([key[1] for key in current], dtype=np.intp)
+        d_i = distances(t, states_i)
+        d_j = distances(t, states_j)
+        keep = d_i <= d_j
+        return {
+            key: p for key, p, ok in zip(current, current.values(), keep) if ok
+        }
+
+    joint = constrain(t_lo, joint)
+    for t in range(t_lo, t_hi):
+        nxt: dict[tuple[int, int], float] = {}
+        for (i, j), p in joint.items():
+            nxt_i, probs_i = model_o.transition_row(t, i)
+            nxt_j, probs_j = model_oa.transition_row(t, j)
+            for a, pa in zip(nxt_i, probs_i):
+                for b, pb in zip(nxt_j, probs_j):
+                    key = (int(a), int(b))
+                    nxt[key] = nxt.get(key, 0.0) + p * float(pa * pb)
+        joint = constrain(t + 1, nxt)
+    return float(sum(joint.values()))

@@ -1,0 +1,54 @@
+"""Rank utilities and convenience wrappers for kNN semantics (Section 8).
+
+The paper shows ``P∀kNN``/``P∃kNN``/``PC∀kNN`` are NP-hard in ``k`` and
+answers them with the same sample-then-count machinery as ``k = 1``; the
+engine methods accept ``k`` directly.  This module adds the rank-level
+helpers used by examples and analyses on top of sampled worlds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trajectory.nn import knn_indicator
+
+__all__ = ["rank_tensor", "kth_nn_distance", "knn_membership_prob", "expected_rank"]
+
+
+def rank_tensor(dist: np.ndarray) -> np.ndarray:
+    """``rank[w, o, t]`` = number of alive objects strictly closer than o.
+
+    Rank 0 means nearest (ties share the rank).  Absent objects receive the
+    sentinel rank ``n_objects`` (worse than any alive rank).
+    """
+    dist = np.asarray(dist, dtype=float)
+    if dist.ndim != 3:
+        raise ValueError("distance tensor must be (worlds, objects, times)")
+    n_objects = dist.shape[1]
+    closer = np.sum(dist[:, None, :, :] < dist[:, :, None, :], axis=2)
+    closer[~np.isfinite(dist)] = n_objects
+    return closer
+
+
+def kth_nn_distance(dist: np.ndarray, k: int) -> np.ndarray:
+    """``(worlds, times)`` distance of the k-th nearest alive object.
+
+    ``inf`` where fewer than ``k`` objects are alive.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dist = np.asarray(dist, dtype=float)
+    ordered = np.sort(dist, axis=1)
+    if k > dist.shape[1]:
+        return np.full((dist.shape[0], dist.shape[2]), np.inf)
+    return ordered[:, k - 1, :]
+
+
+def knn_membership_prob(dist: np.ndarray, k: int) -> np.ndarray:
+    """``(objects, times)`` per-time probability of being among the k nearest."""
+    return knn_indicator(dist, k).mean(axis=0)
+
+
+def expected_rank(dist: np.ndarray) -> np.ndarray:
+    """``(objects, times)`` expected rank over worlds (absent = worst rank)."""
+    return rank_tensor(dist).mean(axis=0)

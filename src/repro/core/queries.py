@@ -1,0 +1,84 @@
+"""Query reference objects: a certain state or a certain trajectory.
+
+Section 3.2: all three PNN semantics take "a certain reference state or
+trajectory q" — a query state being simply a trivial (constant) query
+trajectory.  A :class:`Query` therefore exposes one operation: its location
+at each requested time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..statespace.base import StateSpace
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["Query", "normalize_times"]
+
+
+def normalize_times(times) -> np.ndarray:
+    """Canonical form of a query time set ``T``: sorted unique int array."""
+    arr = np.unique(np.asarray(list(times), dtype=np.intp))
+    if arr.size == 0:
+        raise ValueError("query time set T must be non-empty")
+    return arr
+
+
+class Query:
+    """A certain spatio-temporal reference for PNN queries.
+
+    Construct via :meth:`from_state`, :meth:`from_point` or
+    :meth:`from_trajectory`.
+    """
+
+    def __init__(self, kind: str, coords_at) -> None:
+        self._kind = kind
+        self._coords_at = coords_at
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state(cls, space: StateSpace, state: int) -> "Query":
+        """A static query at a state of the space (e.g. the bank's location)."""
+        if not 0 <= state < space.n_states:
+            raise ValueError(f"state {state} outside state space")
+        point = space.coords[state].copy()
+
+        def coords_at(times: np.ndarray) -> np.ndarray:
+            return np.tile(point, (len(times), 1))
+
+        return cls("state", coords_at)
+
+    @classmethod
+    def from_point(cls, coords) -> "Query":
+        """A static query at an arbitrary location of ``R^d``."""
+        point = np.asarray(coords, dtype=float)
+        if point.ndim != 1:
+            raise ValueError("query point must be a 1-d coordinate array")
+
+        def coords_at(times: np.ndarray) -> np.ndarray:
+            return np.tile(point, (len(times), 1))
+
+        return cls("point", coords_at)
+
+    @classmethod
+    def from_trajectory(cls, trajectory: Trajectory, space: StateSpace) -> "Query":
+        """A moving query following a certain trajectory (e.g. the robbers' car)."""
+
+        def coords_at(times: np.ndarray) -> np.ndarray:
+            times = np.asarray(times, dtype=np.intp)
+            return space.coords_of(trajectory.states_at(times))
+
+        return cls("trajectory", coords_at)
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def coords_at(self, times: np.ndarray) -> np.ndarray:
+        """Query locations, one row per requested time."""
+        out = self._coords_at(np.asarray(times, dtype=np.intp))
+        return np.asarray(out, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query(kind={self._kind!r})"

@@ -1,0 +1,126 @@
+"""Result containers for the probabilistic query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ObjectProbability", "PCNNEntry", "QueryResult", "PCNNResult"]
+
+
+@dataclass(frozen=True)
+class ObjectProbability:
+    """One qualifying object with its estimated probability."""
+
+    object_id: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0 + 1e-12:
+            raise ValueError(f"probability out of range: {self.probability}")
+
+
+@dataclass(frozen=True)
+class PCNNEntry:
+    """A PCNN answer element ``(o, T_i)`` with ``P∀NN(o, q, D, T_i) ≥ τ``."""
+
+    object_id: str
+    times: tuple[int, ...]
+    probability: float
+
+    def __post_init__(self) -> None:
+        if list(self.times) != sorted(set(self.times)):
+            raise ValueError("times must be sorted and duplicate-free")
+
+    def runs(self) -> list[tuple[int, int]]:
+        """Contiguous runs of the timestamp set.
+
+        Definition 3 allows disconnected ``T_i``; this splits one into
+        maximal consecutive intervals, e.g. ``(1,2,3,7,8) -> [(1,3), (7,8)]``.
+        """
+        out: list[tuple[int, int]] = []
+        start = prev = self.times[0]
+        for t in self.times[1:]:
+            if t == prev + 1:
+                prev = t
+                continue
+            out.append((start, prev))
+            start = prev = t
+        out.append((start, prev))
+        return out
+
+    def format_times(self) -> str:
+        """Compact human-readable form, e.g. ``"1-3,7-8"`` or ``"5"``."""
+        parts = []
+        for lo, hi in self.runs():
+            parts.append(str(lo) if lo == hi else f"{lo}-{hi}")
+        return ",".join(parts)
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a P∃NNQ / P∀NNQ evaluation.
+
+    ``results`` holds objects passing the threshold τ, sorted by descending
+    probability; ``probabilities`` additionally keeps every refined object's
+    estimate (useful for calibration studies and τ=0 experiments).
+    """
+
+    results: list[ObjectProbability]
+    probabilities: dict[str, float]
+    candidates: list[str]
+    influencers: list[str]
+    n_samples: int
+    times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+
+    @property
+    def n_candidates(self) -> int:
+        """|C(q)| — the paper's candidate-count metric."""
+        return len(self.candidates)
+
+    @property
+    def n_influencers(self) -> int:
+        """|I(q)| — the paper's influence-object metric."""
+        return len(self.influencers)
+
+    def probability_of(self, object_id: str) -> float:
+        """Estimated probability for a refined object (0.0 if pruned)."""
+        return self.probabilities.get(str(object_id), 0.0)
+
+    def object_ids(self) -> list[str]:
+        return [r.object_id for r in self.results]
+
+
+@dataclass
+class PCNNResult:
+    """Outcome of a PCNNQ evaluation."""
+
+    entries: list[PCNNEntry]
+    candidates: list[str]
+    influencers: list[str]
+    n_samples: int
+    #: Total candidate timestamp sets evaluated across all objects — the
+    #: "#Timestamp Sets" series of Figs. 13-14.
+    sets_evaluated: int = 0
+
+    def entries_for(self, object_id: str) -> list[PCNNEntry]:
+        return [e for e in self.entries if e.object_id == str(object_id)]
+
+    def maximal_entries(self) -> list[PCNNEntry]:
+        """Condense to maximal timestamp sets per object (Definition 3's
+        refined form): drop every set contained in a larger qualifying set
+        of the same object."""
+        out: list[PCNNEntry] = []
+        by_object: dict[str, list[PCNNEntry]] = {}
+        for entry in self.entries:
+            by_object.setdefault(entry.object_id, []).append(entry)
+        for object_id, entries in by_object.items():
+            sets = [frozenset(e.times) for e in entries]
+            for entry, s in zip(entries, sets):
+                if not any(s < other for other in sets):
+                    out.append(entry)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,16 @@
+"""Workload generators and persistence."""
+
+from .io import load_database, save_database
+from .synthetic import SyntheticWorkload, SyntheticWorkloadConfig, generate_workload
+from .taxi import TaxiConfig, TaxiDataset, generate_taxi_dataset
+
+__all__ = [
+    "SyntheticWorkload",
+    "SyntheticWorkloadConfig",
+    "TaxiConfig",
+    "TaxiDataset",
+    "generate_taxi_dataset",
+    "generate_workload",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,126 @@
+"""Persistence: save and load trajectory databases as ``.npz`` archives.
+
+One archive holds the state-space coordinates, every distinct transition
+matrix (deduplicated — the taxi experiments share a single learned chain
+across all objects), and per-object observations, spans and optional
+ground truth.  Only time-homogeneous chains are supported (the
+inhomogeneous chains of the SAT reduction are constructions, not data).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse
+
+from ..markov.chain import MarkovChain
+from ..statespace.base import StateSpace
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["save_database", "load_database"]
+
+_FORMAT_VERSION = 1
+
+
+def save_database(db: TrajectoryDatabase, path: str | Path) -> None:
+    """Serialize ``db`` (space, chains, objects) into one ``.npz`` file."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {"coords": db.space.coords}
+
+    chains: list[MarkovChain] = []
+    chain_index: dict[int, int] = {}
+
+    def register(chain) -> int:
+        if not isinstance(chain, MarkovChain):
+            raise TypeError(
+                "only time-homogeneous MarkovChain objects are serializable"
+            )
+        key = id(chain)
+        if key not in chain_index:
+            chain_index[key] = len(chains)
+            chains.append(chain)
+        return chain_index[key]
+
+    default_idx = register(db.chain)
+
+    manifest: dict = {
+        "version": _FORMAT_VERSION,
+        "default_chain": default_idx,
+        "objects": [],
+    }
+    for obj in db:
+        entry = {
+            "id": obj.object_id,
+            "chain": register(obj.chain),
+            "extend_to": obj.extend_to,
+            "ground_truth_start": (
+                obj.ground_truth.t_start if obj.ground_truth is not None else None
+            ),
+        }
+        manifest["objects"].append(entry)
+        key = f"obj_{obj.object_id}"
+        pairs = np.asarray(obj.observations.as_pairs(), dtype=np.int64)
+        arrays[f"{key}_obs"] = pairs
+        if obj.ground_truth is not None:
+            arrays[f"{key}_truth"] = obj.ground_truth.states.astype(np.int64)
+
+    for idx, chain in enumerate(chains):
+        mat = chain.matrix.tocsr()
+        arrays[f"chain_{idx}_data"] = mat.data
+        arrays[f"chain_{idx}_indices"] = mat.indices
+        arrays[f"chain_{idx}_indptr"] = mat.indptr
+    manifest["n_chains"] = len(chains)
+    manifest["n_states"] = db.space.n_states
+
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_database(path: str | Path) -> TrajectoryDatabase:
+    """Inverse of :func:`save_database`."""
+    with np.load(Path(path)) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive version {manifest.get('version')!r}"
+            )
+        n = int(manifest["n_states"])
+        space = StateSpace(archive["coords"])
+
+        chains = []
+        for idx in range(int(manifest["n_chains"])):
+            mat = sparse.csr_matrix(
+                (
+                    archive[f"chain_{idx}_data"],
+                    archive[f"chain_{idx}_indices"],
+                    archive[f"chain_{idx}_indptr"],
+                ),
+                shape=(n, n),
+            )
+            chains.append(MarkovChain(mat))
+
+        db = TrajectoryDatabase(space, chains[int(manifest["default_chain"])])
+        for entry in manifest["objects"]:
+            key = f"obj_{entry['id']}"
+            pairs = [(int(t), int(s)) for t, s in archive[f"{key}_obs"]]
+            truth = None
+            if entry["ground_truth_start"] is not None:
+                truth = Trajectory(
+                    int(entry["ground_truth_start"]),
+                    archive[f"{key}_truth"].astype(np.intp),
+                )
+            chain = chains[int(entry["chain"])]
+            db.add_object(
+                entry["id"],
+                pairs,
+                chain=chain,
+                ground_truth=truth,
+                extend_to=entry["extend_to"],
+            )
+    return db

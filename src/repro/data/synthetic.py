@@ -1,0 +1,175 @@
+"""Synthetic trajectory workloads (Section 7, "Artificial Data").
+
+Object creation follows the paper: sample a sequence of waypoint states,
+connect them by network shortest paths, and move along the resulting route
+for ``lifetime`` tics.  The lag parameter ``v ∈ (0, 1]`` models extra time
+spent relative to the shortest path: per tic the object advances along its
+route with probability ``v`` and dwells otherwise, so consecutive
+observations (taken every ``obs_interval`` tics) are ``≈ v · obs_interval``
+route nodes apart.  Dwelling requires the chain to allow self-transitions,
+so lagged workloads build their chain with self-loop mass.
+
+The full per-tic trajectory is retained as ground truth for the
+effectiveness experiments; the database only sees the thinned observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from ..statespace.generator import SyntheticSpace, build_synthetic_space
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["SyntheticWorkloadConfig", "SyntheticWorkload", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadConfig:
+    """Parameters mirroring the paper's defaults (scaled by the harness).
+
+    Paper defaults: ``n_states=100_000``, ``branching=8``,
+    ``n_objects=10_000``, ``lifetime=100``, ``horizon=1000``,
+    ``obs_interval=10`` (11 observations per object).
+    """
+
+    n_states: int = 1000
+    branching: float = 8.0
+    n_objects: int = 100
+    lifetime: int = 100
+    horizon: int = 1000
+    obs_interval: int = 10
+    lag: float = 1.0  # the paper's v; 1.0 = no dwell
+    self_loops: float | None = None  # None = auto: 0.1 when lag < 1
+
+    def __post_init__(self) -> None:
+        if self.lifetime < 2:
+            raise ValueError("lifetime must be at least 2 tics")
+        if self.horizon < self.lifetime:
+            raise ValueError("horizon must cover the lifetime")
+        if not 0.0 < self.lag <= 1.0:
+            raise ValueError("lag v must be in (0, 1]")
+        if self.obs_interval < 1:
+            raise ValueError("obs_interval must be >= 1")
+
+    @property
+    def effective_self_loops(self) -> float:
+        if self.self_loops is not None:
+            return self.self_loops
+        return 0.1 if self.lag < 1.0 else 0.0
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated database plus its generator artifacts."""
+
+    config: SyntheticWorkloadConfig
+    synthetic: SyntheticSpace
+    db: TrajectoryDatabase
+    rng: np.random.Generator = field(repr=False)
+
+    def sample_query_state(self) -> int:
+        """A query state drawn uniformly from the space (paper setup)."""
+        return int(self.rng.integers(self.db.space.n_states))
+
+    def sample_query_times(self, length: int) -> np.ndarray:
+        """A query interval of ``length`` tics inside some object's span.
+
+        Anchoring at a random object guarantees a non-degenerate workload
+        (at least one alive object), as queries over empty regions of the
+        time horizon are trivially empty.
+        """
+        ids = self.db.object_ids
+        obj = self.db.get(ids[int(self.rng.integers(len(ids)))])
+        span = obj.t_last - obj.t_first + 1
+        length = min(length, span)
+        offset = int(self.rng.integers(span - length + 1))
+        start = obj.t_first + offset
+        return np.arange(start, start + length)
+
+
+def _route_through_waypoints(
+    synthetic: SyntheticSpace,
+    n_nodes: int,
+    rng: np.random.Generator,
+    max_restarts: int = 20,
+) -> np.ndarray:
+    """Concatenate shortest paths between random waypoints until long enough.
+
+    Waypoints are drawn among the nodes reachable from the current position
+    (random geometric graphs at moderate ``b`` have small satellite
+    components; a start inside one is retried from a fresh node).
+    """
+    n_states = synthetic.space.n_states
+    graph = synthetic.edge_length_graph()
+    route = [int(rng.integers(n_states))]
+    restarts = 0
+    while len(route) < n_nodes:
+        dist, predecessors = dijkstra(
+            graph,
+            indices=route[-1],
+            return_predecessors=True,
+            directed=True,
+        )
+        reachable = np.flatnonzero(np.isfinite(dist))
+        reachable = reachable[reachable != route[-1]]
+        if reachable.size == 0:
+            restarts += 1
+            if restarts > max_restarts:
+                raise RuntimeError(
+                    "could not find connected waypoints; the generated network "
+                    "is too disconnected — raise the branching factor"
+                )
+            route = [int(rng.integers(n_states))]
+            continue
+        target = int(rng.choice(reachable))
+        # Reconstruct the shortest path from route[-1] to target.
+        path = [target]
+        while path[-1] != route[-1]:
+            path.append(int(predecessors[path[-1]]))
+        route.extend(reversed(path[:-1]))
+    return np.asarray(route[:n_nodes], dtype=np.intp)
+
+
+def _apply_lag(
+    route: np.ndarray, lifetime: int, lag: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-tic positions: advance along the route w.p. ``lag``, else dwell."""
+    if lag >= 1.0:
+        return route[:lifetime]
+    states = np.empty(lifetime, dtype=np.intp)
+    pos = 0
+    for t in range(lifetime):
+        states[t] = route[pos]
+        if pos < route.size - 1 and rng.uniform() < lag:
+            pos += 1
+    return states
+
+
+def generate_workload(
+    config: SyntheticWorkloadConfig,
+    rng: np.random.Generator | None = None,
+) -> SyntheticWorkload:
+    """Build the synthetic space, chain and object population."""
+    rng = np.random.default_rng() if rng is None else rng
+    synthetic = build_synthetic_space(
+        config.n_states,
+        branching=config.branching,
+        rng=rng,
+        self_loops=config.effective_self_loops,
+    )
+    db = TrajectoryDatabase(synthetic.space, synthetic.chain)
+
+    # Route nodes needed: with lag v we advance ~v nodes per tic.
+    route_nodes = max(2, int(np.ceil(config.lifetime * config.lag))) + 2
+    for i in range(config.n_objects):
+        route = _route_through_waypoints(synthetic, route_nodes, rng)
+        states = _apply_lag(route, config.lifetime, config.lag, rng)
+        start = int(rng.integers(config.horizon - config.lifetime + 1))
+        truth = Trajectory(t_start=start, states=states)
+        observations = truth.observe_every(config.obs_interval)
+        db.add_object(f"o{i}", observations, ground_truth=truth)
+    return SyntheticWorkload(config=config, synthetic=synthetic, db=db, rng=rng)

@@ -1,0 +1,221 @@
+"""Simulated taxi dataset — the T-Drive / Beijing-OSM substitute.
+
+The paper's "Real Data" pipeline (Section 7): GPS logs are map-matched onto
+an OSM road graph, interpolated to 1 Hz, discretized to 10-second tics, and
+a single shared transition matrix is *learned* by aggregating turning
+probabilities at crossroads; trajectories are capped at 100 tics and made
+uncertain by keeping every l-th measurement as an observation.
+
+Neither T-Drive nor OSM is available offline, so this module simulates the
+part of the pipeline that produces map-matched trajectories and keeps the
+rest identical:
+
+* a city road network with a dense core (:mod:`repro.statespace.network`),
+* a heterogeneous fleet — standing, slow and fast taxis, with trips biased
+  toward downtown (the paper highlights both behaviours: standing taxis
+  have wide uncertainty regions, downtown queries see more candidates),
+* the chain is learned by transition counting over *training* trips and
+  smoothed over the road graph, exactly mirroring the aggregation step;
+  database trajectories are held out (leave-one-out, as in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import dijkstra
+
+from ..markov.chain import MarkovChain
+from ..statespace.network import RoadNetwork, build_city_network
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["TaxiConfig", "TaxiDataset", "simulate_trip_trajectory", "generate_taxi_dataset"]
+
+#: Fleet behaviour regimes: (label, fraction, per-tic advance probability).
+_REGIMES = (("standing", 0.2, 0.15), ("slow", 0.5, 0.55), ("fast", 0.3, 0.95))
+
+
+@dataclass(frozen=True)
+class TaxiConfig:
+    """Parameters of the simulated taxi workload."""
+
+    n_taxis: int = 100
+    n_training_taxis: int = 100
+    lifetime: int = 100
+    horizon: int = 1000
+    obs_interval: int = 8  # the paper's l = 8 for the |D| experiment
+    blocks: int = 12
+    core_blocks: int = 4
+    center_bias: float = 2.0  # trip endpoints ∝ exp(-bias · dist / extent)
+    smoothing: float = 0.05  # Laplace mass spread over road edges + dwell
+
+    def __post_init__(self) -> None:
+        if self.lifetime < 2:
+            raise ValueError("lifetime must be at least 2")
+        if self.horizon < self.lifetime:
+            raise ValueError("horizon must cover the lifetime")
+        if self.obs_interval < 1:
+            raise ValueError("obs_interval must be >= 1")
+        if self.smoothing <= 0:
+            raise ValueError("smoothing must be positive (unvisited edges need mass)")
+
+
+@dataclass
+class TaxiDataset:
+    """The generated database plus generator artifacts."""
+
+    config: TaxiConfig
+    network: RoadNetwork
+    chain: MarkovChain
+    db: TrajectoryDatabase
+    training_trajectories: list[Trajectory] = field(repr=False, default_factory=list)
+    rng: np.random.Generator = field(repr=False, default=None)
+
+    def sample_query_state(self, downtown: bool = True) -> int:
+        """A query location; downtown sampling mimics the paper's hot area."""
+        if downtown:
+            weights = _center_weights(self.network, self.config.center_bias)
+            return int(self.rng.choice(self.network.space.n_states, p=weights))
+        return int(self.rng.integers(self.network.space.n_states))
+
+    def sample_query_times(self, length: int) -> np.ndarray:
+        ids = self.db.object_ids
+        obj = self.db.get(ids[int(self.rng.integers(len(ids)))])
+        span = obj.t_last - obj.t_first + 1
+        length = min(length, span)
+        offset = int(self.rng.integers(span - length + 1))
+        return np.arange(obj.t_first + offset, obj.t_first + offset + length)
+
+
+def _center_weights(network: RoadNetwork, bias: float) -> np.ndarray:
+    dist = network.distance_from_center()
+    extent = max(dist.max(), 1e-9)
+    w = np.exp(-bias * dist / extent)
+    return w / w.sum()
+
+
+def simulate_trip_trajectory(
+    network: RoadNetwork,
+    lifetime: int,
+    advance_probability: float,
+    rng: np.random.Generator,
+    center_bias: float = 2.0,
+) -> np.ndarray:
+    """One taxi's per-tic states: trips between center-biased endpoints.
+
+    The taxi drives shortest paths between successive trip endpoints,
+    advancing one road node per tic with the regime's probability and
+    dwelling otherwise (standing taxis dwell most of the time).
+    """
+    weights = _center_weights(network, center_bias)
+    n = network.space.n_states
+    graph = network.edge_lengths
+
+    states = np.empty(lifetime, dtype=np.intp)
+    current = int(rng.choice(n, p=weights))
+    route: list[int] = []
+    for t in range(lifetime):
+        states[t] = current
+        if not route:
+            # Start a new trip toward a reachable center-biased endpoint.
+            for _ in range(20):
+                target = int(rng.choice(n, p=weights))
+                if target == current:
+                    continue
+                _, predecessors = dijkstra(
+                    graph, indices=current, return_predecessors=True
+                )
+                if predecessors[target] >= 0:
+                    path = [target]
+                    while path[-1] != current:
+                        path.append(int(predecessors[path[-1]]))
+                    route = list(reversed(path[:-1]))
+                    break
+            else:
+                route = []  # isolated pocket: dwell forever
+        if route and rng.uniform() < advance_probability:
+            current = route.pop(0)
+    return states
+
+
+def learn_chain(
+    network: RoadNetwork,
+    trajectories: list[Trajectory],
+    smoothing: float,
+) -> MarkovChain:
+    """Aggregate turning probabilities from trips (the paper's training).
+
+    Counts every observed transition (including dwells) and adds Laplace
+    mass on all road edges plus self-loops, so held-out trajectories that
+    use a rarely-travelled street remain representable.
+    """
+    n = network.space.n_states
+    counts: dict[tuple[int, int], float] = {}
+    for traj in trajectories:
+        for a, b in zip(traj.states[:-1], traj.states[1:]):
+            key = (int(a), int(b))
+            counts[key] = counts.get(key, 0.0) + 1.0
+
+    base = network.adjacency.tocoo()
+    rows = list(base.row) + list(range(n))
+    cols = list(base.col) + list(range(n))
+    data = [smoothing] * (base.nnz + n)
+    for (a, b), c in counts.items():
+        rows.append(a)
+        cols.append(b)
+        data.append(c)
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    matrix.sum_duplicates()
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    matrix = sparse.diags(1.0 / row_sums) @ matrix
+    return MarkovChain(matrix.tocsr())
+
+
+def generate_taxi_dataset(
+    config: TaxiConfig,
+    rng: np.random.Generator | None = None,
+) -> TaxiDataset:
+    """Build network, learn the chain on training trips, populate the DB."""
+    rng = np.random.default_rng() if rng is None else rng
+    network = build_city_network(
+        blocks=config.blocks, core_blocks=config.core_blocks, rng=rng
+    )
+
+    def regime_probabilities(count: int) -> list[float]:
+        labels = []
+        for label, fraction, advance in _REGIMES:
+            labels.extend([advance] * int(round(fraction * count)))
+        while len(labels) < count:
+            labels.append(_REGIMES[1][2])
+        return labels[:count]
+
+    training: list[Trajectory] = []
+    for advance in regime_probabilities(config.n_training_taxis):
+        states = simulate_trip_trajectory(
+            network, config.lifetime, advance, rng, config.center_bias
+        )
+        training.append(Trajectory(t_start=0, states=states))
+
+    chain = learn_chain(network, training, config.smoothing)
+    db = TrajectoryDatabase(network.space, chain)
+
+    for i, advance in enumerate(regime_probabilities(config.n_taxis)):
+        states = simulate_trip_trajectory(
+            network, config.lifetime, advance, rng, config.center_bias
+        )
+        start = int(rng.integers(config.horizon - config.lifetime + 1))
+        truth = Trajectory(t_start=start, states=states)
+        db.add_object(
+            f"taxi{i}", truth.observe_every(config.obs_interval), ground_truth=truth
+        )
+    return TaxiDataset(
+        config=config,
+        network=network,
+        chain=chain,
+        db=db,
+        training_trajectories=training,
+        rng=rng,
+    )

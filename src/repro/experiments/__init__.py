@@ -1,0 +1,20 @@
+"""Figure experiments, scales, reporting and shape verification."""
+
+from .config import SCALES, Scale, get_scale
+from .figures import ALL_EXPERIMENTS
+from .report import format_figure, format_panel
+from .results import FigureResult, Panel
+from .shapes import SHAPE_CHECKS, verify_figure
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "FigureResult",
+    "Panel",
+    "SCALES",
+    "SHAPE_CHECKS",
+    "Scale",
+    "format_figure",
+    "format_panel",
+    "get_scale",
+    "verify_figure",
+]

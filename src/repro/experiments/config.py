@@ -1,0 +1,186 @@
+"""Experiment scales: paper-faithful parameters and laptop-sized defaults.
+
+The paper's defaults (Section 7): ``|D| = 10k`` objects, ``N = |S| = 100k``
+states, branching ``b = 8``, ``τ = 0``, ``|T| = 10``, object lifetime 100
+tics, database horizon 1000 tics, 10k sampled trajectories per object.
+
+A pure-Python reproduction cannot run those sizes in interactive time, so
+every experiment accepts a :class:`Scale`:
+
+* ``tiny``   — seconds; used by the pytest-benchmark suite.
+* ``small``  — the default for ``python -m repro.experiments.runner``.
+* ``medium`` — minutes; closer shape fidelity.
+* ``paper``  — the verbatim paper parameters (hours to days in Python;
+  provided for completeness and documentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All knobs the figure experiments read."""
+
+    name: str
+    # Fig. 6: state-count sweep.
+    state_counts: tuple[int, ...]
+    default_states: int
+    # Fig. 7: branching-factor sweep.
+    branchings: tuple[float, ...]
+    default_branching: float
+    # Figs. 8/9/13: object-count sweep.
+    object_counts: tuple[int, ...]
+    default_objects: int
+    # Workload shape.
+    lifetime: int
+    horizon: int
+    obs_interval: int
+    query_interval: int  # |T|
+    # Sampling.
+    n_samples: int
+    n_queries: int
+    reference_samples: int  # REF pool for Fig. 11
+    # PCNN.
+    taus: tuple[float, ...]
+    default_tau: float
+    # Fig. 10: observation-count sweep.
+    observation_counts: tuple[int, ...]
+    rejection_budget: int
+    #: Inter-observation gap used by Fig. 10 only — kept short so segment
+    #: hit rates are measurable within the budget at sub-paper scales.
+    fig10_obs_interval: int
+    # Fig. 11: effectiveness workload.
+    effectiveness_lag: float
+    effectiveness_interval: int  # |T| for Fig. 11 (paper: 5)
+    # Fig. 12: error window (tics after the first observation).
+    error_window: int
+    # Fig. 9/12: taxi substitute sizing.
+    taxi_blocks: int
+    taxi_core_blocks: int
+    taxi_obs_interval: int
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        state_counts=(300, 600, 1200),
+        default_states=600,
+        branchings=(6.0, 8.0, 10.0),
+        default_branching=8.0,
+        object_counts=(10, 20, 40),
+        default_objects=20,
+        lifetime=24,
+        horizon=60,
+        obs_interval=6,
+        query_interval=6,
+        n_samples=150,
+        n_queries=3,
+        reference_samples=4000,
+        taus=(0.1, 0.5, 0.9),
+        default_tau=0.5,
+        observation_counts=(2, 3, 4),
+        rejection_budget=60_000,
+        fig10_obs_interval=3,
+        effectiveness_lag=0.2,
+        effectiveness_interval=5,
+        error_window=13,
+        taxi_blocks=6,
+        taxi_core_blocks=2,
+        taxi_obs_interval=6,
+    ),
+    "small": Scale(
+        name="small",
+        state_counts=(1000, 3000, 8000),
+        default_states=3000,
+        branchings=(6.0, 8.0, 10.0),
+        default_branching=8.0,
+        object_counts=(40, 80, 160),
+        default_objects=80,
+        lifetime=50,
+        horizon=150,
+        obs_interval=10,
+        query_interval=10,
+        n_samples=500,
+        n_queries=5,
+        reference_samples=20_000,
+        taus=(0.1, 0.5, 0.9),
+        default_tau=0.5,
+        observation_counts=(2, 3, 4, 5),
+        rejection_budget=400_000,
+        fig10_obs_interval=4,
+        effectiveness_lag=0.2,
+        effectiveness_interval=5,
+        error_window=30,
+        taxi_blocks=10,
+        taxi_core_blocks=4,
+        taxi_obs_interval=8,
+    ),
+    "medium": Scale(
+        name="medium",
+        state_counts=(5000, 20_000, 50_000),
+        default_states=20_000,
+        branchings=(6.0, 8.0, 10.0),
+        default_branching=8.0,
+        object_counts=(100, 300, 600),
+        default_objects=300,
+        lifetime=100,
+        horizon=400,
+        obs_interval=10,
+        query_interval=10,
+        n_samples=1000,
+        n_queries=5,
+        reference_samples=100_000,
+        taus=(0.1, 0.5, 0.9),
+        default_tau=0.5,
+        observation_counts=(2, 3, 4, 5, 6),
+        rejection_budget=2_000_000,
+        fig10_obs_interval=5,
+        effectiveness_lag=0.2,
+        effectiveness_interval=5,
+        error_window=30,
+        taxi_blocks=14,
+        taxi_core_blocks=5,
+        taxi_obs_interval=8,
+    ),
+    "paper": Scale(
+        name="paper",
+        state_counts=(10_000, 100_000, 500_000),
+        default_states=100_000,
+        branchings=(6.0, 8.0, 10.0),
+        default_branching=8.0,
+        object_counts=(1000, 10_000, 20_000),
+        default_objects=10_000,
+        lifetime=100,
+        horizon=1000,
+        obs_interval=10,
+        query_interval=10,
+        n_samples=10_000,
+        n_queries=10,
+        reference_samples=1_000_000,
+        taus=(0.1, 0.5, 0.9),
+        default_tau=0.5,
+        observation_counts=(2, 3, 4, 5, 6, 7),
+        rejection_budget=10_000_000,
+        fig10_obs_interval=10,
+        effectiveness_lag=0.2,
+        effectiveness_interval=5,
+        error_window=30,
+        taxi_blocks=40,
+        taxi_core_blocks=12,
+        taxi_obs_interval=8,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

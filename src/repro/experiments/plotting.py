@@ -1,0 +1,81 @@
+"""Dependency-free ASCII charts for figure results.
+
+The offline environment has no matplotlib; these charts give the runner's
+output the visual character of the paper's figures — most usefully for
+Fig. 12's error curves, where the sawtooth of the forward-only variant
+and the symmetry of the forward-backward posterior are the entire point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .results import Panel
+
+__all__ = ["ascii_chart", "panel_chart"]
+
+_SYMBOLS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """Render multi-series line data as a character grid.
+
+    Each series is resampled to ``width`` columns and drawn with its own
+    symbol; later series overdraw earlier ones on collisions.  A y-axis
+    with min/max labels and a legend line are included.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    (n_points,) = lengths
+    if n_points < 1:
+        raise ValueError("series must be non-empty")
+
+    values = [v for vs in series.values() for v in vs if math.isfinite(v)]
+    if not values:
+        raise ValueError("no finite values to plot")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def column(i: int) -> int:
+        if n_points == 1:
+            return 0
+        return round(i * (width - 1) / (n_points - 1))
+
+    def row(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for (label, vals), symbol in zip(series.items(), _SYMBOLS):
+        for i, v in enumerate(vals):
+            if math.isfinite(v):
+                grid[row(v)][column(i)] = symbol
+
+    top_label = f"{hi:.4g}"
+    bottom_label = f"{lo:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    lines = []
+    for r, cells in enumerate(grid):
+        label = top_label if r == 0 else bottom_label if r == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(cells))
+    lines.append(" " * pad + " +" + "-" * width)
+    legend = "   ".join(
+        f"{symbol}={label}" for (label, _), symbol in zip(series.items(), _SYMBOLS)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def panel_chart(panel: Panel, width: int = 64, height: int = 12) -> str:
+    """Chart all series of a panel over its x-axis."""
+    header = f"{panel.title}   (x: {panel.x_label} = {panel.x_values[0]} .. {panel.x_values[-1]})"
+    return header + "\n" + ascii_chart(panel.series, width=width, height=height)

@@ -1,0 +1,57 @@
+"""ASCII rendering of figure results — the harness's printed tables."""
+
+from __future__ import annotations
+
+from .results import FigureResult, Panel
+
+__all__ = ["format_panel", "format_figure"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.4f}"
+
+
+def format_panel(panel: Panel) -> str:
+    """Render one panel as a column-aligned table."""
+    headers = [panel.x_label] + [str(x) for x in panel.x_values]
+    rows = [[label] + [_fmt(v) for v in values] for label, values in panel.series.items()]
+    widths = [
+        max(len(str(col)) for col in column)
+        for column in zip(headers, *rows)
+    ]
+    lines = [panel.title]
+    lines.append("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult, charts: bool = False) -> str:
+    """Render a full figure result with title, scale and notes.
+
+    With ``charts=True`` each panel additionally gets an ASCII line chart
+    (see :mod:`repro.experiments.plotting`).
+    """
+    lines = [
+        "=" * 72,
+        f"{result.figure}: {result.title}   [scale={result.scale}]",
+        "=" * 72,
+    ]
+    for panel in result.panels:
+        lines.append(format_panel(panel))
+        lines.append("")
+        if charts and len(panel.x_values) > 1:
+            from .plotting import panel_chart
+
+            lines.append(panel_chart(panel))
+            lines.append("")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines).rstrip() + "\n"

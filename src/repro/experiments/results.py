@@ -1,0 +1,42 @@
+"""Result containers for figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Panel", "FigureResult"]
+
+
+@dataclass
+class Panel:
+    """One sub-plot of a figure: series over a shared x-axis."""
+
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.x_values)} x-values"
+            )
+        self.series[label] = [float(v) for v in values]
+
+
+@dataclass
+class FigureResult:
+    """All panels of one reproduced figure plus provenance metadata."""
+
+    figure: str
+    title: str
+    scale: str
+    panels: list[Panel] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def panel(self, title: str) -> Panel:
+        for p in self.panels:
+            if p.title == title:
+                return p
+        raise KeyError(f"no panel titled {title!r} in {self.figure}")

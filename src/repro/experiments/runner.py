@@ -1,0 +1,79 @@
+"""Command-line runner for the figure experiments.
+
+Usage::
+
+    python -m repro.experiments.runner --figure fig06 --scale small
+    python -m repro.experiments.runner --all --scale tiny
+    python -m repro.experiments.runner --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import SCALES
+from .figures import ALL_EXPERIMENTS
+from .report import format_figure
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the figures of Niedermayer et al., VLDB 2013.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="experiment id (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES), help="parameter preset"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--charts", action="store_true", help="add ASCII line charts per panel"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the paper-shape checks on each result",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted(ALL_EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    selected = sorted(ALL_EXPERIMENTS) if args.all else (args.figure or [])
+    if not selected:
+        parser.error("pass --figure <id>, --all, or --list")
+
+    failures = 0
+    for name in selected:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(format_figure(result, charts=args.charts))
+        if args.verify:
+            from .shapes import verify_figure
+
+            for outcome in verify_figure(result):
+                print(f"  [{outcome.verdict}] {outcome.description}")
+                if outcome.verdict == "FAIL":
+                    failures += 1
+            print()
+        print(f"(experiment wall time: {elapsed:.1f}s)\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Markov chain substrate: models, adaptation (Algorithm 2), samplers."""
+
+from .adaptation import AdaptedModel, ObservationContradictionError, adapt_model
+from .chain import (
+    InhomogeneousMarkovChain,
+    MarkovChain,
+    TransitionModel,
+    uniformized,
+    validate_stochastic,
+)
+from .distributions import SparseDistribution
+from .hmm import Evidence, forward_backward_smoothing
+from .sampling import (
+    SamplingStats,
+    estimate_rejection_cost,
+    estimate_segment_cost,
+    posterior_sample,
+    rejection_sample,
+    segment_rejection_sample,
+)
+from .stationary import mixing_profile, spectral_gap, stationary_distribution
+
+__all__ = [
+    "AdaptedModel",
+    "Evidence",
+    "InhomogeneousMarkovChain",
+    "MarkovChain",
+    "ObservationContradictionError",
+    "SamplingStats",
+    "SparseDistribution",
+    "TransitionModel",
+    "adapt_model",
+    "estimate_rejection_cost",
+    "estimate_segment_cost",
+    "forward_backward_smoothing",
+    "mixing_profile",
+    "posterior_sample",
+    "rejection_sample",
+    "segment_rejection_sample",
+    "spectral_gap",
+    "stationary_distribution",
+    "uniformized",
+    "validate_stochastic",
+]

@@ -1,0 +1,119 @@
+"""Sparse categorical distributions over states.
+
+The forward-backward adaptation keeps every state vector as a pair
+``(states, probs)`` restricted to its support (an "active set"): diamonds
+between observations touch only a tiny fraction of a large state space, so
+dense ``|S|``-vectors would waste both memory and time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["SparseDistribution"]
+
+_NORM_TOL = 1e-8
+
+
+@dataclass(frozen=True)
+class SparseDistribution:
+    """A probability distribution with explicit support.
+
+    Attributes
+    ----------
+    states:
+        Sorted, unique state indices with non-zero probability.
+    probs:
+        Matching probabilities, summing to 1.
+    """
+
+    states: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        states = np.asarray(self.states, dtype=np.intp)
+        probs = np.asarray(self.probs, dtype=float)
+        if states.shape != probs.shape or states.ndim != 1:
+            raise ValueError("states and probs must be 1-d arrays of equal length")
+        if states.size == 0:
+            raise ValueError("distribution must have non-empty support")
+        if np.any(probs < 0):
+            raise ValueError("probabilities must be non-negative")
+        if abs(probs.sum() - 1.0) > _NORM_TOL:
+            raise ValueError(f"probabilities must sum to 1, got {probs.sum()!r}")
+        if np.any(np.diff(states) <= 0):
+            raise ValueError("states must be strictly increasing")
+        object.__setattr__(self, "states", states)
+        object.__setattr__(self, "probs", probs)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(state: int) -> "SparseDistribution":
+        """The degenerate distribution concentrated on one state."""
+        return SparseDistribution(np.asarray([state]), np.asarray([1.0]))
+
+    @staticmethod
+    def from_arrays(states: np.ndarray, weights: np.ndarray) -> "SparseDistribution":
+        """Build from unsorted, possibly unnormalized (state, weight) pairs."""
+        states = np.asarray(states, dtype=np.intp)
+        weights = np.asarray(weights, dtype=float)
+        order = np.argsort(states, kind="stable")
+        states, weights = states[order], weights[order]
+        uniq, inverse = np.unique(states, return_inverse=True)
+        summed = np.zeros(uniq.shape)
+        np.add.at(summed, inverse, weights)
+        keep = summed > 0
+        total = summed[keep].sum()
+        if total <= 0:
+            raise ValueError("total probability mass must be positive")
+        return SparseDistribution(uniq[keep], summed[keep] / total)
+
+    @staticmethod
+    def uniform(states: np.ndarray) -> "SparseDistribution":
+        """Uniform distribution over the given support."""
+        states = np.unique(np.asarray(states, dtype=np.intp))
+        if states.size == 0:
+            raise ValueError("uniform distribution needs non-empty support")
+        return SparseDistribution(states, np.full(states.shape, 1.0 / states.size))
+
+    # ------------------------------------------------------------------
+    def to_dense(self, n_states: int) -> np.ndarray:
+        out = np.zeros(n_states)
+        out[self.states] = self.probs
+        return out
+
+    def probability_of(self, state: int) -> float:
+        pos = np.searchsorted(self.states, state)
+        if pos < self.states.size and self.states[pos] == state:
+            return float(self.probs[pos])
+        return 0.0
+
+    def propagate(self, matrix: sparse.csr_matrix) -> "SparseDistribution":
+        """One Markov step restricted to the active rows of ``matrix``."""
+        rows = matrix[self.states]
+        weighted = rows.multiply(self.probs[:, None]).tocsc()
+        col_sums = np.asarray(weighted.sum(axis=0)).ravel()
+        active = np.flatnonzero(col_sums > 0)
+        if active.size == 0:
+            raise ValueError("distribution propagated into an absorbing dead end")
+        return SparseDistribution(active, col_sums[active] / col_sums[active].sum())
+
+    def expected_distance(self, coords: np.ndarray, point: np.ndarray) -> float:
+        """E[d(position, point)] under this distribution."""
+        diff = coords[self.states] - np.asarray(point, dtype=float)
+        dists = np.sqrt(np.sum(diff * diff, axis=1))
+        return float(np.dot(self.probs, dists))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` states i.i.d. from this distribution."""
+        return rng.choice(self.states, size=size, p=self.probs)
+
+    def entropy(self) -> float:
+        p = self.probs[self.probs > 0]
+        return float(-np.sum(p * np.log(p)))
+
+    def __len__(self) -> int:
+        return int(self.states.size)

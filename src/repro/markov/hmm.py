@@ -1,0 +1,147 @@
+"""Classic HMM forward-backward smoothing — the paper's § 5.2 remark.
+
+Section 5.2 notes that Algorithm 2 "could also be proven by showing that
+our model is a special case of a HMM and deducting the algorithm from the
+Baum-Welch [forward-backward] algorithm".  This module makes that remark
+executable: a textbook discrete-emission forward-backward smoother over
+arbitrary (possibly time-varying) transition models.
+
+The uncertain-trajectory model maps onto an HMM whose hidden states are
+the locations and whose "emissions" are trivial: at an observation time
+the emission likelihood is an indicator of the observed state; at all
+other times every state is equally likely to emit "nothing".  With that
+emission model the smoothed marginals ``P(o(t) = s | Θ)`` must equal the
+posteriors produced by Algorithm 2 — which the test suite asserts.
+
+Beyond validation, the smoother is independently useful: it supports
+*noisy* observations (soft evidence), which the paper's model excludes
+(observation locations are certain) but real RFID/GPS pipelines meet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .chain import TransitionModel
+from .distributions import SparseDistribution
+
+__all__ = ["Evidence", "forward_backward_smoothing"]
+
+
+class Evidence:
+    """Per-time emission likelihoods ``P(observation at t | state)``.
+
+    ``likelihoods`` maps a time to a dense vector over states; times
+    absent from the mapping are uninformative (constant likelihood).
+    Use :meth:`certain` for the paper's exact observations and
+    :meth:`noisy` for soft evidence.
+    """
+
+    def __init__(self, n_states: int, likelihoods: dict[int, np.ndarray]) -> None:
+        self.n_states = int(n_states)
+        self._likelihoods: dict[int, np.ndarray] = {}
+        for t, vec in likelihoods.items():
+            vec = np.asarray(vec, dtype=float)
+            if vec.shape != (self.n_states,):
+                raise ValueError(
+                    f"likelihood at t={t} must have shape ({self.n_states},)"
+                )
+            if np.any(vec < 0) or vec.max() <= 0:
+                raise ValueError(f"likelihood at t={t} must be non-negative, non-zero")
+            self._likelihoods[int(t)] = vec
+
+    @staticmethod
+    def certain(n_states: int, observations: list[tuple[int, int]]) -> "Evidence":
+        """Exact observations: indicator likelihoods (the paper's model)."""
+        likelihoods = {}
+        for t, state in observations:
+            vec = np.zeros(n_states)
+            vec[int(state)] = 1.0
+            likelihoods[int(t)] = vec
+        return Evidence(n_states, likelihoods)
+
+    @staticmethod
+    def noisy(
+        n_states: int,
+        observations: list[tuple[int, np.ndarray]],
+    ) -> "Evidence":
+        """Soft evidence: arbitrary per-state likelihood vectors."""
+        return Evidence(n_states, {t: vec for t, vec in observations})
+
+    def likelihood_at(self, t: int) -> np.ndarray | None:
+        return self._likelihoods.get(int(t))
+
+    @property
+    def times(self) -> list[int]:
+        return sorted(self._likelihoods)
+
+
+def forward_backward_smoothing(
+    chain: TransitionModel,
+    evidence: Evidence,
+    t_start: int,
+    t_end: int,
+    prior: SparseDistribution | None = None,
+) -> dict[int, SparseDistribution]:
+    """Smoothed marginals ``P(state at t | all evidence)`` for t in range.
+
+    Textbook alpha/beta recursion with per-step normalization:
+
+    * ``alpha(t) ∝ L(t) ⊙ (M(t-1)^T alpha(t-1))``
+    * ``beta(t)  ∝ M(t) (L(t+1) ⊙ beta(t+1))``
+    * ``gamma(t) ∝ alpha(t) ⊙ beta(t)``
+
+    ``prior`` defaults to uniform over all states at ``t_start`` (before
+    applying any evidence at ``t_start``).
+
+    Raises ``ValueError`` when the evidence has zero total likelihood
+    (contradictory observations).
+    """
+    if t_start > t_end:
+        raise ValueError("empty time range")
+    n = chain.n_states
+    span = t_end - t_start + 1
+
+    if prior is None:
+        current = np.full(n, 1.0 / n)
+    else:
+        current = prior.to_dense(n)
+
+    # Forward pass.
+    alphas = np.zeros((span, n))
+    for offset, t in enumerate(range(t_start, t_end + 1)):
+        if offset > 0:
+            current = chain.matrix_at(t - 1).T @ current
+        like = evidence.likelihood_at(t)
+        if like is not None:
+            current = current * like
+        total = current.sum()
+        if total <= 0:
+            raise ValueError(f"evidence contradicts the chain at time {t}")
+        current = current / total
+        alphas[offset] = current
+
+    # Backward pass.
+    betas = np.zeros((span, n))
+    acc = np.ones(n)
+    betas[-1] = acc
+    for offset in range(span - 2, -1, -1):
+        t_next = t_start + offset + 1
+        like = evidence.likelihood_at(t_next)
+        weighted = betas[offset + 1] * (like if like is not None else 1.0)
+        acc = chain.matrix_at(t_next - 1) @ weighted
+        total = acc.sum()
+        if total <= 0:
+            raise ValueError(f"evidence contradicts the chain before time {t_next}")
+        betas[offset] = acc / total
+
+    out: dict[int, SparseDistribution] = {}
+    for offset, t in enumerate(range(t_start, t_end + 1)):
+        gamma = alphas[offset] * betas[offset]
+        total = gamma.sum()
+        if total <= 0:
+            raise ValueError(f"zero posterior mass at time {t}")
+        gamma = gamma / total
+        support = np.flatnonzero(gamma > 0)
+        out[t] = SparseDistribution(support, gamma[support])
+    return out

@@ -1,0 +1,97 @@
+"""Long-run behaviour of a-priori chains: stationary laws and mixing.
+
+Why this matters for the paper's model: without observations, an object's
+marginal converges to the chain's stationary distribution — exactly what
+the "NO" variant of Fig. 12 degrades toward, and why its error keeps
+growing while the adapted models stay anchored.  These diagnostics
+quantify how quickly a workload's uncertainty saturates, which in turn
+governs how wide diamonds grow with the observation interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .chain import MarkovChain
+
+__all__ = [
+    "stationary_distribution",
+    "total_variation",
+    "mixing_profile",
+    "spectral_gap",
+]
+
+
+def stationary_distribution(
+    chain: MarkovChain,
+    tol: float = 1e-12,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """A stationary distribution ``π`` with ``π = M^T π`` by power iteration.
+
+    Converges for any chain whose recurrent behaviour is aperiodic along
+    the iteration (a damping-free power method; periodic chains are
+    handled by averaging successive iterates).  For reducible chains the
+    result is *a* stationary distribution (dependent on the uniform start),
+    which is what workload diagnostics need.
+    """
+    n = chain.n_states
+    matrix_t = chain.matrix.T.tocsr()
+    current = np.full(n, 1.0 / n)
+    for _ in range(max_iterations):
+        nxt = matrix_t @ current
+        # Average consecutive iterates: converges even for periodic chains.
+        nxt = 0.5 * (nxt + current)
+        nxt = nxt / nxt.sum()
+        if np.abs(nxt - current).sum() < tol:
+            return nxt
+        current = nxt
+    raise RuntimeError(
+        f"power iteration did not converge within {max_iterations} steps"
+    )
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * Σ |p - q|``."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must share a shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def mixing_profile(
+    chain: MarkovChain,
+    start_state: int,
+    horizon: int,
+) -> np.ndarray:
+    """TV distance to stationarity after 1..horizon steps from one state.
+
+    The profile answers "how many tics until an unobserved object could be
+    anywhere it will ever be" — the saturation horizon of the NO variant.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    pi = stationary_distribution(chain)
+    n = chain.n_states
+    current = np.zeros(n)
+    current[int(start_state)] = 1.0
+    out = np.empty(horizon)
+    for step in range(horizon):
+        current = chain.matrix.T @ current
+        out[step] = total_variation(current, pi)
+    return out
+
+
+def spectral_gap(chain: MarkovChain) -> float:
+    """``1 - |λ₂|`` of the transition matrix (dense eigencomputation).
+
+    Larger gaps mean faster mixing.  Dense — diagnostics-scale only; use
+    :func:`mixing_profile` for large chains.
+    """
+    dense = chain.matrix.toarray()
+    eigenvalues = np.linalg.eigvals(dense)
+    magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+    if magnitudes.size < 2:
+        return 1.0
+    return float(max(0.0, 1.0 - magnitudes[1]))

@@ -1,0 +1,12 @@
+"""The Lemma 1 hardness reduction (3-SAT -> P-exists-NN), executable."""
+
+from .ksat import CNF, random_ksat
+from .reduction import ReductionInstance, build_reduction, satisfiable_via_pnn
+
+__all__ = [
+    "CNF",
+    "ReductionInstance",
+    "build_reduction",
+    "random_ksat",
+    "satisfiable_via_pnn",
+]

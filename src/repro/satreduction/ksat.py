@@ -1,0 +1,82 @@
+"""k-SAT instances: the source problem of the Lemma 1 reduction.
+
+Clauses use DIMACS-style signed literals: ``+i`` means variable ``x_i``,
+``-i`` means ``¬x_i`` (variables are numbered from 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+__all__ = ["CNF", "random_ksat"]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A boolean formula in conjunctive normal form."""
+
+    n_vars: int
+    clauses: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_vars < 1:
+            raise ValueError("need at least one variable")
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause (formula trivially unsatisfiable)")
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_vars:
+                    raise ValueError(f"literal {lit} out of range")
+            if len({abs(lit) for lit in clause}) != len(clause):
+                raise ValueError(f"clause {clause} mentions a variable twice")
+
+    @staticmethod
+    def parse(n_vars: int, clauses) -> "CNF":
+        return CNF(n_vars, tuple(tuple(int(l) for l in c) for c in clauses))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: tuple[bool, ...]) -> bool:
+        """Truth value under an assignment (index 0 = x_1)."""
+        if len(assignment) != self.n_vars:
+            raise ValueError("assignment length mismatch")
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(lit) - 1] == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def satisfying_assignments(self) -> list[tuple[bool, ...]]:
+        """All satisfying assignments by brute force (test-scale only)."""
+        return [
+            assignment
+            for assignment in product((False, True), repeat=self.n_vars)
+            if self.evaluate(assignment)
+        ]
+
+    def is_satisfiable(self) -> bool:
+        return any(
+            self.evaluate(assignment)
+            for assignment in product((False, True), repeat=self.n_vars)
+        )
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+
+def random_ksat(
+    n_vars: int, n_clauses: int, k: int, rng: np.random.Generator
+) -> CNF:
+    """A uniformly random k-SAT formula (distinct variables per clause)."""
+    if k > n_vars:
+        raise ValueError("clause width k cannot exceed the variable count")
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.choice(np.arange(1, n_vars + 1), size=k, replace=False)
+        signs = rng.choice([-1, 1], size=k)
+        clauses.append(tuple(int(v * s) for v, s in zip(variables, signs)))
+    return CNF(n_vars, tuple(clauses))

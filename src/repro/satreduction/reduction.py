@@ -1,0 +1,158 @@
+"""The Lemma 1 reduction: k-SAT → P∃NN hardness, made executable.
+
+Section 4.1 maps a CNF formula to a database of uncertain objects such
+that deciding ``P∃NN(o, q, D, T) < 1`` decides satisfiability:
+
+* 4 payload states: ``s1, s2`` closer to the query than the target object
+  ``o``; ``s3, s4`` farther (Fig. 2);
+* each variable ``x_i`` becomes an uncertain object ``o'_i`` with exactly
+  two possible trajectories — one per truth value — drawn with probability
+  0.5 each via an initial branching transition;
+* at clause time ``j``, the trajectory for assignment ``b`` visits a
+  *closer* state iff ``x_i = b`` makes clause ``c_j`` true (variables
+  absent from ``c_j`` are padded with the unsatisfiable ``x_i ∧ ¬x_i``,
+  i.e. both trajectories stay farther).
+
+A world then fails to contain a time where ``o`` is nearest exactly when
+the corresponding assignment satisfies every clause, hence
+``P∃NN(o) = 1 - (#satisfying assignments) / 2^n``.
+
+One framework-specific twist: our objects' spans are delimited by
+observations, and the two branch trajectories end in *different* states, so
+a real final observation would collapse the branching.  The chains
+therefore route both branches back into the far-away start state at time
+``m + 1`` (after all clause times), where a final observation pins the span
+without conditioning either branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..core.exact import exact_nn_probabilities
+from ..core.queries import Query
+from ..markov.chain import InhomogeneousMarkovChain, MarkovChain
+from ..statespace.base import StateSpace
+from ..trajectory.database import TrajectoryDatabase
+from .ksat import CNF
+
+__all__ = ["ReductionInstance", "build_reduction", "satisfiable_via_pnn", "TARGET_ID"]
+
+# State layout (coords on a line, query at the origin):
+# 0: s_start — pre/post-branch holding state (far from q)
+# 1: s1 (closer, "false" branch)   2: s2 (closer, "true" branch)
+# 3: s3 (farther, "false" branch)  4: s4 (farther, "true" branch)
+# 5: s_o — the target object's fixed position
+_START, _S1, _S2, _S3, _S4, _SO = range(6)
+_COORDS = np.asarray(
+    [[8.0, 0.0], [0.5, 0.0], [1.0, 0.0], [3.0, 0.0], [4.0, 0.0], [2.0, 0.0]]
+)
+TARGET_ID = "o"
+
+
+@dataclass
+class ReductionInstance:
+    """The constructed database plus everything needed to query it."""
+
+    cnf: CNF
+    db: TrajectoryDatabase
+    query: Query
+    times: tuple[int, ...]
+
+    def exact_p_exists_nn(self) -> float:
+        """``P∃NN(o, q, D, T)`` by exact world enumeration."""
+        probs = exact_nn_probabilities(self.db, self.query, self.times)
+        return probs[TARGET_ID][1]
+
+
+def _branch_state(cnf: CNF, var: int, clause_idx: int, value: bool) -> int:
+    """State of ``o'_var`` at clause time ``clause_idx + 1`` for ``x=value``.
+
+    True-branch trajectories move on {s2, s4}, false-branch on {s1, s3};
+    the two never collide, so one Markov chain hosts both (paper, proof of
+    Lemma 1).
+    """
+    clause = cnf.clauses[clause_idx]
+    literal = next((lit for lit in clause if abs(lit) == var), None)
+    if literal is None:
+        satisfied = False  # padding with x ∧ ¬x: never closer
+    else:
+        satisfied = (literal > 0) == value
+    if value:
+        return _S2 if satisfied else _S4
+    return _S1 if satisfied else _S3
+
+
+def _variable_chain(cnf: CNF, var: int) -> InhomogeneousMarkovChain:
+    """The inhomogeneous chain hosting both truth-value trajectories."""
+    n = len(_COORDS)
+    m = cnf.n_clauses
+    eye = sparse.identity(n, format="lil")
+    matrices: dict[int, sparse.csr_matrix] = {}
+
+    # t=0 -> t=1: branch from the start state into the two assignments.
+    branch = eye.copy()
+    branch[_START, _START] = 0.0
+    branch[_START, _branch_state(cnf, var, 0, True)] = 0.5
+    branch[_START, _branch_state(cnf, var, 0, False)] = 0.5
+    matrices[0] = sparse.csr_matrix(branch)
+
+    # Clause j -> clause j+1: deterministic moves on each branch.
+    for j in range(m - 1):
+        step = eye.copy()
+        for value in (True, False):
+            src = _branch_state(cnf, var, j, value)
+            dst = _branch_state(cnf, var, j + 1, value)
+            step[src, src] = 0.0
+            step[src, dst] = 1.0
+        matrices[j + 1] = sparse.csr_matrix(step)
+
+    # Time m -> m+1: both branches merge back into the start state so a
+    # final observation can pin the span without conditioning the branches.
+    final = eye.copy()
+    for value in (True, False):
+        src = _branch_state(cnf, var, m - 1, value)
+        final[src, src] = 0.0
+        final[src, _START] = 1.0
+    matrices[m] = sparse.csr_matrix(final)
+
+    return InhomogeneousMarkovChain(
+        matrices, default=sparse.identity(n, format="csr")
+    )
+
+
+def build_reduction(cnf: CNF) -> ReductionInstance:
+    """Construct the Section 4.1 database for a CNF formula."""
+    space = StateSpace(_COORDS)
+    identity = MarkovChain(sparse.identity(len(_COORDS), format="csr"))
+    db = TrajectoryDatabase(space, identity)
+    m = cnf.n_clauses
+
+    # The target object o: certain, pinned at s_o for the whole horizon.
+    db.add_object(TARGET_ID, [(0, _SO), (m + 1, _SO)], chain=identity)
+
+    for var in range(1, cnf.n_vars + 1):
+        db.add_object(
+            f"x{var}",
+            [(0, _START), (m + 1, _START)],
+            chain=_variable_chain(cnf, var),
+        )
+
+    query = Query.from_point([0.0, 0.0])
+    return ReductionInstance(
+        cnf=cnf, db=db, query=query, times=tuple(range(1, m + 1))
+    )
+
+
+def satisfiable_via_pnn(cnf: CNF) -> bool:
+    """Decide satisfiability through the PNN lens: ``P∃NN(o) < 1``.
+
+    Exactly Lemma 1's argument — a satisfying assignment corresponds to a
+    possible world where some variable object is strictly closer than
+    ``o`` at every clause time.
+    """
+    instance = build_reduction(cnf)
+    return instance.exact_p_exists_nn() < 1.0 - 1e-12

@@ -1,0 +1,234 @@
+"""The UST-tree: spatio-temporal index and pruning for PNN queries.
+
+Section 6 of the paper (following Emrich et al., CIKM 2012 [25]): every
+inter-observation segment of every object is conservatively approximated by
+a minimum bounding rectangle over its reachable states and time interval;
+the rectangles are indexed in an R*-tree.  Query evaluation uses the MBRs'
+``dmin``/``dmax`` distances to the query to split the database into
+
+* candidates ``C∀(q)`` — objects that may have non-zero ``P∀NN``,
+* influence objects ``I∀(q)`` — objects that may affect anyone's
+  probability (needed for correct refinement even when pruned themselves),
+* pruned objects — irrelevant to both results and probabilities.
+
+For P∃NN queries every influence object is a potential result, so the
+refinement set equals ``I(q)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trajectory.database import TrajectoryDatabase
+from .geometry import Rect, maxdist_point_rect, mindist_point_rect
+from .rstar import RStarTree
+
+__all__ = ["SegmentKey", "PruningResult", "USTTree"]
+
+
+@dataclass(frozen=True)
+class SegmentKey:
+    """Identifies one indexed segment: object + diamond index + time span."""
+
+    object_id: str
+    segment: int
+    t_start: int
+    t_end: int
+
+
+@dataclass
+class PruningResult:
+    """Outcome of the § 6 filter step.
+
+    Attributes
+    ----------
+    candidates:
+        Object ids possibly satisfying the ∀-semantics (``C∀(q)``).
+    influencers:
+        Object ids that may influence NN probabilities (``I∀(q)``);
+        a superset of ``candidates``.
+    prune_distances:
+        Per query time: the pruning bound ``min_o dmax(o(t), q(t))``
+        (k-th smallest for kNN queries).
+    examined_entries:
+        Number of index entries touched (index-efficiency metric).
+    """
+
+    candidates: list[str]
+    influencers: list[str]
+    prune_distances: np.ndarray
+    examined_entries: int = 0
+    dmin_bounds: dict[str, np.ndarray] = field(default_factory=dict)
+    dmax_bounds: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class USTTree:
+    """R*-tree over per-segment spatio-temporal MBRs of a database.
+
+    Parameters
+    ----------
+    db:
+        The uncertain trajectory database to index.
+    max_entries:
+        R*-tree node capacity.
+    """
+
+    def __init__(self, db: TrajectoryDatabase, max_entries: int = 16) -> None:
+        self.db = db
+        items: list[tuple[Rect, SegmentKey]] = []
+        for obj in db:
+            for seg_idx, diamond in enumerate(db.diamonds_of(obj.object_id)):
+                rect = diamond.spatio_temporal_mbr(db.space)
+                items.append(
+                    (
+                        rect,
+                        SegmentKey(
+                            object_id=obj.object_id,
+                            segment=seg_idx,
+                            t_start=diamond.t_start,
+                            t_end=diamond.t_end,
+                        ),
+                    )
+                )
+        self.tree = RStarTree.bulk_load(items, max_entries=max_entries)
+        self._n_segments = len(items)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_segments
+
+    def segments_overlapping(self, t_lo: int, t_hi: int):
+        """Index entries whose time extent intersects ``[t_lo, t_hi]``."""
+        space_rect = self.db.space.bounding_rect()
+        window = Rect(
+            space_rect.lo + (float(t_lo),),
+            space_rect.hi + (float(t_hi),),
+        )
+        return self.tree.search(window)
+
+    # ------------------------------------------------------------------
+    def prune(
+        self,
+        q_coords: np.ndarray,
+        times: np.ndarray,
+        k: int = 1,
+        refine_per_tic: bool = True,
+    ) -> PruningResult:
+        """Compute candidates and influence objects for a PNN query.
+
+        Parameters
+        ----------
+        q_coords:
+            ``(len(times), d)`` query locations — one per query time
+            (constant rows for a query state).
+        times:
+            Sorted, unique query times ``T``.
+        k:
+            NN cardinality; pruning uses the k-th smallest ``dmax`` so that
+            kNN queries (Section 8) remain correct.
+        refine_per_tic:
+            After segment-level filtering, tighten ``dmin``/``dmax`` with
+            the exact per-tic diamond MBRs of surviving objects.
+        """
+        times = np.asarray(times, dtype=np.intp)
+        if times.size == 0:
+            raise ValueError("query time set must be non-empty")
+        q_coords = np.asarray(q_coords, dtype=float)
+        if q_coords.shape[0] != times.size:
+            raise ValueError("one query location per query time is required")
+
+        entries = self.segments_overlapping(int(times.min()), int(times.max()))
+        examined = len(entries)
+
+        # Segment-level dmin/dmax per (object, query-time).
+        n_t = times.size
+        dmin: dict[str, np.ndarray] = {}
+        dmax: dict[str, np.ndarray] = {}
+        for entry in entries:
+            key: SegmentKey = entry.data
+            spatial = Rect(entry.rect.lo[:-1], entry.rect.hi[:-1])
+            covered = (times >= key.t_start) & (times <= key.t_end)
+            if not covered.any():
+                continue
+            lo = mindist_point_rect(q_coords[covered], spatial)
+            hi = maxdist_point_rect(q_coords[covered], spatial)
+            if key.object_id not in dmin:
+                dmin[key.object_id] = np.full(n_t, np.inf)
+                dmax[key.object_id] = np.full(n_t, np.inf)
+            idx = np.flatnonzero(covered)
+            # Several segments may cover an observation tic; each yields a
+            # valid bound, so keep the tightest of each kind.
+            dmin[key.object_id][idx] = np.where(
+                np.isinf(dmin[key.object_id][idx]),
+                lo,
+                np.maximum(dmin[key.object_id][idx], lo),
+            )
+            dmax[key.object_id][idx] = np.minimum(dmax[key.object_id][idx], hi)
+
+        if refine_per_tic:
+            self._refine_per_tic(dmin, dmax, q_coords, times)
+
+        return self._classify(dmin, dmax, times, k, examined)
+
+    # ------------------------------------------------------------------
+    def _refine_per_tic(
+        self,
+        dmin: dict[str, np.ndarray],
+        dmax: dict[str, np.ndarray],
+        q_coords: np.ndarray,
+        times: np.ndarray,
+    ) -> None:
+        """Tighten bounds with per-tic diamond MBRs (Example 2's dashes)."""
+        for object_id in dmin:
+            diamonds = self.db.diamonds_of(object_id)
+            for pos, t in enumerate(times):
+                for diamond in diamonds:
+                    if diamond.t_start <= t <= diamond.t_end:
+                        rect = diamond.mbr_at(int(t), self.db.space)
+                        lo = float(mindist_point_rect(q_coords[pos], rect))
+                        hi = float(maxdist_point_rect(q_coords[pos], rect))
+                        dmin[object_id][pos] = max(dmin[object_id][pos], lo)
+                        dmax[object_id][pos] = min(dmax[object_id][pos], hi)
+                        break
+
+    def _classify(
+        self,
+        dmin: dict[str, np.ndarray],
+        dmax: dict[str, np.ndarray],
+        times: np.ndarray,
+        k: int,
+        examined: int,
+    ) -> PruningResult:
+        n_t = times.size
+        if not dmin:
+            return PruningResult([], [], np.full(n_t, np.inf), examined)
+
+        ids = sorted(dmin)
+        dmax_matrix = np.stack([dmax[i] for i in ids])  # (objects, times)
+        finite_counts = np.sum(np.isfinite(dmax_matrix), axis=0)
+        prune_dist = np.full(n_t, np.inf)
+        for col in range(n_t):
+            col_vals = np.sort(dmax_matrix[:, col])
+            if finite_counts[col] >= k:
+                prune_dist[col] = col_vals[k - 1]
+
+        candidates: list[str] = []
+        influencers: list[str] = []
+        for object_id in ids:
+            lo = dmin[object_id]
+            alive = np.isfinite(dmax[object_id])
+            relevant = alive & (lo <= prune_dist)
+            if relevant.any():
+                influencers.append(object_id)
+            if alive.all() and bool(np.all(lo <= prune_dist)):
+                candidates.append(object_id)
+        return PruningResult(
+            candidates=candidates,
+            influencers=influencers,
+            prune_distances=prune_dist,
+            examined_entries=examined,
+            dmin_bounds=dmin,
+            dmax_bounds=dmax,
+        )

@@ -1,0 +1,17 @@
+"""Discrete state spaces and their generators."""
+
+from .base import StateSpace
+from .generator import SyntheticSpace, build_synthetic_space, connection_radius
+from .grid import GridSpace, build_grid_space
+from .network import RoadNetwork, build_city_network
+
+__all__ = [
+    "GridSpace",
+    "RoadNetwork",
+    "StateSpace",
+    "SyntheticSpace",
+    "build_city_network",
+    "build_grid_space",
+    "build_synthetic_space",
+    "connection_radius",
+]

@@ -1,0 +1,84 @@
+"""Discrete state spaces: a finite alphabet of locations embedded in R^d.
+
+The paper (Section 3) assumes a discrete state space
+``S = {s_1, ..., s_|S|} ⊂ R^d`` — road crossings for traffic data, RFID
+tracker positions for indoor data, or grid cells for free space.  A
+:class:`StateSpace` stores the embedding of every state and provides the
+distance computations every query semantics builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spatial.geometry import Rect
+
+__all__ = ["StateSpace"]
+
+
+class StateSpace:
+    """A finite set of states with coordinates in ``R^d``.
+
+    Parameters
+    ----------
+    coords:
+        Array of shape ``(n_states, d)`` with one row per state.  States are
+        identified by their row index everywhere in the library.
+    """
+
+    def __init__(self, coords: np.ndarray) -> None:
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2:
+            raise ValueError(f"coords must be 2-d (n_states, d), got shape {coords.shape}")
+        if coords.shape[0] == 0:
+            raise ValueError("state space must contain at least one state")
+        if not np.all(np.isfinite(coords)):
+            raise ValueError("state coordinates must be finite")
+        self._coords = coords
+        self._coords.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> np.ndarray:
+        """Read-only ``(n_states, d)`` coordinate array."""
+        return self._coords
+
+    @property
+    def n_states(self) -> int:
+        return self._coords.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self._coords.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_states
+
+    # ------------------------------------------------------------------
+    def coords_of(self, states: np.ndarray) -> np.ndarray:
+        """Coordinates of the given state indices (any integer array shape)."""
+        return self._coords[np.asarray(states, dtype=np.intp)]
+
+    def distances_to(self, point: np.ndarray, states: np.ndarray | None = None) -> np.ndarray:
+        """Euclidean distance from ``point`` to every state (or a subset)."""
+        pts = self._coords if states is None else self.coords_of(states)
+        diff = pts - np.asarray(point, dtype=float)
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def nearest_state(self, point: np.ndarray) -> int:
+        """Index of the state closest to an arbitrary point of ``R^d``."""
+        return int(np.argmin(self.distances_to(point)))
+
+    def mbr_of(self, states: np.ndarray) -> Rect:
+        """Minimum bounding rect of a set of state indices."""
+        states = np.asarray(states, dtype=np.intp)
+        if states.size == 0:
+            raise ValueError("cannot bound an empty state set")
+        return Rect.from_points(self.coords_of(states))
+
+    def bounding_rect(self) -> Rect:
+        """MBR of the whole space."""
+        return Rect.from_points(self._coords)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StateSpace(n_states={self.n_states}, ndim={self.ndim})"

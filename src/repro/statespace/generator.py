@@ -1,0 +1,150 @@
+"""Synthetic state-space generator of the paper's experimental setup.
+
+Section 7 ("Artificial Data"): ``N`` states are drawn uniformly from the
+``[0,1]^2`` square; a graph is derived by connecting every point ``p`` to all
+neighbors within distance ``r = sqrt(b / (N * pi))``, where ``b`` is the
+desired average branching factor (node degree), which makes the expected
+degree independent of ``N``.  Each edge becomes a non-zero transition whose
+probability is inversely proportional to the distance between the two
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.spatial import cKDTree
+
+from ..markov.chain import MarkovChain
+from .base import StateSpace
+
+__all__ = ["SyntheticSpace", "connection_radius", "build_synthetic_space"]
+
+
+@dataclass
+class SyntheticSpace:
+    """Bundle returned by :func:`build_synthetic_space`."""
+
+    space: StateSpace
+    chain: MarkovChain
+    adjacency: sparse.csr_matrix
+    edge_lengths: sparse.csr_matrix
+    radius: float
+
+    @property
+    def average_branching(self) -> float:
+        """Realized average out-degree (excluding fallback self-loops)."""
+        degrees = np.diff(self.adjacency.indptr)
+        return float(degrees.mean())
+
+    def edge_length_graph(self) -> sparse.csr_matrix:
+        """Distance-weighted adjacency — input for shortest-path routing."""
+        return self.edge_lengths
+
+
+def connection_radius(n_states: int, branching: float) -> float:
+    """The paper's radius ``r = sqrt(b / (N * pi))``.
+
+    Within the unit square, a disc of this radius around a state contains
+    ``b`` other states in expectation, so the average node degree is ``b``
+    regardless of ``N``.
+    """
+    if n_states <= 0:
+        raise ValueError("n_states must be positive")
+    if branching <= 0:
+        raise ValueError("branching must be positive")
+    return float(np.sqrt(branching / (n_states * np.pi)))
+
+
+def build_synthetic_space(
+    n_states: int,
+    branching: float = 8.0,
+    rng: np.random.Generator | None = None,
+    self_loops: float = 0.0,
+) -> SyntheticSpace:
+    """Generate the synthetic Euclidean network of Section 7.
+
+    Parameters
+    ----------
+    n_states:
+        Number of states ``N`` drawn uniformly from ``[0,1]^2``.
+    branching:
+        Target average branching factor ``b``.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+    self_loops:
+        Optional probability mass reserved for staying in place at every
+        state (0 reproduces the paper's construction; isolated states always
+        receive a full self-loop so the chain remains stochastic).
+
+    Returns
+    -------
+    SyntheticSpace
+        The embedded state space, its a-priori Markov chain, the 0/1
+        adjacency matrix, and the connection radius used.
+    """
+    if not 0.0 <= self_loops < 1.0:
+        raise ValueError("self_loops must be in [0, 1)")
+    rng = np.random.default_rng() if rng is None else rng
+    coords = rng.uniform(0.0, 1.0, size=(n_states, 2))
+    radius = connection_radius(n_states, branching)
+
+    tree = cKDTree(coords)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+
+    if pairs.size:
+        rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    else:
+        rows = np.empty(0, dtype=np.intp)
+        cols = np.empty(0, dtype=np.intp)
+
+    dists = np.sqrt(np.sum((coords[rows] - coords[cols]) ** 2, axis=1))
+    dists = np.maximum(dists, 1e-9)  # guard coincident points
+    # Transition probability inversely proportional to edge length.
+    weights = 1.0 / dists
+    adjacency = sparse.csr_matrix(
+        (np.ones_like(weights), (rows, cols)), shape=(n_states, n_states)
+    )
+    edge_lengths = sparse.csr_matrix((dists, (rows, cols)), shape=(n_states, n_states))
+    weighted = sparse.csr_matrix((weights, (rows, cols)), shape=(n_states, n_states))
+
+    matrix = _row_normalize_with_self_loops(weighted, self_loops)
+    space = StateSpace(coords)
+    chain = MarkovChain(matrix)
+    return SyntheticSpace(
+        space=space,
+        chain=chain,
+        adjacency=adjacency,
+        edge_lengths=edge_lengths,
+        radius=radius,
+    )
+
+
+def _row_normalize_with_self_loops(
+    weighted: sparse.csr_matrix, self_loops: float
+) -> sparse.csr_matrix:
+    """Row-normalize edge weights, adding self-loop mass where requested.
+
+    Isolated states (no outgoing edge) receive probability 1 of staying in
+    place, so every row remains a proper distribution.
+    """
+    n = weighted.shape[0]
+    weighted = weighted.tocsr()
+    row_sums = np.asarray(weighted.sum(axis=1)).ravel()
+    isolated = row_sums == 0.0
+
+    scale = np.zeros(n)
+    nonzero = ~isolated
+    scale[nonzero] = (1.0 - self_loops) / row_sums[nonzero]
+    normalized = sparse.diags(scale) @ weighted
+
+    loop_mass = np.where(isolated, 1.0, self_loops)
+    if np.any(loop_mass > 0):
+        normalized = normalized + sparse.diags(loop_mass)
+    result = normalized.tocsr()
+    result.eliminate_zeros()
+    result.sort_indices()
+    return result

@@ -1,0 +1,120 @@
+"""Grid state spaces for free-space movement and indoor-tracking scenarios.
+
+Section 3 of the paper lists "a simple grid" as the canonical discretization
+for free-space movement; the indoor RFID example of the introduction also
+maps naturally onto a grid of rooms/cells.  The grid chain supports 4- and
+8-neighborhoods and an optional stay-in-place probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..markov.chain import MarkovChain
+from .base import StateSpace
+
+__all__ = ["GridSpace", "build_grid_space"]
+
+_MOVES_4 = ((1, 0), (-1, 0), (0, 1), (0, -1))
+_MOVES_8 = _MOVES_4 + ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+@dataclass
+class GridSpace:
+    """A rectangular grid plus its random-walk Markov chain."""
+
+    space: StateSpace
+    chain: MarkovChain
+    width: int
+    height: int
+
+    def state_at(self, col: int, row: int) -> int:
+        """State index of cell ``(col, row)``; raises when out of bounds."""
+        if not (0 <= col < self.width and 0 <= row < self.height):
+            raise IndexError(f"cell ({col}, {row}) outside {self.width}x{self.height} grid")
+        return row * self.width + col
+
+    def cell_of(self, state: int) -> tuple[int, int]:
+        """Inverse of :meth:`state_at`."""
+        if not 0 <= state < self.width * self.height:
+            raise IndexError(f"state {state} outside grid")
+        return state % self.width, state // self.width
+
+
+def build_grid_space(
+    width: int,
+    height: int,
+    cell_size: float = 1.0,
+    diagonal: bool = False,
+    stay_probability: float = 0.0,
+    blocked: set[tuple[int, int]] | None = None,
+) -> GridSpace:
+    """Build a ``width x height`` grid with a uniform random-walk chain.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions in cells.
+    cell_size:
+        Spacing between adjacent cell centers.
+    diagonal:
+        Use the 8-neighborhood instead of the 4-neighborhood.
+    stay_probability:
+        Probability mass of remaining in the current cell each tic.
+    blocked:
+        Cells (col, row) that cannot be entered — walls, lakes, or other
+        impossible-to-cross terrain the paper's introduction warns linear
+        interpolation would happily traverse.  Blocked cells keep a state
+        index (so grids stay rectangular) but are unreachable sinks.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("grid must be at least 1x1")
+    if not 0.0 <= stay_probability < 1.0:
+        raise ValueError("stay_probability must be in [0, 1)")
+    blocked = blocked or set()
+    for col, row in blocked:
+        if not (0 <= col < width and 0 <= row < height):
+            raise ValueError(f"blocked cell ({col}, {row}) outside grid")
+
+    n = width * height
+    cols, rows_idx = np.meshgrid(np.arange(width), np.arange(height))
+    coords = np.stack([cols.ravel() * cell_size, rows_idx.ravel() * cell_size], axis=1)
+
+    moves = _MOVES_8 if diagonal else _MOVES_4
+    src: list[int] = []
+    dst: list[int] = []
+    for row in range(height):
+        for col in range(width):
+            if (col, row) in blocked:
+                continue
+            state = row * width + col
+            for dc, dr in moves:
+                nc, nr = col + dc, row + dr
+                if 0 <= nc < width and 0 <= nr < height and (nc, nr) not in blocked:
+                    src.append(state)
+                    dst.append(nr * width + nc)
+
+    matrix = sparse.csr_matrix(
+        (np.ones(len(src)), (src, dst)), shape=(n, n)
+    )
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    nonzero = row_sums > 0
+    scale = np.zeros(n)
+    scale[nonzero] = (1.0 - stay_probability) / row_sums[nonzero]
+    matrix = sparse.diags(scale) @ matrix
+    # Dead-end cells (fully enclosed or blocked) and the stay mass become
+    # self-loops so every row remains stochastic.
+    loop = np.where(nonzero, stay_probability, 1.0)
+    matrix = (matrix + sparse.diags(loop)).tocsr()
+    matrix.eliminate_zeros()
+    matrix.sort_indices()
+
+    return GridSpace(
+        space=StateSpace(coords),
+        chain=MarkovChain(matrix),
+        width=width,
+        height=height,
+    )

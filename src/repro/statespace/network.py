@@ -1,0 +1,171 @@
+"""A city-like road network: the substrate for the simulated taxi dataset.
+
+The paper's "real data" experiments use OSM road graphs of Beijing with
+map-matched T-Drive taxi logs.  Neither resource is available offline, so —
+per the substitution policy in DESIGN.md — this module synthesizes a road
+network with the properties the paper's analysis leans on:
+
+* a dense downtown core and sparser periphery (queries near the center see
+  more candidates and pruners, § 7.1 "Real Dataset"),
+* an irregular lattice (missing segments, jittered intersections) rather
+  than a perfect grid,
+* edges usable for shortest-path travel and for learning turning
+  probabilities from simulated trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..markov.chain import MarkovChain
+from .base import StateSpace
+
+__all__ = ["RoadNetwork", "build_city_network"]
+
+
+@dataclass
+class RoadNetwork:
+    """An embedded road graph with a distance-weighted default chain."""
+
+    space: StateSpace
+    adjacency: sparse.csr_matrix
+    edge_lengths: sparse.csr_matrix
+    center: np.ndarray
+
+    def default_chain(self) -> MarkovChain:
+        """A-priori chain with transition mass inversely prop. to length.
+
+        The taxi pipeline normally *learns* the chain from trips
+        (:mod:`repro.data.taxi`); this default mirrors the synthetic
+        generator and is used when no training trips are available.
+        """
+        lengths = self.edge_lengths.tocoo()
+        weights = 1.0 / np.maximum(lengths.data, 1e-9)
+        mat = sparse.csr_matrix(
+            (weights, (lengths.row, lengths.col)), shape=lengths.shape
+        )
+        row_sums = np.asarray(mat.sum(axis=1)).ravel()
+        isolated = row_sums == 0.0
+        scale = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=~isolated)
+        mat = sparse.diags(scale) @ mat
+        if np.any(isolated):
+            mat = mat + sparse.diags(isolated.astype(float))
+        mat = mat.tocsr()
+        mat.sort_indices()
+        return MarkovChain(mat)
+
+    def distance_from_center(self) -> np.ndarray:
+        """Euclidean distance of every intersection from downtown."""
+        return self.space.distances_to(self.center)
+
+
+def build_city_network(
+    blocks: int = 12,
+    spacing: float = 1.0,
+    core_blocks: int = 4,
+    jitter: float = 0.15,
+    drop_edge_probability: float = 0.08,
+    rng: np.random.Generator | None = None,
+) -> RoadNetwork:
+    """Generate an irregular city grid with a subdivided downtown core.
+
+    Parameters
+    ----------
+    blocks:
+        The city spans ``blocks x blocks`` street blocks.
+    spacing:
+        Block edge length.
+    core_blocks:
+        The central ``core_blocks x core_blocks`` area is subdivided at half
+        spacing, doubling intersection density downtown.
+    jitter:
+        Positions are perturbed by ``jitter * spacing`` of Gaussian noise.
+    drop_edge_probability:
+        Each street segment is removed independently with this probability
+        (the graph's giant component is kept connected by construction
+        checks in the taxi pipeline, not here).
+    """
+    if blocks < 2:
+        raise ValueError("need at least 2x2 blocks")
+    if core_blocks > blocks:
+        raise ValueError("core cannot exceed the city extent")
+    if not 0.0 <= drop_edge_probability < 0.5:
+        raise ValueError("drop_edge_probability must be in [0, 0.5)")
+    rng = np.random.default_rng() if rng is None else rng
+
+    # Lattice positions: coarse everywhere, fine inside the core.
+    half = spacing / 2.0
+    n_coarse = blocks + 1
+    positions: dict[tuple[float, float], int] = {}
+    coords: list[tuple[float, float]] = []
+
+    def node_at(x: float, y: float) -> int:
+        key = (round(x / half), round(y / half))
+        if key not in positions:
+            positions[key] = len(coords)
+            coords.append((x, y))
+        return positions[key]
+
+    lo_core = (blocks - core_blocks) / 2.0 * spacing
+    hi_core = lo_core + core_blocks * spacing
+
+    def in_core(x: float, y: float) -> bool:
+        return lo_core <= x <= hi_core and lo_core <= y <= hi_core
+
+    edges: set[tuple[int, int]] = set()
+
+    def add_street(x0: float, y0: float, x1: float, y1: float) -> None:
+        """Add a street segment, subdividing it when inside the core."""
+        if in_core(x0, y0) and in_core(x1, y1):
+            mx, my = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+            for a, b in (((x0, y0), (mx, my)), ((mx, my), (x1, y1))):
+                u, v = node_at(*a), node_at(*b)
+                edges.add((min(u, v), max(u, v)))
+        else:
+            u, v = node_at(x0, y0), node_at(x1, y1)
+            edges.add((min(u, v), max(u, v)))
+
+    for i in range(n_coarse):
+        for j in range(n_coarse):
+            x, y = i * spacing, j * spacing
+            if i < blocks:
+                add_street(x, y, x + spacing, y)
+            if j < blocks:
+                add_street(x, y, x, y + spacing)
+
+    # Cross streets inside the core connect the fine lattice.
+    fine_steps = core_blocks * 2
+    for i in range(fine_steps):
+        for j in range(fine_steps):
+            x, y = lo_core + i * half, lo_core + j * half
+            if i < fine_steps:
+                add_street(x, y, x + half, y)
+            if j < fine_steps:
+                add_street(x, y, x, y + half)
+
+    edge_list = sorted(edges)
+    keep = rng.uniform(size=len(edge_list)) >= drop_edge_probability
+    edge_arr = np.asarray(edge_list, dtype=np.intp)[keep]
+
+    n = len(coords)
+    pts = np.asarray(coords, dtype=float)
+    pts = pts + rng.normal(scale=jitter * spacing, size=pts.shape)
+
+    rows = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+    cols = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+    lengths = np.sqrt(np.sum((pts[rows] - pts[cols]) ** 2, axis=1))
+    lengths = np.maximum(lengths, 1e-9)
+
+    adjacency = sparse.csr_matrix((np.ones_like(lengths), (rows, cols)), shape=(n, n))
+    edge_lengths = sparse.csr_matrix((lengths, (rows, cols)), shape=(n, n))
+
+    center = np.asarray([blocks * spacing / 2.0, blocks * spacing / 2.0])
+    return RoadNetwork(
+        space=StateSpace(pts),
+        adjacency=adjacency,
+        edge_lengths=edge_lengths,
+        center=center,
+    )

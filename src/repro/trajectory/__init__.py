@@ -1,0 +1,22 @@
+"""Uncertain trajectories: observations, objects, databases, diamonds."""
+
+from .database import TrajectoryDatabase
+from .diamonds import Diamond, compute_diamonds, reachable_states
+from .observation import Observation, ObservationSet
+from .statistics import DatabaseStatistics, ObjectStatistics, database_statistics, object_statistics
+from .trajectory import Trajectory, UncertainObject
+
+__all__ = [
+    "DatabaseStatistics",
+    "Diamond",
+    "Observation",
+    "ObservationSet",
+    "ObjectStatistics",
+    "Trajectory",
+    "TrajectoryDatabase",
+    "UncertainObject",
+    "compute_diamonds",
+    "database_statistics",
+    "object_statistics",
+    "reachable_states",
+]

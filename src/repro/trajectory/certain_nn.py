@@ -1,0 +1,158 @@
+"""NN queries on *certain* trajectory databases — the per-world substrate.
+
+Section 5.2.3: once possible worlds are sampled, "exact NN-queries can be
+answered using previous work" on certain trajectories [5, 6, 20, 7, 21, 8].
+This module implements those classical semantics for a set of certain
+trajectories directly (the query engine uses an equivalent vectorized
+formulation internally; this standalone form exists for per-world
+inspection, testing, and as the reference implementation of the
+continuous-NN interval semantics of Tao et al. [8] / Sistla et al. [21]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..statespace.base import StateSpace
+from .trajectory import Trajectory
+
+__all__ = [
+    "CNNInterval",
+    "distance_profile",
+    "nn_at_each_time",
+    "exists_nn_objects",
+    "forall_nn_objects",
+    "continuous_nn_intervals",
+]
+
+
+@dataclass(frozen=True)
+class CNNInterval:
+    """One continuous-NN result: ``owner`` is nearest during ``[t_lo, t_hi]``."""
+
+    owner: str
+    t_lo: int
+    t_hi: int
+
+    def __post_init__(self) -> None:
+        if self.t_lo > self.t_hi:
+            raise ValueError("empty interval")
+
+
+def distance_profile(
+    trajectories: dict[str, Trajectory],
+    space: StateSpace,
+    q_coords: np.ndarray,
+    times: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Per object: distance to the query at each time (inf when absent)."""
+    times = np.asarray(times, dtype=np.intp)
+    q_coords = np.asarray(q_coords, dtype=float)
+    if q_coords.shape[0] != times.size:
+        raise ValueError("one query location per time required")
+    out: dict[str, np.ndarray] = {}
+    for oid, traj in trajectories.items():
+        dist = np.full(times.size, np.inf)
+        covered = np.array([traj.covers(int(t)) for t in times])
+        if covered.any():
+            states = traj.states_at(times[covered])
+            diff = space.coords_of(states) - q_coords[covered]
+            dist[covered] = np.sqrt(np.sum(diff * diff, axis=-1))
+        out[oid] = dist
+    return out
+
+
+def nn_at_each_time(
+    trajectories: dict[str, Trajectory],
+    space: StateSpace,
+    q_coords: np.ndarray,
+    times: np.ndarray,
+) -> list[set[str]]:
+    """The NN set per query time (ties included; empty when nobody alive).
+
+    This is the Frentzos et al. [5] "for each t the closest trajectory"
+    semantics on certain data.
+    """
+    profiles = distance_profile(trajectories, space, q_coords, times)
+    times = np.asarray(times, dtype=np.intp)
+    out: list[set[str]] = []
+    for col in range(times.size):
+        best = np.inf
+        for dist in profiles.values():
+            best = min(best, dist[col])
+        if not np.isfinite(best):
+            out.append(set())
+            continue
+        out.append(
+            {oid for oid, dist in profiles.items() if dist[col] <= best}
+        )
+    return out
+
+
+def exists_nn_objects(
+    trajectories: dict[str, Trajectory],
+    space: StateSpace,
+    q_coords: np.ndarray,
+    times: np.ndarray,
+) -> set[str]:
+    """Objects that are NN at *some* query time (the ∃ semantics [20])."""
+    per_time = nn_at_each_time(trajectories, space, q_coords, times)
+    out: set[str] = set()
+    for nn_set in per_time:
+        out |= nn_set
+    return out
+
+
+def forall_nn_objects(
+    trajectories: dict[str, Trajectory],
+    space: StateSpace,
+    q_coords: np.ndarray,
+    times: np.ndarray,
+) -> set[str]:
+    """Objects that are NN at *every* query time (the ∀ semantics [5])."""
+    per_time = nn_at_each_time(trajectories, space, q_coords, times)
+    if not per_time:
+        return set()
+    out = set(per_time[0])
+    for nn_set in per_time[1:]:
+        out &= nn_set
+    return out
+
+
+def continuous_nn_intervals(
+    trajectories: dict[str, Trajectory],
+    space: StateSpace,
+    q_coords: np.ndarray,
+    times: np.ndarray,
+) -> list[CNNInterval]:
+    """The classical CNN result: maximal intervals with a constant NN.
+
+    Returns one interval per (owner, maximal run); ties produce one
+    interval per tied owner, as in the paper's observation that the CNN
+    result is "m << |T| time intervals together having the same nearest
+    neighbor" (§ 4.3).
+    """
+    per_time = nn_at_each_time(trajectories, space, q_coords, times)
+    times = np.asarray(times, dtype=np.intp)
+    # Track open runs per owner; close them when the owner stops being NN
+    # or the time axis jumps.
+    open_runs: dict[str, int] = {}
+    closed: list[CNNInterval] = []
+    prev_t: int | None = None
+    for col, t in enumerate(times):
+        t = int(t)
+        contiguous = prev_t is not None and t == prev_t + 1
+        current = per_time[col]
+        for owner in list(open_runs):
+            if owner not in current or not contiguous:
+                closed.append(CNNInterval(owner, open_runs.pop(owner), prev_t))
+        for owner in current:
+            if owner not in open_runs:
+                open_runs[owner] = t
+        prev_t = t
+    for owner, start in open_runs.items():
+        closed.append(CNNInterval(owner, start, int(times[-1])))
+    closed.sort(key=lambda iv: (iv.t_lo, iv.owner))
+    return closed

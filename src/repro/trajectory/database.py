@@ -1,0 +1,166 @@
+"""The uncertain trajectory database ``D``.
+
+Holds the shared state space, the default a-priori chain and every
+:class:`~repro.trajectory.trajectory.UncertainObject`; provides diamond
+caching and the hooks the UST-tree and the query engine build on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..markov.chain import TransitionModel
+from ..statespace.base import StateSpace
+from .diamonds import Diamond, compute_diamonds
+from .observation import Observation, ObservationSet
+from .trajectory import Trajectory, UncertainObject
+
+__all__ = ["TrajectoryDatabase"]
+
+
+class TrajectoryDatabase:
+    """A database of uncertain moving objects over one state space.
+
+    Parameters
+    ----------
+    space:
+        The discrete state space shared by all objects.
+    chain:
+        Default a-priori transition model; individual objects may override
+        it (the paper allows per-object matrices, § 3.1, while the taxi
+        experiments share a single learned chain).
+    """
+
+    def __init__(self, space: StateSpace, chain: TransitionModel) -> None:
+        if chain.n_states != space.n_states:
+            raise ValueError(
+                f"chain has {chain.n_states} states but space has {space.n_states}"
+            )
+        self.space = space
+        self.chain = chain
+        self._objects: dict[str, UncertainObject] = {}
+        self._diamonds: dict[str, list[Diamond]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; index caches compare against it for staleness."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_object(
+        self,
+        object_id: str,
+        observations: ObservationSet | Sequence[Observation | tuple[int, int]],
+        chain: TransitionModel | None = None,
+        ground_truth: Trajectory | None = None,
+        extend_to: int | None = None,
+    ) -> UncertainObject:
+        """Register an object; returns the stored :class:`UncertainObject`."""
+        object_id = str(object_id)
+        if object_id in self._objects:
+            raise KeyError(f"object {object_id!r} already exists")
+        if not isinstance(observations, ObservationSet):
+            observations = ObservationSet(observations)
+        own_chain = chain if chain is not None else self.chain
+        if own_chain.n_states != self.space.n_states:
+            raise ValueError("per-object chain must match the database state space")
+        obj = UncertainObject(
+            object_id, observations, own_chain, ground_truth, extend_to=extend_to
+        )
+        self._objects[object_id] = obj
+        self._version += 1
+        return obj
+
+    def remove_object(self, object_id: str) -> None:
+        del self._objects[object_id]
+        self._diamonds.pop(object_id, None)
+        self._version += 1
+
+    def add_observation(self, object_id: str, time: int, state: int) -> UncertainObject:
+        """Ingest a new observation for an existing object.
+
+        The object's a-posteriori model and diamonds are recomputed lazily;
+        index structures detect the change through :attr:`version`.  A
+        duplicate observation time raises (observations are certain — two
+        conflicting certainties would be a data error).
+        """
+        old = self.get(object_id)
+        observations = ObservationSet(
+            list(old.observations) + [Observation(int(time), int(state))]
+        )
+        extend_to = old.extend_to
+        if extend_to is not None and extend_to < observations.last.time:
+            extend_to = None  # the new fix supersedes the extrapolation
+        replacement = UncertainObject(
+            old.object_id,
+            observations,
+            old.chain,
+            ground_truth=old.ground_truth,
+            extend_to=extend_to,
+        )
+        self._objects[old.object_id] = replacement
+        self._diamonds.pop(old.object_id, None)
+        self._version += 1
+        return replacement
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: str) -> bool:
+        return str(object_id) in self._objects
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects.values())
+
+    def get(self, object_id: str) -> UncertainObject:
+        try:
+            return self._objects[str(object_id)]
+        except KeyError:
+            raise KeyError(f"unknown object {object_id!r}") from None
+
+    @property
+    def object_ids(self) -> list[str]:
+        return list(self._objects)
+
+    def objects_alive_at(self, t: int) -> list[UncertainObject]:
+        """Objects whose observation span covers time ``t``."""
+        return [o for o in self._objects.values() if o.t_first <= t <= o.t_last]
+
+    def objects_overlapping(self, times: np.ndarray) -> list[UncertainObject]:
+        """Objects alive at at least one of the given times."""
+        return [o for o in self._objects.values() if o.covers_any(times)]
+
+    def time_horizon(self) -> tuple[int, int]:
+        """Smallest interval covering every object's span."""
+        if not self._objects:
+            raise ValueError("empty database has no horizon")
+        lo = min(o.t_first for o in self._objects.values())
+        hi = max(o.t_last for o in self._objects.values())
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # diamonds
+    # ------------------------------------------------------------------
+    def diamonds_of(self, object_id: str) -> list[Diamond]:
+        """Cached reachability diamonds of one object."""
+        object_id = str(object_id)
+        if object_id not in self._diamonds:
+            obj = self.get(object_id)
+            self._diamonds[object_id] = compute_diamonds(
+                obj.chain, obj.observations, extend_to=obj.extend_to
+            )
+        return self._diamonds[object_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrajectoryDatabase(n_objects={len(self)}, "
+            f"n_states={self.space.n_states})"
+        )

@@ -1,0 +1,148 @@
+"""Reachability diamonds ("beads") between consecutive observations.
+
+Between two observations ``(t_i, θ_i)`` and ``(t_{i+1}, θ_{i+1})`` the set of
+possible states at time ``t`` is the intersection of what is forward
+reachable from ``θ_i`` in ``t - t_i`` steps and backward reachable from
+``θ_{i+1}`` in ``t_{i+1} - t`` steps.  These per-tic sets are the exact
+supports the UST-tree approximates with minimum bounding rectangles
+(Section 6, Example 2), and the support of the "uniform" ablation (U) in
+Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..markov.chain import TransitionModel
+from ..spatial.geometry import Rect
+from ..statespace.base import StateSpace
+from .observation import ObservationSet
+
+__all__ = ["Diamond", "compute_diamonds", "reachable_states"]
+
+
+@dataclass
+class Diamond:
+    """Possible (time, state) pairs between two consecutive observations."""
+
+    t_start: int
+    t_end: int
+    #: ``states_per_tic[k]`` = possible states at time ``t_start + k``.
+    states_per_tic: list[np.ndarray]
+
+    def states_at(self, t: int) -> np.ndarray:
+        if not self.t_start <= t <= self.t_end:
+            raise KeyError(f"time {t} outside diamond [{self.t_start}, {self.t_end}]")
+        return self.states_per_tic[t - self.t_start]
+
+    def all_states(self) -> np.ndarray:
+        """Union of possible states over the whole segment."""
+        return np.unique(np.concatenate(self.states_per_tic))
+
+    def spatial_mbr(self, space: StateSpace) -> Rect:
+        """2-d bounding rect of all reachable states (a UST-tree leaf key)."""
+        return space.mbr_of(self.all_states())
+
+    def spatio_temporal_mbr(self, space: StateSpace) -> Rect:
+        """3-d box (x, y, time) — what the UST-tree actually indexes."""
+        spatial = self.spatial_mbr(space)
+        return Rect(
+            spatial.lo + (float(self.t_start),),
+            spatial.hi + (float(self.t_end),),
+        )
+
+    def mbr_at(self, t: int, space: StateSpace) -> Rect:
+        """Per-tic bounding rect (the dashed rectangles of Example 2)."""
+        return space.mbr_of(self.states_at(t))
+
+    def width_at(self, t: int) -> int:
+        return int(self.states_at(t).size)
+
+
+def _frontier_step(adjacency: sparse.csr_matrix, frontier: np.ndarray) -> np.ndarray:
+    """States reachable in exactly one step from any state in ``frontier``."""
+    if frontier.size == 0:
+        return frontier
+    sub = adjacency[frontier]
+    return np.unique(sub.indices)
+
+
+def reachable_states(
+    chain: TransitionModel,
+    start_state: int,
+    t_start: int,
+    steps: int,
+    backward: bool = False,
+) -> list[np.ndarray]:
+    """Per-step reachable sets from (or into) ``start_state``.
+
+    Forward: item ``k`` holds states reachable in exactly ``k`` steps from
+    ``start_state`` starting at ``t_start``.  Backward: item ``k`` holds the
+    states from which ``start_state`` can be reached in exactly ``k`` steps
+    arriving at ``t_start`` (useful for diamond intersection).
+    """
+    out = [np.asarray([start_state], dtype=np.intp)]
+    for k in range(steps):
+        if backward:
+            matrix = chain.support(t_start - k - 1).T.tocsr()
+        else:
+            matrix = chain.support(t_start + k)
+        out.append(_frontier_step(matrix, out[-1]))
+    return out
+
+
+def compute_diamonds(
+    chain: TransitionModel,
+    observations: ObservationSet,
+    extend_to: int | None = None,
+) -> list[Diamond]:
+    """One diamond per inter-observation segment.
+
+    With ``extend_to`` past the last observation, a final open "cone" of
+    purely forward-reachable states covers the extension (no future
+    observation bounds it).
+
+    Raises ``ValueError`` if a segment's intersection is empty at any tic —
+    that means the observations contradict the chain's support (the same
+    condition :func:`repro.markov.adaptation.adapt_model` detects).
+    """
+    diamonds: list[Diamond] = []
+    for first, second in observations.segments():
+        gap = second.time - first.time
+        fwd = reachable_states(chain, first.state, first.time, gap, backward=False)
+        bwd = reachable_states(chain, second.state, second.time, gap, backward=True)
+        per_tic: list[np.ndarray] = []
+        for k in range(gap + 1):
+            states = np.intersect1d(fwd[k], bwd[gap - k], assume_unique=True)
+            if states.size == 0:
+                raise ValueError(
+                    f"empty diamond at t={first.time + k}: observations "
+                    f"({first.time},{first.state}) -> ({second.time},{second.state}) "
+                    "contradict the chain"
+                )
+            per_tic.append(states)
+        diamonds.append(
+            Diamond(t_start=first.time, t_end=second.time, states_per_tic=per_tic)
+        )
+    last = observations.last
+    if extend_to is not None and extend_to > last.time:
+        cone = reachable_states(
+            chain, last.state, last.time, extend_to - last.time, backward=False
+        )
+        diamonds.append(
+            Diamond(t_start=last.time, t_end=int(extend_to), states_per_tic=cone)
+        )
+    if not diamonds:
+        # Single-observation object: a degenerate diamond pinning the point.
+        obs = observations.first
+        diamonds.append(
+            Diamond(
+                t_start=obs.time,
+                t_end=obs.time,
+                states_per_tic=[np.asarray([obs.state], dtype=np.intp)],
+            )
+        )
+    return diamonds

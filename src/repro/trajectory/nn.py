@@ -1,0 +1,106 @@
+"""Nearest-neighbor statistics over sampled possible worlds.
+
+After the a-posteriori sampler materializes possible worlds (one certain
+trajectory per object), the probabilistic queries reduce to counting: the
+fraction of worlds in which object ``o`` is the NN of ``q`` at every / some
+time of ``T`` estimates ``P∀NN`` / ``P∃NN`` (Section 5.2.3).  These
+functions operate on a distance tensor
+
+``dist[w, o, t] = d(q(t), o(t))`` in world ``w``,
+
+with ``np.inf`` marking objects that are not alive at ``t`` (outside their
+observation span).  Ties use ``<=`` per Definitions 1-2: all co-located
+closest objects count as nearest neighbors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "nn_indicator",
+    "knn_indicator",
+    "nn_prob_per_time",
+    "forall_nn_prob",
+    "exists_nn_prob",
+    "forall_knn_prob",
+    "exists_knn_prob",
+    "forall_prob_over_times",
+]
+
+_TIE_RTOL = 1e-12
+
+
+def _validate(dist: np.ndarray) -> np.ndarray:
+    dist = np.asarray(dist, dtype=float)
+    if dist.ndim != 3:
+        raise ValueError(f"distance tensor must be (worlds, objects, times), got {dist.shape}")
+    return dist
+
+
+def nn_indicator(dist: np.ndarray) -> np.ndarray:
+    """Boolean tensor: is object ``o`` a nearest neighbor at ``(w, t)``?
+
+    An object is NN when its distance equals the minimum over all alive
+    objects; at times where no object is alive nobody is NN.
+    """
+    dist = _validate(dist)
+    best = dist.min(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore"):
+        is_nn = dist <= best * (1.0 + _TIE_RTOL)
+    return is_nn & np.isfinite(dist)
+
+
+def knn_indicator(dist: np.ndarray, k: int) -> np.ndarray:
+    """Boolean tensor: is object ``o`` among the k nearest at ``(w, t)``?
+
+    Object ``o`` qualifies when fewer than ``k`` alive objects are strictly
+    closer (the natural ``<=``-tie extension of Section 8).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dist = _validate(dist)
+    closer = np.sum(dist[:, None, :, :] < dist[:, :, None, :], axis=2)
+    return (closer < k) & np.isfinite(dist)
+
+
+def nn_prob_per_time(dist: np.ndarray) -> np.ndarray:
+    """``P(o is NN of q at t)`` estimates, shape ``(objects, times)``."""
+    return nn_indicator(dist).mean(axis=0)
+
+
+def forall_nn_prob(dist: np.ndarray) -> np.ndarray:
+    """``P∀NN(o, q, D, T)`` estimates over all times of the tensor."""
+    return nn_indicator(dist).all(axis=2).mean(axis=0)
+
+
+def exists_nn_prob(dist: np.ndarray) -> np.ndarray:
+    """``P∃NN(o, q, D, T)`` estimates over all times of the tensor."""
+    return nn_indicator(dist).any(axis=2).mean(axis=0)
+
+
+def forall_knn_prob(dist: np.ndarray, k: int) -> np.ndarray:
+    """``P∀kNN`` estimates (Section 8)."""
+    return knn_indicator(dist, k).all(axis=2).mean(axis=0)
+
+
+def exists_knn_prob(dist: np.ndarray, k: int) -> np.ndarray:
+    """``P∃kNN`` estimates (Section 8)."""
+    return knn_indicator(dist, k).any(axis=2).mean(axis=0)
+
+
+def forall_prob_over_times(indicator: np.ndarray, time_columns: np.ndarray) -> float:
+    """``P∀NN`` over a timestamp subset, from one object's indicator matrix.
+
+    ``indicator`` has shape ``(worlds, times)``; ``time_columns`` selects the
+    subset ``T_i ⊆ T`` (column indices).  This is the estimator Algorithm 1
+    calls once per Apriori candidate — all candidates share one world pool,
+    which preserves the anti-monotonicity the algorithm relies on.
+    """
+    indicator = np.asarray(indicator, dtype=bool)
+    if indicator.ndim != 2:
+        raise ValueError("indicator must be (worlds, times)")
+    cols = np.asarray(time_columns, dtype=np.intp)
+    if cols.size == 0:
+        raise ValueError("time subset must be non-empty")
+    return float(indicator[:, cols].all(axis=1).mean())

@@ -1,0 +1,106 @@
+"""Workload diagnostics: how uncertain is a trajectory database?
+
+The paper's discussion of the taxi experiments leans on uncertainty
+geometry — standing taxis have large uncertainty regions, downtown
+density drives candidate counts.  These statistics quantify exactly
+those properties for any database: diamond widths, per-object uncertainty
+areas, posterior entropy over the observation gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .database import TrajectoryDatabase
+
+__all__ = ["ObjectStatistics", "DatabaseStatistics", "object_statistics", "database_statistics"]
+
+
+@dataclass(frozen=True)
+class ObjectStatistics:
+    """Uncertainty profile of one object."""
+
+    object_id: str
+    n_observations: int
+    span: int
+    mean_diamond_width: float
+    max_diamond_width: int
+    mean_posterior_entropy: float
+    peak_posterior_entropy: float
+    uncertainty_area: float  # mean spatial MBR area of per-tic diamonds
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Aggregates over the whole database."""
+
+    n_objects: int
+    n_segments: int
+    mean_observations_per_object: float
+    mean_diamond_width: float
+    max_diamond_width: int
+    mean_posterior_entropy: float
+    mean_uncertainty_area: float
+
+
+def object_statistics(db: TrajectoryDatabase, object_id: str) -> ObjectStatistics:
+    """Compute the uncertainty profile of one object.
+
+    Width is measured per tic as the number of reachable states (diamond
+    support); entropy from the a-posteriori marginals of Algorithm 2.
+    """
+    obj = db.get(object_id)
+    diamonds = db.diamonds_of(object_id)
+    widths: list[int] = []
+    areas: list[float] = []
+    for diamond in diamonds:
+        for t in range(diamond.t_start, diamond.t_end + 1):
+            states = diamond.states_at(t)
+            widths.append(int(states.size))
+            if states.size > 1:
+                rect = db.space.mbr_of(states)
+                areas.append(rect.volume())
+            else:
+                areas.append(0.0)
+
+    model = obj.adapted
+    entropies = [
+        model.posterior(t).entropy()
+        for t in range(model.t_first, model.t_last + 1)
+    ]
+
+    return ObjectStatistics(
+        object_id=obj.object_id,
+        n_observations=len(obj.observations),
+        span=obj.t_last - obj.t_first + 1,
+        mean_diamond_width=float(np.mean(widths)),
+        max_diamond_width=int(np.max(widths)),
+        mean_posterior_entropy=float(np.mean(entropies)),
+        peak_posterior_entropy=float(np.max(entropies)),
+        uncertainty_area=float(np.mean(areas)),
+    )
+
+
+def database_statistics(db: TrajectoryDatabase) -> DatabaseStatistics:
+    """Aggregate uncertainty statistics over every object."""
+    if len(db) == 0:
+        raise ValueError("empty database has no statistics")
+    per_object = [object_statistics(db, oid) for oid in db.object_ids]
+    n_segments = sum(len(db.diamonds_of(oid)) for oid in db.object_ids)
+    return DatabaseStatistics(
+        n_objects=len(per_object),
+        n_segments=n_segments,
+        mean_observations_per_object=float(
+            np.mean([s.n_observations for s in per_object])
+        ),
+        mean_diamond_width=float(np.mean([s.mean_diamond_width for s in per_object])),
+        max_diamond_width=int(np.max([s.max_diamond_width for s in per_object])),
+        mean_posterior_entropy=float(
+            np.mean([s.mean_posterior_entropy for s in per_object])
+        ),
+        mean_uncertainty_area=float(
+            np.mean([s.uncertainty_area for s in per_object])
+        ),
+    )

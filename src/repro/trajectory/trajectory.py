@@ -1,0 +1,169 @@
+"""Certain trajectories and uncertain moving objects.
+
+A :class:`Trajectory` is a realized sequence of states over a contiguous
+time range (a "possible world" of one object); an :class:`UncertainObject`
+is what the database stores — observations plus the a-priori chain — from
+which the a-posteriori model is derived lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..markov.adaptation import AdaptedModel, adapt_model
+from ..markov.chain import TransitionModel
+from .observation import ObservationSet
+
+__all__ = ["Trajectory", "UncertainObject"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A certain trajectory: one state per tic starting at ``t_start``."""
+
+    t_start: int
+    states: np.ndarray
+
+    def __post_init__(self) -> None:
+        states = np.asarray(self.states, dtype=np.intp)
+        if states.ndim != 1 or states.size == 0:
+            raise ValueError("states must be a non-empty 1-d array")
+        object.__setattr__(self, "states", states)
+
+    @property
+    def t_end(self) -> int:
+        return self.t_start + self.states.size - 1
+
+    def covers(self, t: int) -> bool:
+        return self.t_start <= t <= self.t_end
+
+    def state_at(self, t: int) -> int:
+        if not self.covers(t):
+            raise KeyError(f"time {t} outside trajectory [{self.t_start}, {self.t_end}]")
+        return int(self.states[t - self.t_start])
+
+    def states_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`state_at` over a sorted array of covered times."""
+        times = np.asarray(times, dtype=np.intp)
+        if times.size and (times.min() < self.t_start or times.max() > self.t_end):
+            raise KeyError("some times fall outside the trajectory span")
+        return self.states[times - self.t_start]
+
+    def __len__(self) -> int:
+        return int(self.states.size)
+
+    def observe_every(self, interval: int, phase: int = 0) -> ObservationSet:
+        """Thin this trajectory into observations every ``interval`` tics.
+
+        The first and last positions are always kept, matching how the
+        paper converts certain taxi trajectories into uncertain ones (every
+        l-th GPS measurement becomes an observation, the rest is ground
+        truth).
+        """
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        idx = set(range(phase % interval, self.states.size, interval))
+        idx.add(0)
+        idx.add(self.states.size - 1)
+        return ObservationSet(
+            [(self.t_start + i, int(self.states[i])) for i in sorted(idx)]
+        )
+
+
+class UncertainObject:
+    """An uncertain moving object: id, observations, a-priori chain.
+
+    The a-posteriori :class:`AdaptedModel` (Algorithm 2) is computed on
+    first use and cached; experiment harnesses time this step explicitly
+    as the paper's "TS" series.
+    """
+
+    def __init__(
+        self,
+        object_id: str,
+        observations: ObservationSet,
+        chain: TransitionModel,
+        ground_truth: Trajectory | None = None,
+        extend_to: int | None = None,
+    ) -> None:
+        self.object_id = str(object_id)
+        self.observations = observations
+        self.chain = chain
+        #: Held-out full trajectory, retained by synthetic generators for
+        #: effectiveness experiments (Fig. 11/12); ``None`` for real data.
+        self.ground_truth = ground_truth
+        #: Optional extension of the uncertain span past the last
+        #: observation (a-priori propagation; see Example 1 of the paper).
+        self.extend_to = int(extend_to) if extend_to is not None else None
+        if self.extend_to is not None and self.extend_to < observations.last.time:
+            raise ValueError("extend_to must not precede the last observation")
+        self._adapted: AdaptedModel | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def t_first(self) -> int:
+        return self.observations.first.time
+
+    @property
+    def t_last(self) -> int:
+        last = self.observations.last.time
+        if self.extend_to is not None:
+            return max(last, self.extend_to)
+        return last
+
+    def alive_during(self, times: np.ndarray) -> np.ndarray:
+        """Boolean mask of which query times fall inside the object's span."""
+        times = np.asarray(times, dtype=np.intp)
+        return (times >= self.t_first) & (times <= self.t_last)
+
+    def covers_all(self, times: np.ndarray) -> bool:
+        return bool(np.all(self.alive_during(times)))
+
+    def covers_any(self, times: np.ndarray) -> bool:
+        return bool(np.any(self.alive_during(times)))
+
+    # ------------------------------------------------------------------
+    @property
+    def adapted(self) -> AdaptedModel:
+        """The cached a-posteriori model (computing it on first access)."""
+        if self._adapted is None:
+            self._adapted = adapt_model(
+                self.chain, self.observations.as_pairs(), extend_to=self.extend_to
+            )
+        return self._adapted
+
+    def is_adapted(self) -> bool:
+        return self._adapted is not None
+
+    def invalidate_adaptation(self) -> None:
+        """Drop the cached model (after swapping chains in ablations)."""
+        self._adapted = None
+
+    def sample_states(
+        self,
+        times: np.ndarray,
+        n: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample posterior states at the requested (sorted) times.
+
+        All times must lie within the object's span; the returned array has
+        shape ``(n, len(times))``.
+        """
+        times = np.asarray(times, dtype=np.intp)
+        if times.size == 0:
+            return np.empty((n, 0), dtype=np.intp)
+        if not self.covers_all(times):
+            raise KeyError(
+                f"object {self.object_id} does not cover all of {times.tolist()}"
+            )
+        paths = self.adapted.sample_paths(rng, n, int(times.min()), int(times.max()))
+        return paths[:, times - times.min()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UncertainObject(id={self.object_id!r}, "
+            f"span=[{self.t_first}, {self.t_last}], n_obs={len(self.observations)})"
+        )

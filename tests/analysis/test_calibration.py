@@ -1,0 +1,54 @@
+"""Tests for calibration studies (Fig. 11 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import CalibrationStudy
+
+
+class TestCalibrationStudy:
+    def test_record_and_scatter(self):
+        study = CalibrationStudy()
+        study.record("SA", 0.5, 0.52)
+        study.record("SA", 0.8, 0.79)
+        data = study.scatter("SA")
+        assert data.shape == (2, 2)
+        assert np.allclose(data[0], [0.5, 0.52])
+
+    def test_out_of_range_rejected(self):
+        study = CalibrationStudy()
+        with pytest.raises(ValueError):
+            study.record("SA", 1.2, 0.5)
+        with pytest.raises(ValueError):
+            study.record("SA", 0.5, -0.1)
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            CalibrationStudy().scatter("nope")
+
+    def test_summary_statistics(self):
+        study = CalibrationStudy()
+        study.record("SS", 0.5, 0.4)   # err -0.1
+        study.record("SS", 0.6, 0.4)   # err -0.2
+        s = study.summary("SS")
+        assert s.n_cases == 2
+        assert s.mean_bias == pytest.approx(-0.15)
+        assert s.mean_absolute_error == pytest.approx(0.15)
+        assert s.root_mean_squared_error == pytest.approx(
+            np.sqrt((0.01 + 0.04) / 2)
+        )
+        assert s.worst_error == pytest.approx(0.2)
+
+    def test_perfect_estimator(self):
+        study = CalibrationStudy()
+        for p in (0.1, 0.5, 0.9):
+            study.record("REF", p, p)
+        s = study.summary("REF")
+        assert s.mean_bias == 0.0
+        assert s.worst_error == 0.0
+
+    def test_labels(self):
+        study = CalibrationStudy()
+        study.record("b", 0.1, 0.1)
+        study.record("a", 0.2, 0.2)
+        assert study.labels() == ["a", "b"]

@@ -1,0 +1,107 @@
+"""Tests for the model-adaptation effectiveness study (Fig. 12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.effectiveness import VARIANTS, VariantPredictor, mean_error_curve
+from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+from tests.conftest import make_random_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    db, _ = make_random_world(seed=0, n_objects=4, span=8, obs_every=4)
+    return db
+
+
+class TestVariantPredictor:
+    def test_unknown_variant_rejected(self, world):
+        with pytest.raises(ValueError):
+            VariantPredictor(world.get("o0"), "XX")
+
+    def test_fb_collapses_at_observations(self, world):
+        obj = world.get("o0")
+        predictor = VariantPredictor(obj, "FB")
+        for obs in obj.observations:
+            dist = predictor.distribution_at(obs.time)
+            assert dist.probability_of(obs.state) == pytest.approx(1.0)
+
+    def test_no_variant_ignores_later_observations(self, world):
+        obj = world.get("o0")
+        predictor = VariantPredictor(obj, "NO")
+        # At the first observation: point mass; afterwards: pure a-priori
+        # propagation (wider or equal support than the posterior).
+        first = obj.observations.first
+        d0 = predictor.distribution_at(first.time)
+        assert d0.probability_of(first.state) == 1.0
+        t_mid = first.time + 2
+        apriori = predictor.distribution_at(t_mid)
+        posterior = obj.adapted.posterior(t_mid)
+        assert set(posterior.states) <= set(apriori.states)
+
+    def test_u_variant_uniform_over_diamond(self, world):
+        obj = world.get("o0")
+        predictor = VariantPredictor(obj, "U")
+        t = obj.t_first + 1
+        dist = predictor.distribution_at(t)
+        assert np.allclose(dist.probs, dist.probs[0])
+
+    def test_fbu_uses_uniform_chain(self, world):
+        obj = world.get("o0")
+        fbu = VariantPredictor(obj, "FBU")
+        t = obj.t_first + 1
+        dist = fbu.distribution_at(t)
+        # Same support as the true posterior (graph unchanged).
+        posterior = obj.adapted.posterior(t)
+        assert set(dist.states) == set(posterior.states)
+
+    def test_outside_span_rejected(self, world):
+        obj = world.get("o0")
+        with pytest.raises(KeyError):
+            VariantPredictor(obj, "FB").distribution_at(obj.t_last + 1)
+
+    def test_all_variants_produce_distributions(self, world):
+        obj = world.get("o1")
+        t = obj.t_first + 1
+        for variant in VARIANTS:
+            dist = VariantPredictor(obj, variant).distribution_at(t)
+            assert dist.probs.sum() == pytest.approx(1.0)
+
+
+class TestMeanErrorCurve:
+    @pytest.fixture(scope="class")
+    def workload_db(self):
+        cfg = SyntheticWorkloadConfig(
+            n_states=300, n_objects=10, lifetime=20, horizon=30, obs_interval=5
+        )
+        return generate_workload(cfg, np.random.default_rng(1)).db
+
+    def test_curve_shape(self, workload_db):
+        curve = mean_error_curve(workload_db, "FB", window=10)
+        assert curve.shape == (10,)
+        assert np.isfinite(curve).all()
+
+    def test_fb_zero_error_at_first_observation(self, workload_db):
+        curve = mean_error_curve(workload_db, "FB", window=10)
+        assert curve[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_fb_beats_no_on_average(self, workload_db):
+        fb = mean_error_curve(workload_db, "FB", window=15)
+        no = mean_error_curve(workload_db, "NO", window=15)
+        assert fb.mean() <= no.mean() + 1e-9
+
+    def test_fb_beats_uniform_on_average(self, workload_db):
+        fb = mean_error_curve(workload_db, "FB", window=15)
+        uni = mean_error_curve(workload_db, "U", window=15)
+        assert fb.mean() <= uni.mean() + 0.01
+
+    def test_requires_ground_truth(self, world):
+        # make_random_world objects *do* have ground truth; strip one db.
+        for oid in world.object_ids:
+            world.get(oid).ground_truth = None
+        with pytest.raises(ValueError):
+            mean_error_curve(world, "FB", window=4)
+
+    def test_invalid_window(self, workload_db):
+        with pytest.raises(ValueError):
+            mean_error_curve(workload_db, "FB", window=0)

@@ -1,0 +1,59 @@
+"""Tests for Hoeffding sample-size bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.hoeffding import (
+    confidence_radius,
+    error_probability,
+    samples_needed,
+)
+
+
+class TestSamplesNeeded:
+    def test_known_value(self):
+        # n >= ln(2/0.05) / (2 * 0.01^2) = 18444.4 -> 18445.
+        assert samples_needed(0.01, 0.05) == 18445
+
+    def test_monotone_in_epsilon(self):
+        assert samples_needed(0.01, 0.05) > samples_needed(0.02, 0.05)
+
+    def test_monotone_in_delta(self):
+        assert samples_needed(0.01, 0.01) > samples_needed(0.01, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            samples_needed(0.0, 0.1)
+        with pytest.raises(ValueError):
+            samples_needed(0.1, 1.0)
+
+
+class TestConfidenceRadius:
+    def test_inverse_of_samples_needed(self):
+        eps, delta = 0.02, 0.05
+        n = samples_needed(eps, delta)
+        assert confidence_radius(n, delta) <= eps
+        assert confidence_radius(n - 1, delta) > eps * 0.999
+
+    def test_shrinks_with_n(self):
+        assert confidence_radius(1000, 0.05) > confidence_radius(10_000, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confidence_radius(0, 0.05)
+
+
+class TestErrorProbability:
+    def test_bound_formula(self):
+        assert error_probability(100, 0.1) == pytest.approx(
+            2.0 * math.exp(-2.0 * 100 * 0.01)
+        )
+
+    def test_capped_at_one(self):
+        assert error_probability(1, 0.01) == 1.0
+
+    def test_consistency_with_samples_needed(self):
+        eps, delta = 0.05, 0.01
+        n = samples_needed(eps, delta)
+        assert error_probability(n, eps) <= delta

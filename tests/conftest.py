@@ -1,0 +1,72 @@
+"""Shared fixtures: small hand-checkable databases and random mini-worlds."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.chain import MarkovChain
+from repro.statespace.base import StateSpace
+from repro.trajectory.database import TrajectoryDatabase
+
+
+def make_drift_chain():
+    """0 -> {0,1}, 1 -> {1,2}, 2 -> {2,3}, 3 -> {3} with 50/50 splits."""
+    mat = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.5, 0.5, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+def make_line_space(n=4, spacing=1.0):
+    coords = np.stack([np.arange(n) * spacing, np.zeros(n)], axis=1)
+    return StateSpace(coords)
+
+
+def make_random_world(
+    seed: int,
+    n_states: int = 8,
+    n_objects: int = 3,
+    span: int = 6,
+    obs_every: int = 3,
+    density: float = 0.45,
+):
+    """A random connected mini-world with observation-consistent objects.
+
+    Objects are materialized by walking the chain, so their observations
+    are always feasible; the full walk is retained as ground truth.
+    """
+    rng = np.random.default_rng(seed)
+    mat = rng.uniform(size=(n_states, n_states))
+    mask = rng.uniform(size=(n_states, n_states)) < density
+    np.fill_diagonal(mask, True)
+    mat = mat * mask
+    mat /= mat.sum(axis=1, keepdims=True)
+    chain = MarkovChain(sparse.csr_matrix(mat))
+    coords = rng.uniform(0, 10, size=(n_states, 2))
+    space = StateSpace(coords)
+    db = TrajectoryDatabase(space, chain)
+
+    from repro.trajectory.trajectory import Trajectory
+
+    for i in range(n_objects):
+        walk = [int(rng.integers(n_states))]
+        for _ in range(span):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        truth = Trajectory(0, np.asarray(walk))
+        db.add_object(f"o{i}", truth.observe_every(obs_every), ground_truth=truth)
+    return db, rng
+
+
+@pytest.fixture
+def drift_db():
+    """Two drifting objects on a line — small enough for exact checks."""
+    db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+    db.add_object("a", [(0, 0), (4, 2)])
+    db.add_object("b", [(0, 1), (4, 3)])
+    return db

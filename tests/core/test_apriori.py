@@ -1,0 +1,140 @@
+"""Tests for the PCNN Apriori miner (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.apriori import (
+    AprioriBudgetExceeded,
+    mine_timestamp_sets,
+)
+from repro.trajectory.nn import forall_prob_over_times
+
+
+def brute_force(indicator, times, tau):
+    """All qualifying subsets by exhaustive enumeration."""
+    n = times.size
+    out = {}
+    for mask in range(1, 2**n):
+        cols = [i for i in range(n) if mask >> i & 1]
+        p = forall_prob_over_times(indicator, cols)
+        if p >= tau:
+            out[tuple(int(times[c]) for c in cols)] = p
+    return out
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("tau", [0.2, 0.5, 0.8])
+    def test_matches_enumeration(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        indicator = rng.uniform(size=(60, 5)) < 0.6
+        times = np.array([10, 11, 12, 13, 14])
+        mined, stats = mine_timestamp_sets(indicator, times, tau)
+        got = dict(mined)
+        expected = brute_force(indicator, times, tau)
+        assert got == expected
+        assert stats.sets_qualifying == len(expected)
+
+    def test_all_true_indicator(self):
+        indicator = np.ones((10, 3), dtype=bool)
+        times = np.array([0, 1, 2])
+        mined, _ = mine_timestamp_sets(indicator, times, 0.9)
+        assert len(mined) == 7  # all non-empty subsets
+        assert all(p == 1.0 for _, p in mined)
+
+    def test_all_false_indicator(self):
+        indicator = np.zeros((10, 3), dtype=bool)
+        mined, stats = mine_timestamp_sets(indicator, np.arange(3), 0.1)
+        assert mined == []
+
+
+class TestValidation:
+    def test_tau_zero_rejected(self):
+        with pytest.raises(ValueError, match="tau"):
+            mine_timestamp_sets(np.ones((5, 2), dtype=bool), np.arange(2), 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mine_timestamp_sets(np.ones((5, 2), dtype=bool), np.arange(3), 0.5)
+
+    def test_budget_enforced(self):
+        indicator = np.ones((5, 14), dtype=bool)
+        with pytest.raises(AprioriBudgetExceeded):
+            mine_timestamp_sets(indicator, np.arange(14), 0.5, max_candidates=50)
+
+
+class TestCertainShortcut:
+    def test_certain_times_folded_into_results(self):
+        rng = np.random.default_rng(1)
+        indicator = np.column_stack(
+            [
+                np.ones(40, dtype=bool),  # certain column (t=0)
+                rng.uniform(size=40) < 0.7,
+                rng.uniform(size=40) < 0.7,
+            ]
+        )
+        times = np.array([0, 1, 2])
+        mined, _ = mine_timestamp_sets(
+            indicator, times, 0.4, use_certain_shortcut=True
+        )
+        got = dict(mined)
+        # Every returned set includes the certain time 0.
+        assert all(0 in s for s in got)
+        # Probabilities must agree with direct evaluation.
+        full = brute_force(indicator, times, 0.4)
+        for s, p in got.items():
+            assert full[s] == pytest.approx(p)
+
+    def test_shortcut_retains_all_maximal_sets(self):
+        rng = np.random.default_rng(2)
+        indicator = np.column_stack(
+            [
+                np.ones(50, dtype=bool),
+                rng.uniform(size=50) < 0.6,
+                rng.uniform(size=50) < 0.6,
+                rng.uniform(size=50) < 0.6,
+            ]
+        )
+        times = np.arange(4)
+        tau = 0.3
+        with_shortcut, _ = mine_timestamp_sets(
+            indicator, times, tau, use_certain_shortcut=True
+        )
+        plain, _ = mine_timestamp_sets(indicator, times, tau)
+        plain_sets = {frozenset(s) for s, _ in plain}
+        maximal_plain = {
+            s for s in plain_sets if not any(s < o for o in plain_sets)
+        }
+        shortcut_sets = {frozenset(s) for s, _ in with_shortcut}
+        assert maximal_plain <= shortcut_sets
+
+
+indicator_arrays = npst.arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 6)),
+)
+
+
+class TestProperties:
+    @given(indicator_arrays, st.floats(0.05, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_equals_brute_force(self, indicator, tau):
+        times = np.arange(indicator.shape[1])
+        mined, _ = mine_timestamp_sets(indicator, times, tau)
+        assert dict(mined) == brute_force(indicator, times, tau)
+
+    @given(indicator_arrays, st.floats(0.05, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_results_anti_monotone(self, indicator, tau):
+        times = np.arange(indicator.shape[1])
+        mined, _ = mine_timestamp_sets(indicator, times, tau)
+        got = dict(mined)
+        for s, p in got.items():
+            for drop in range(len(s)):
+                sub = s[:drop] + s[drop + 1 :]
+                if sub:
+                    assert sub in got
+                    assert got[sub] >= p - 1e-12

@@ -1,0 +1,83 @@
+"""Tests for the Lemma 2 probability bounds."""
+
+import pytest
+
+from repro.core.bounds import ForallBounds, decide_with_bounds, forall_nn_bounds
+from repro.core.exact import exact_nn_probabilities
+from repro.core.queries import Query
+from tests.conftest import make_random_world
+
+
+class TestForallBounds:
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ForallBounds("a", lower=0.8, upper=0.2, pairwise={})
+
+    def test_decides(self):
+        b = ForallBounds("a", lower=0.6, upper=0.9, pairwise={})
+        assert b.decides(0.5) is True
+        assert b.decides(0.95) is False
+        assert b.decides(0.7) is None
+
+
+class TestAgainstExact:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds_bracket_exact_probability(self, seed):
+        db, _ = make_random_world(seed=seed, n_objects=3, span=4, obs_every=2)
+        q = Query.from_point([5.0, 5.0])
+        times = [1, 2, 3]
+        exact = exact_nn_probabilities(db, q, times)
+        for oid, (p_forall, _) in exact.items():
+            bounds = forall_nn_bounds(db, oid, q, times)
+            assert bounds.lower - 1e-9 <= p_forall <= bounds.upper + 1e-9
+
+    def test_single_competitor_bounds_are_tight(self):
+        """With one competitor the conjunction is the pairwise event."""
+        db, _ = make_random_world(seed=10, n_objects=2, span=4, obs_every=2)
+        q = Query.from_point([4.0, 4.0])
+        times = [1, 2, 3]
+        exact = exact_nn_probabilities(db, q, times)
+        for oid in db.object_ids:
+            bounds = forall_nn_bounds(db, oid, q, times)
+            assert bounds.lower == pytest.approx(exact[oid][0], abs=1e-9)
+            assert bounds.upper == pytest.approx(exact[oid][0], abs=1e-9)
+
+    def test_no_competitors(self):
+        db, _ = make_random_world(seed=3, n_objects=1, span=4, obs_every=2)
+        q = Query.from_point([0.0, 0.0])
+        bounds = forall_nn_bounds(db, "o0", q, [1, 2])
+        assert bounds.lower == bounds.upper == 1.0
+
+    def test_partial_competitor_handled(self, drift_db):
+        drift_db.add_object("late", [(2, 0), (6, 2)])
+        q = Query.from_point([0.0, 0.0])
+        bounds = forall_nn_bounds(drift_db, "a", q, [0, 1, 2])
+        assert 0.0 <= bounds.lower <= bounds.upper <= 1.0
+        assert "late" in bounds.pairwise
+
+    def test_object_must_cover_times(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        with pytest.raises(KeyError):
+            forall_nn_bounds(drift_db, "a", q, [3, 7])
+
+
+class TestDecideWithBounds:
+    def test_partition_consistent_with_exact(self):
+        db, _ = make_random_world(seed=21, n_objects=3, span=4, obs_every=2)
+        q = Query.from_point([5.0, 5.0])
+        times = [1, 2, 3]
+        tau = 0.5
+        exact = exact_nn_probabilities(db, q, times)
+        accepted, rejected, undecided = decide_with_bounds(
+            db, q, times, tau, db.object_ids
+        )
+        for oid in accepted:
+            assert exact[oid][0] >= tau - 1e-9
+        for oid in rejected:
+            assert exact[oid][0] < tau + 1e-9
+        assert set(accepted) | set(rejected) | set(undecided) == set(db.object_ids)
+
+    def test_invalid_tau(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        with pytest.raises(ValueError):
+            decide_with_bounds(drift_db, q, [0, 1], 1.5, ["a"])

@@ -1,0 +1,150 @@
+"""Tests for the exact oracles: enumeration and Lemma 2 domination."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    WorldBudgetExceeded,
+    domination_probability,
+    enumerate_consistent_trajectories,
+    exact_forall_nn_over_times,
+    exact_nn_probabilities,
+)
+from repro.core.queries import Query
+from tests.conftest import make_drift_chain, make_random_world
+
+
+class TestEnumeration:
+    def test_paths_hit_observations(self):
+        chain = make_drift_chain()
+        obs = [(0, 0), (3, 2)]
+        paths = enumerate_consistent_trajectories(chain, obs)
+        for p in paths:
+            assert p.states[0] == 0
+            assert p.states[3] == 2
+
+    def test_probabilities_normalized(self):
+        chain = make_drift_chain()
+        paths = enumerate_consistent_trajectories(chain, [(0, 0), (4, 2)])
+        assert sum(p.probability for p in paths) == pytest.approx(1.0)
+
+    def test_known_path_count(self):
+        chain = make_drift_chain()
+        # From 0 to 2 in 3 steps: paths 0012, 0112, 0122 -> 3 paths.
+        paths = enumerate_consistent_trajectories(chain, [(0, 0), (3, 2)])
+        assert len(paths) == 3
+
+    def test_conditional_probabilities(self):
+        chain = make_drift_chain()
+        paths = enumerate_consistent_trajectories(chain, [(0, 0), (2, 1)])
+        # Unconditioned: 001 (0.25), 011 (0.25); conditioned: 0.5 each.
+        assert {p.states for p in paths} == {(0, 0, 1), (0, 1, 1)}
+        for p in paths:
+            assert p.probability == pytest.approx(0.5)
+
+    def test_budget(self):
+        chain = make_drift_chain()
+        with pytest.raises(WorldBudgetExceeded):
+            enumerate_consistent_trajectories(chain, [(0, 0), (6, 3)], max_paths=2)
+
+    def test_contradiction(self):
+        chain = make_drift_chain()
+        with pytest.raises(ValueError):
+            enumerate_consistent_trajectories(chain, [(0, 3), (2, 0)])
+
+    def test_extension(self):
+        chain = make_drift_chain()
+        paths = enumerate_consistent_trajectories(chain, [(0, 0)], extend_to=2)
+        assert all(len(p.states) == 3 for p in paths)
+        assert sum(p.probability for p in paths) == pytest.approx(1.0)
+
+
+class TestExactNNProbabilities:
+    def test_dominating_object(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        probs = exact_nn_probabilities(drift_db, q, [0, 1, 2])
+        # Object a starts at 0 (dist 0), b at 1 (dist 1): a dominates at t=0.
+        assert probs["a"][1] == pytest.approx(1.0)  # exists
+        assert probs["b"][0] == pytest.approx(0.0, abs=1e-12)  # forall
+
+    def test_probabilities_in_range(self, drift_db):
+        q = Query.from_point([1.5, 0.5])
+        probs = exact_nn_probabilities(drift_db, q, [0, 2, 4])
+        for forall_p, exists_p in probs.values():
+            assert 0.0 <= forall_p <= exists_p <= 1.0
+
+    def test_single_time_nn_probabilities_cover(self):
+        """At one timestamp some object is always NN; ties (two objects on
+        the same discrete state) can push the sum above 1 but never below."""
+        db, _ = make_random_world(seed=3, n_objects=3)
+        q = Query.from_point([5.0, 5.0])
+        probs = exact_nn_probabilities(db, q, [2])
+        total = sum(p for p, _ in probs.values())
+        assert total >= 1.0 - 1e-9
+
+    def test_k2_probabilities_larger(self, drift_db):
+        q = Query.from_point([1.5, 0.5])
+        k1 = exact_nn_probabilities(drift_db, q, [0, 2], k=1)
+        k2 = exact_nn_probabilities(drift_db, q, [0, 2], k=2)
+        for oid in k1:
+            assert k2[oid][0] >= k1[oid][0] - 1e-12
+            assert k2[oid][1] >= k1[oid][1] - 1e-12
+
+    def test_world_budget(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        with pytest.raises(WorldBudgetExceeded):
+            exact_nn_probabilities(drift_db, q, [0, 4], max_worlds=2)
+
+
+class TestExactOverSubsets:
+    def test_subset_probabilities_anti_monotone(self, drift_db):
+        q = Query.from_point([1.0, 0.0])
+        per_subset = exact_forall_nn_over_times(drift_db, q, [0, 1, 2])
+        for oid, table in per_subset.items():
+            for s, p in table.items():
+                for other, p2 in table.items():
+                    if set(other) < set(s):
+                        assert p2 >= p - 1e-12
+
+
+class TestDomination:
+    def test_matches_enumeration(self, drift_db):
+        """Lemma 2 joint-chain result == enumeration over two objects."""
+        q = Query.from_point([0.0, 0.0])
+        times = [0, 1, 2, 3, 4]
+        a = drift_db.get("a").adapted
+        b = drift_db.get("b").adapted
+        p_joint = domination_probability(a, b, q, times, drift_db.space.coords)
+        # Enumerate: P(∀t d(a) <= d(b)).
+        probs = exact_nn_probabilities(drift_db, q, times)
+        # With only two objects, a dominates b over T iff a is ∀NN.
+        assert p_joint == pytest.approx(probs["a"][0], abs=1e-10)
+
+    def test_single_time_domination_covers(self):
+        """At one timestamp either a <= b or b <= a holds, so the two
+        domination probabilities cover (exceed 1 exactly on ties)."""
+        db, _ = make_random_world(seed=7, n_objects=2, span=4, obs_every=2)
+        q = Query.from_point([3.0, 3.0])
+        a = db.get("o0").adapted
+        b = db.get("o1").adapted
+        for t in (1, 2, 3):
+            p_ab = domination_probability(a, b, q, [t], db.space.coords)
+            p_ba = domination_probability(b, a, q, [t], db.space.coords)
+            assert p_ab + p_ba >= 1.0 - 1e-9
+
+    def test_domination_anti_monotone_in_time(self):
+        """More query times can only make domination harder (Lemma 2 setup)."""
+        db, _ = make_random_world(seed=8, n_objects=2, span=4, obs_every=2)
+        q = Query.from_point([3.0, 3.0])
+        a = db.get("o0").adapted
+        b = db.get("o1").adapted
+        p_small = domination_probability(a, b, q, [1, 2], db.space.coords)
+        p_big = domination_probability(a, b, q, [1, 2, 3], db.space.coords)
+        assert p_big <= p_small + 1e-12
+
+    def test_requires_coverage(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        a = drift_db.get("a").adapted
+        b = drift_db.get("b").adapted
+        with pytest.raises(KeyError):
+            domination_probability(a, b, q, [3, 7], drift_db.space.coords)

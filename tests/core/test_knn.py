@@ -1,0 +1,77 @@
+"""Tests for kNN rank utilities (Section 8 helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import (
+    expected_rank,
+    knn_membership_prob,
+    kth_nn_distance,
+    rank_tensor,
+)
+
+
+@pytest.fixture
+def tensor():
+    # 1 world, 3 objects, 2 times.
+    return np.array([[[1.0, 5.0], [2.0, 4.0], [3.0, np.inf]]])
+
+
+class TestRankTensor:
+    def test_basic_ranks(self, tensor):
+        ranks = rank_tensor(tensor)
+        assert list(ranks[0, :, 0]) == [0, 1, 2]
+
+    def test_absent_gets_sentinel(self, tensor):
+        ranks = rank_tensor(tensor)
+        assert ranks[0, 2, 1] == 3  # n_objects sentinel
+
+    def test_ties_share_rank(self):
+        dist = np.array([[[1.0], [1.0], [2.0]]])
+        ranks = rank_tensor(dist)
+        assert ranks[0, 0, 0] == 0 and ranks[0, 1, 0] == 0
+        assert ranks[0, 2, 0] == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rank_tensor(np.zeros((2, 2)))
+
+
+class TestKthDistance:
+    def test_values(self, tensor):
+        d1 = kth_nn_distance(tensor, 1)
+        d2 = kth_nn_distance(tensor, 2)
+        assert d1[0, 0] == 1.0 and d2[0, 0] == 2.0
+
+    def test_inf_when_too_few_alive(self, tensor):
+        d3 = kth_nn_distance(tensor, 3)
+        assert d3[0, 1] == np.inf  # only 2 alive at t=1
+
+    def test_k_beyond_objects(self, tensor):
+        d9 = kth_nn_distance(tensor, 9)
+        assert np.isinf(d9).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kth_nn_distance(np.zeros((1, 1, 1)), 0)
+
+
+class TestMembershipAndRank:
+    def test_membership_prob(self, tensor):
+        p = knn_membership_prob(tensor, 2)
+        assert p[0, 0] == 1.0 and p[1, 0] == 1.0 and p[2, 0] == 0.0
+
+    def test_expected_rank_shape(self):
+        rng = np.random.default_rng(0)
+        dist = rng.uniform(size=(50, 4, 3))
+        r = expected_rank(dist)
+        assert r.shape == (4, 3)
+        assert (r >= 0).all() and (r <= 4).all()
+
+    def test_expected_rank_ordering(self):
+        """An object that is always closest has the lowest expected rank."""
+        rng = np.random.default_rng(1)
+        dist = rng.uniform(1, 2, size=(100, 3, 2))
+        dist[:, 0, :] = 0.5
+        r = expected_rank(dist)
+        assert (r[0] < r[1]).all() and (r[0] < r[2]).all()

@@ -1,0 +1,66 @@
+"""Tests for query references and time-set normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import Query, normalize_times
+from repro.statespace.base import StateSpace
+from repro.trajectory.trajectory import Trajectory
+
+
+@pytest.fixture
+def space():
+    return StateSpace(np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 2.0]]))
+
+
+class TestNormalizeTimes:
+    def test_sorts_and_dedups(self):
+        out = normalize_times([5, 1, 3, 1])
+        assert list(out) == [1, 3, 5]
+
+    def test_accepts_range(self):
+        assert list(normalize_times(range(3))) == [0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_times([])
+
+
+class TestQueryKinds:
+    def test_state_query_constant(self, space):
+        q = Query.from_state(space, 2)
+        coords = q.coords_at(np.array([0, 5, 9]))
+        assert coords.shape == (3, 2)
+        assert np.allclose(coords, [2.0, 2.0])
+
+    def test_state_query_bounds(self, space):
+        with pytest.raises(ValueError):
+            Query.from_state(space, 3)
+
+    def test_point_query(self):
+        q = Query.from_point([0.5, 0.5])
+        coords = q.coords_at(np.array([1, 2]))
+        assert np.allclose(coords, [0.5, 0.5])
+
+    def test_point_query_must_be_1d(self):
+        with pytest.raises(ValueError):
+            Query.from_point([[0.0, 1.0]])
+
+    def test_trajectory_query_moves(self, space):
+        traj = Trajectory(10, np.array([0, 1, 2]))
+        q = Query.from_trajectory(traj, space)
+        coords = q.coords_at(np.array([10, 12]))
+        assert np.allclose(coords[0], [0.0, 0.0])
+        assert np.allclose(coords[1], [2.0, 2.0])
+
+    def test_trajectory_query_outside_span(self, space):
+        traj = Trajectory(10, np.array([0, 1]))
+        q = Query.from_trajectory(traj, space)
+        with pytest.raises(KeyError):
+            q.coords_at(np.array([9]))
+
+    def test_kind_labels(self, space):
+        assert Query.from_state(space, 0).kind == "state"
+        assert Query.from_point([0.0, 0.0]).kind == "point"
+        traj = Trajectory(0, np.array([0]))
+        assert Query.from_trajectory(traj, space).kind == "trajectory"

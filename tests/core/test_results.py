@@ -1,0 +1,80 @@
+"""Tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+
+
+class TestObjectProbability:
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            ObjectProbability("a", 1.5)
+        with pytest.raises(ValueError):
+            ObjectProbability("a", -0.1)
+
+
+class TestPCNNEntry:
+    def test_times_must_be_sorted_unique(self):
+        with pytest.raises(ValueError):
+            PCNNEntry("a", (2, 1), 0.5)
+        with pytest.raises(ValueError):
+            PCNNEntry("a", (1, 1), 0.5)
+
+
+class TestQueryResult:
+    def make(self):
+        return QueryResult(
+            results=[ObjectProbability("a", 0.9), ObjectProbability("b", 0.4)],
+            probabilities={"a": 0.9, "b": 0.4, "c": 0.0},
+            candidates=["a", "b"],
+            influencers=["a", "b", "c"],
+            n_samples=100,
+            times=np.array([1, 2]),
+        )
+
+    def test_counts(self):
+        r = self.make()
+        assert r.n_candidates == 2
+        assert r.n_influencers == 3
+
+    def test_probability_of(self):
+        r = self.make()
+        assert r.probability_of("a") == 0.9
+        assert r.probability_of("pruned-away") == 0.0
+
+    def test_object_ids(self):
+        assert self.make().object_ids() == ["a", "b"]
+
+
+class TestPCNNResult:
+    def make(self):
+        entries = [
+            PCNNEntry("a", (1,), 0.9),
+            PCNNEntry("a", (1, 2), 0.6),
+            PCNNEntry("a", (2,), 0.7),
+            PCNNEntry("b", (1,), 0.5),
+        ]
+        return PCNNResult(
+            entries=entries,
+            candidates=["a"],
+            influencers=["a", "b"],
+            n_samples=50,
+            sets_evaluated=7,
+        )
+
+    def test_entries_for(self):
+        r = self.make()
+        assert len(r.entries_for("a")) == 3
+        assert len(r.entries_for("b")) == 1
+
+    def test_maximal_entries_drop_subsets(self):
+        r = self.make()
+        maximal = r.maximal_entries()
+        a_sets = {e.times for e in maximal if e.object_id == "a"}
+        assert a_sets == {(1, 2)}
+        # b's singleton is maximal for b even though a has a superset.
+        assert {e.times for e in maximal if e.object_id == "b"} == {(1,)}
+
+    def test_len(self):
+        assert len(self.make()) == 4

@@ -1,0 +1,35 @@
+"""Tests for PCNN entry run-splitting and formatting helpers."""
+
+import pytest
+
+from repro.core.results import PCNNEntry
+
+
+class TestRuns:
+    def test_single_run(self):
+        assert PCNNEntry("a", (3, 4, 5), 0.5).runs() == [(3, 5)]
+
+    def test_singleton(self):
+        assert PCNNEntry("a", (7,), 0.5).runs() == [(7, 7)]
+
+    def test_disconnected(self):
+        entry = PCNNEntry("a", (1, 2, 3, 7, 8, 10), 0.5)
+        assert entry.runs() == [(1, 3), (7, 8), (10, 10)]
+
+    def test_all_isolated(self):
+        entry = PCNNEntry("a", (1, 3, 5), 0.5)
+        assert entry.runs() == [(1, 1), (3, 3), (5, 5)]
+
+
+class TestFormatTimes:
+    @pytest.mark.parametrize(
+        "times,expected",
+        [
+            ((5,), "5"),
+            ((1, 2, 3), "1-3"),
+            ((1, 2, 3, 7, 8), "1-3,7-8"),
+            ((0, 2, 4), "0,2,4"),
+        ],
+    )
+    def test_formats(self, times, expected):
+        assert PCNNEntry("a", times, 0.5).format_times() == expected

@@ -1,0 +1,73 @@
+"""Tests for the snapshot competitor (Fig. 11's SS baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_nn_probabilities
+from repro.core.queries import Query
+from repro.core.snapshot import snapshot_nn_probability_at, snapshot_probabilities
+from tests.conftest import make_random_world
+
+
+class TestSingleTimestamp:
+    """For a single timestamp the snapshot computation is *exact*
+    (object independence holds; only temporal independence is fake)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exact_at_single_time(self, seed):
+        db, _ = make_random_world(seed=seed, n_objects=3, span=4, obs_every=2)
+        q = Query.from_point([4.0, 4.0])
+        for t in (1, 2, 3):
+            exact = exact_nn_probabilities(db, q, [t])
+            snap = snapshot_nn_probability_at(db, q, t)
+            for oid, (p_forall, _) in exact.items():
+                assert snap[oid] == pytest.approx(p_forall, abs=1e-9)
+
+    def test_no_alive_objects(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        assert snapshot_nn_probability_at(drift_db, q, 99) == {}
+
+    def test_object_filter(self, drift_db):
+        q = Query.from_point([0.0, 0.0])
+        snap = snapshot_nn_probability_at(drift_db, q, 1, object_ids=["a"])
+        assert set(snap) == {"a"}
+
+
+class TestCombinedEstimates:
+    def test_exists_at_least_forall(self, drift_db):
+        q = Query.from_point([1.0, 0.0])
+        out = snapshot_probabilities(drift_db, q, [0, 1, 2])
+        for p_forall, p_exists in out.values():
+            assert 0.0 <= p_forall <= p_exists <= 1.0
+
+    def test_absent_object_zero_forall(self, drift_db):
+        drift_db.add_object("late", [(2, 0), (4, 2)])
+        q = Query.from_point([0.0, 0.0])
+        out = snapshot_probabilities(drift_db, q, [0, 1, 2])
+        assert out["late"][0] == 0.0
+
+    def test_single_time_equals_snapshot(self, drift_db):
+        q = Query.from_point([1.0, 0.0])
+        combined = snapshot_probabilities(drift_db, q, [2])
+        snap = snapshot_nn_probability_at(drift_db, q, 2)
+        for oid in snap:
+            assert combined[oid][0] == pytest.approx(snap[oid])
+            assert combined[oid][1] == pytest.approx(snap[oid])
+
+    def test_systematic_bias_direction(self):
+        """The paper's Fig. 11 observation: on temporally correlated data
+        the snapshot product underestimates P∀NN and overestimates P∃NN."""
+        db, _ = make_random_world(seed=42, n_objects=2, span=4, obs_every=2)
+        q = Query.from_point([4.0, 4.0])
+        times = [1, 2, 3]
+        exact = exact_nn_probabilities(db, q, times)
+        snap = snapshot_probabilities(db, q, times)
+        # Aggregate over objects: the mean signed error must show the bias.
+        forall_bias = np.mean(
+            [snap[oid][0] - exact[oid][0] for oid in exact]
+        )
+        exists_bias = np.mean(
+            [snap[oid][1] - exact[oid][1] for oid in exact]
+        )
+        assert forall_bias <= 1e-9
+        assert exists_bias >= -1e-9

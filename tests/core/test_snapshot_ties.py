@@ -1,0 +1,40 @@
+"""Snapshot-probability tie semantics: co-located objects both count."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import Query
+from repro.core.snapshot import snapshot_nn_probability_at
+from repro.trajectory.database import TrajectoryDatabase
+from tests.conftest import make_drift_chain, make_line_space
+
+
+class TestTies:
+    def test_both_objects_at_same_state_are_nn(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        db.add_object("x", [(0, 1), (2, 2)])
+        db.add_object("y", [(0, 1), (2, 2)])
+        q = Query.from_point([0.0, 0.0])
+        snap = snapshot_nn_probability_at(db, q, 0)
+        # Both pinned at state 1 at t=0: each is NN with certainty.
+        assert snap["x"] == pytest.approx(1.0)
+        assert snap["y"] == pytest.approx(1.0)
+
+    def test_equidistant_states_tie(self):
+        # States at x=1 and x=3 are equidistant from q at x=2.
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        db.add_object("left", [(0, 1)])
+        db.add_object("right", [(0, 3)])
+        q = Query.from_point([2.0, 0.0])
+        snap = snapshot_nn_probability_at(db, q, 0)
+        assert snap["left"] == pytest.approx(1.0)
+        assert snap["right"] == pytest.approx(1.0)
+
+    def test_certain_dominator_zeroes_other(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        db.add_object("near", [(0, 0)])
+        db.add_object("far", [(0, 3)])
+        q = Query.from_point([0.0, 0.0])
+        snap = snapshot_nn_probability_at(db, q, 0)
+        assert snap["near"] == pytest.approx(1.0)
+        assert snap["far"] == pytest.approx(0.0)

@@ -1,0 +1,112 @@
+"""Tests for database persistence."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.queries import Query
+from repro.core.evaluator import QueryEngine
+from repro.data.io import load_database, save_database
+from repro.markov.chain import InhomogeneousMarkovChain, MarkovChain
+from tests.conftest import make_drift_chain, make_random_world
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, drift_db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(drift_db, path)
+        loaded = load_database(path)
+        assert set(loaded.object_ids) == set(drift_db.object_ids)
+        assert np.allclose(loaded.space.coords, drift_db.space.coords)
+        for oid in drift_db.object_ids:
+            a, b = drift_db.get(oid), loaded.get(oid)
+            assert a.observations.as_pairs() == b.observations.as_pairs()
+            assert a.extend_to == b.extend_to
+
+    def test_chain_values_preserved(self, drift_db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(drift_db, path)
+        loaded = load_database(path)
+        assert (
+            abs(loaded.chain.matrix - drift_db.chain.matrix)
+        ).max() == pytest.approx(0.0)
+
+    def test_ground_truth_preserved(self, tmp_path):
+        db, _ = make_random_world(seed=0, n_objects=3, span=5, obs_every=2)
+        path = tmp_path / "world.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        for oid in db.object_ids:
+            truth_a = db.get(oid).ground_truth
+            truth_b = loaded.get(oid).ground_truth
+            assert truth_b is not None
+            assert truth_a.t_start == truth_b.t_start
+            assert (truth_a.states == truth_b.states).all()
+
+    def test_chain_dedup(self, drift_db, tmp_path):
+        """Objects sharing the default chain share one stored matrix."""
+        path = tmp_path / "db.npz"
+        save_database(drift_db, path)
+        with np.load(path) as archive:
+            chain_keys = [k for k in archive.files if k.endswith("_indptr")]
+        assert len(chain_keys) == 1
+
+    def test_per_object_chains_preserved(self, tmp_path):
+        from repro.statespace.base import StateSpace
+        from repro.trajectory.database import TrajectoryDatabase
+
+        space = StateSpace(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        default = MarkovChain(sparse.identity(2, format="csr"))
+        custom = MarkovChain(
+            sparse.csr_matrix(np.array([[0.3, 0.7], [0.6, 0.4]]))
+        )
+        db = TrajectoryDatabase(space, default)
+        db.add_object("plain", [(0, 0)])
+        db.add_object("special", [(0, 1)], chain=custom)
+        path = tmp_path / "mixed.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        row = loaded.get("special").chain.matrix.getrow(0)
+        assert row.toarray().ravel() == pytest.approx([0.3, 0.7])
+        assert loaded.get("plain").chain is loaded.chain
+
+    def test_query_results_identical_after_roundtrip(self, tmp_path):
+        db, _ = make_random_world(seed=5, n_objects=3, span=5, obs_every=2)
+        path = tmp_path / "q.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        q = Query.from_point([5.0, 5.0])
+        times = [1, 2, 3]
+        p_orig = QueryEngine(db, n_samples=800, seed=3).nn_probabilities(q, times)
+        p_load = QueryEngine(loaded, n_samples=800, seed=3).nn_probabilities(q, times)
+        assert p_orig == p_load
+
+
+class TestErrors:
+    def test_inhomogeneous_chain_rejected(self, tmp_path):
+        from repro.statespace.base import StateSpace
+        from repro.trajectory.database import TrajectoryDatabase
+
+        space = StateSpace(np.zeros((2, 2)))
+        chain = InhomogeneousMarkovChain({0: sparse.identity(2, format="csr")})
+        db = TrajectoryDatabase(space, chain)
+        with pytest.raises(TypeError):
+            save_database(db, tmp_path / "bad.npz")
+
+    def test_version_check(self, drift_db, tmp_path):
+        import json
+
+        path = tmp_path / "db.npz"
+        save_database(drift_db, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["version"] = 99
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        bad = tmp_path / "bad.npz"
+        with open(bad, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_database(bad)

@@ -1,0 +1,120 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticWorkloadConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(lifetime=1)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(lifetime=50, horizon=40)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(lag=0.0)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(obs_interval=0)
+
+    def test_auto_self_loops(self):
+        assert SyntheticWorkloadConfig(lag=1.0).effective_self_loops == 0.0
+        assert SyntheticWorkloadConfig(lag=0.5).effective_self_loops == 0.1
+        assert (
+            SyntheticWorkloadConfig(lag=0.5, self_loops=0.3).effective_self_loops
+            == 0.3
+        )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = SyntheticWorkloadConfig(
+        n_states=400, n_objects=15, lifetime=24, horizon=60, obs_interval=6
+    )
+    return generate_workload(cfg, np.random.default_rng(0))
+
+
+class TestGeneratedObjects:
+    def test_object_count(self, workload):
+        assert len(workload.db) == 15
+
+    def test_observations_subsample_ground_truth(self, workload):
+        for obj in workload.db:
+            truth = obj.ground_truth
+            assert truth is not None
+            for obs in obj.observations:
+                assert truth.state_at(obs.time) == obs.state
+
+    def test_lifetimes(self, workload):
+        for obj in workload.db:
+            assert len(obj.ground_truth) == 24
+            assert obj.t_last - obj.t_first == 23
+
+    def test_starts_within_horizon(self, workload):
+        lo, hi = workload.db.time_horizon()
+        assert lo >= 0 and hi <= 60
+
+    def test_ground_truth_follows_chain_support(self, workload):
+        chain = workload.db.chain
+        support = {}
+        for obj in workload.db:
+            states = obj.ground_truth.states
+            for a, b in zip(states[:-1], states[1:]):
+                key = int(a)
+                if key not in support:
+                    nxt, _ = chain.successors(key, 0)
+                    support[key] = set(nxt)
+                assert int(b) in support[key]
+
+    def test_adaptation_feasible_for_every_object(self, workload):
+        for obj in workload.db:
+            model = obj.adapted  # raises on contradiction
+            assert model.t_first == obj.t_first
+
+    def test_query_helpers(self, workload):
+        state = workload.sample_query_state()
+        assert 0 <= state < 400
+        times = workload.sample_query_times(8)
+        assert len(times) == 8
+        assert (np.diff(times) == 1).all()
+
+
+class TestLaggedWorkload:
+    def test_lag_produces_dwells(self):
+        cfg = SyntheticWorkloadConfig(
+            n_states=300, n_objects=5, lifetime=30, horizon=40, obs_interval=5, lag=0.3
+        )
+        wl = generate_workload(cfg, np.random.default_rng(1))
+        dwells = 0
+        moves = 0
+        for obj in wl.db:
+            states = obj.ground_truth.states
+            dwells += int(np.sum(states[:-1] == states[1:]))
+            moves += int(np.sum(states[:-1] != states[1:]))
+        # lag=0.3 => roughly 70% dwells.
+        assert dwells > moves
+
+    def test_lagged_objects_adapt(self):
+        cfg = SyntheticWorkloadConfig(
+            n_states=300, n_objects=5, lifetime=20, horizon=30, obs_interval=4, lag=0.5
+        )
+        wl = generate_workload(cfg, np.random.default_rng(2))
+        for obj in wl.db:
+            obj.adapted  # must not raise
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        cfg = SyntheticWorkloadConfig(
+            n_states=200, n_objects=4, lifetime=12, horizon=20, obs_interval=4
+        )
+        a = generate_workload(cfg, np.random.default_rng(5))
+        b = generate_workload(cfg, np.random.default_rng(5))
+        for oid in a.db.object_ids:
+            assert (
+                a.db.get(oid).observations.as_pairs()
+                == b.db.get(oid).observations.as_pairs()
+            )

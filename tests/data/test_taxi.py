@@ -1,0 +1,119 @@
+"""Tests for the simulated taxi dataset (T-Drive substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data.taxi import TaxiConfig, generate_taxi_dataset, learn_chain, simulate_trip_trajectory
+from repro.markov.chain import validate_stochastic
+from repro.statespace.network import build_city_network
+from repro.trajectory.trajectory import Trajectory
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaxiConfig(lifetime=1)
+        with pytest.raises(ValueError):
+            TaxiConfig(lifetime=50, horizon=40)
+        with pytest.raises(ValueError):
+            TaxiConfig(obs_interval=0)
+        with pytest.raises(ValueError):
+            TaxiConfig(smoothing=0.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = TaxiConfig(
+        n_taxis=12,
+        n_training_taxis=15,
+        lifetime=30,
+        horizon=60,
+        obs_interval=6,
+        blocks=8,
+        core_blocks=3,
+    )
+    return generate_taxi_dataset(cfg, np.random.default_rng(0))
+
+
+class TestTripSimulation:
+    def test_trip_moves_along_edges(self):
+        network = build_city_network(blocks=6, rng=np.random.default_rng(1))
+        states = simulate_trip_trajectory(
+            network, 40, 0.9, np.random.default_rng(2)
+        )
+        adj = network.adjacency
+        for a, b in zip(states[:-1], states[1:]):
+            if a != b:
+                assert adj[a, b] != 0
+
+    def test_standing_taxi_dwells(self):
+        network = build_city_network(blocks=6, rng=np.random.default_rng(3))
+        states = simulate_trip_trajectory(
+            network, 40, 0.1, np.random.default_rng(4)
+        )
+        dwell_frac = np.mean(states[:-1] == states[1:])
+        assert dwell_frac > 0.5
+
+
+class TestLearnedChain:
+    def test_stochastic(self, dataset):
+        validate_stochastic(dataset.chain.matrix)
+
+    def test_observed_transitions_get_mass(self, dataset):
+        mat = dataset.chain.matrix
+        for traj in dataset.training_trajectories[:3]:
+            for a, b in zip(traj.states[:-1], traj.states[1:]):
+                assert mat[int(a), int(b)] > 0
+
+    def test_smoothing_covers_road_edges(self, dataset):
+        """Every road edge keeps non-zero probability (Laplace smoothing)."""
+        mat = dataset.chain.matrix
+        adj = dataset.network.adjacency.tocoo()
+        sampled = np.random.default_rng(5).choice(adj.nnz, size=50, replace=False)
+        for idx in sampled:
+            assert mat[adj.row[idx], adj.col[idx]] > 0
+
+    def test_self_loops_present(self, dataset):
+        diag = dataset.chain.matrix.diagonal()
+        assert (diag > 0).all()
+
+    def test_learn_chain_standalone(self):
+        network = build_city_network(blocks=5, rng=np.random.default_rng(6))
+        trips = [
+            Trajectory(
+                0,
+                simulate_trip_trajectory(network, 20, 0.8, np.random.default_rng(i)),
+            )
+            for i in range(3)
+        ]
+        chain = learn_chain(network, trips, smoothing=0.1)
+        validate_stochastic(chain.matrix)
+
+
+class TestDatabase:
+    def test_all_objects_adapt(self, dataset):
+        """Held-out taxis must be representable by the learned chain."""
+        for obj in dataset.db:
+            obj.adapted  # raises on contradiction
+
+    def test_ground_truth_retained(self, dataset):
+        for obj in dataset.db:
+            assert obj.ground_truth is not None
+            for obs in obj.observations:
+                assert obj.ground_truth.state_at(obs.time) == obs.state
+
+    def test_taxi_count(self, dataset):
+        assert len(dataset.db) == 12
+
+    def test_query_helpers(self, dataset):
+        s = dataset.sample_query_state()
+        assert 0 <= s < dataset.network.space.n_states
+        times = dataset.sample_query_times(5)
+        assert len(times) == 5
+
+    def test_downtown_bias(self, dataset):
+        """Downtown queries should be sampled nearer the center on average."""
+        rng_states = [dataset.sample_query_state(downtown=True) for _ in range(150)]
+        uni_states = [dataset.sample_query_state(downtown=False) for _ in range(150)]
+        d = dataset.network.distance_from_center()
+        assert d[rng_states].mean() < d[uni_states].mean()

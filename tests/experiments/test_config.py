@@ -1,0 +1,50 @@
+"""Tests for experiment scale presets."""
+
+import pytest
+
+from repro.experiments.config import SCALES, get_scale
+
+
+class TestScales:
+    def test_all_presets_present(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "paper"}
+
+    def test_get_scale(self):
+        assert get_scale("tiny").name == "tiny"
+        with pytest.raises(KeyError, match="unknown scale"):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper_defaults(self):
+        """The paper's Section 7 default parameters, verbatim."""
+        paper = get_scale("paper")
+        assert paper.default_states == 100_000
+        assert paper.state_counts == (10_000, 100_000, 500_000)
+        assert paper.default_branching == 8.0
+        assert paper.default_objects == 10_000
+        assert paper.object_counts == (1000, 10_000, 20_000)
+        assert paper.lifetime == 100
+        assert paper.horizon == 1000
+        assert paper.obs_interval == 10  # 11 observations per object
+        assert paper.query_interval == 10
+        assert paper.n_samples == 10_000
+        assert paper.reference_samples == 1_000_000
+        assert paper.effectiveness_lag == 0.2
+        assert paper.effectiveness_interval == 5
+        assert paper.error_window == 30
+
+    def test_scales_ordered_by_size(self):
+        tiny, small = get_scale("tiny"), get_scale("small")
+        medium, paper = get_scale("medium"), get_scale("paper")
+        for attr in ("default_states", "default_objects", "n_samples"):
+            values = [getattr(s, attr) for s in (tiny, small, medium, paper)]
+            assert values == sorted(values)
+
+    def test_scale_internally_consistent(self):
+        for scale in SCALES.values():
+            assert scale.default_states in scale.state_counts
+            assert scale.default_branching in scale.branchings
+            assert scale.default_objects in scale.object_counts
+            assert scale.horizon >= scale.lifetime
+            assert scale.default_tau in scale.taus
+            assert scale.query_interval <= scale.lifetime
+            assert scale.error_window <= scale.lifetime + 1

@@ -1,0 +1,69 @@
+"""Tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, panel_chart
+from repro.experiments.report import format_figure
+from repro.experiments.results import FigureResult, Panel
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart({"A": [0.0, 1.0, 2.0], "B": [2.0, 1.0, 0.0]})
+        assert "o=A" in text and "x=B" in text
+        assert "2" in text and "0" in text  # axis labels
+
+    def test_symbols_placed_at_extremes(self):
+        text = ascii_chart({"up": [0.0, 10.0]}, width=10, height=5)
+        lines = text.splitlines()
+        assert "o" in lines[0]  # max on the top row
+        assert "o" in lines[4]  # min on the bottom row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"A": [1.0], "B": [1.0, 2.0]})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"A": [math.nan, math.nan]})
+
+    def test_constant_series_renders(self):
+        text = ascii_chart({"flat": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_nan_points_skipped(self):
+        text = ascii_chart({"A": [0.0, math.nan, 1.0]})
+        grid_only = "\n".join(text.splitlines()[:-1])  # drop the legend line
+        assert grid_only.count("o") == 2
+
+    def test_single_point(self):
+        text = ascii_chart({"A": [3.0]})
+        assert "o" in text
+
+
+class TestPanelChart:
+    def make_panel(self):
+        p = Panel(title="CPU time", x_label="N", x_values=[10, 20, 30])
+        p.add("TS", [1.0, 2.0, 3.0])
+        return p
+
+    def test_header_includes_axis(self):
+        text = panel_chart(self.make_panel())
+        assert "CPU time" in text
+        assert "x: N = 10 .. 30" in text
+
+    def test_format_figure_with_charts(self):
+        result = FigureResult(
+            figure="figX", title="t", scale="tiny", panels=[self.make_panel()]
+        )
+        plain = format_figure(result)
+        charted = format_figure(result, charts=True)
+        assert len(charted) > len(plain)
+        assert "o=TS" in charted
+        assert "o=TS" not in plain

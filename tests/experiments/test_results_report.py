@@ -1,0 +1,61 @@
+"""Tests for figure-result containers and ASCII rendering."""
+
+import pytest
+
+from repro.experiments.report import format_figure, format_panel
+from repro.experiments.results import FigureResult, Panel
+
+
+@pytest.fixture
+def panel():
+    p = Panel(title="CPU time (s)", x_label="|S|", x_values=[100, 200])
+    p.add("TS", [0.5, 1.0])
+    p.add("FA", [0.01, 0.02])
+    return p
+
+
+class TestPanel:
+    def test_add_checks_length(self, panel):
+        with pytest.raises(ValueError):
+            panel.add("EX", [1.0])
+
+    def test_series_coerced_to_float(self, panel):
+        panel.add("EX", [1, 2])
+        assert panel.series["EX"] == [1.0, 2.0]
+
+
+class TestFigureResult:
+    def test_panel_lookup(self, panel):
+        result = FigureResult(figure="figX", title="t", scale="tiny", panels=[panel])
+        assert result.panel("CPU time (s)") is panel
+        with pytest.raises(KeyError):
+            result.panel("nope")
+
+
+class TestFormatting:
+    def test_panel_contains_all_cells(self, panel):
+        text = format_panel(panel)
+        for token in ("CPU time (s)", "|S|", "100", "200", "TS", "FA", "0.5"):
+            assert token in text
+
+    def test_figure_header_and_notes(self, panel):
+        result = FigureResult(
+            figure="fig06",
+            title="Varying N",
+            scale="tiny",
+            panels=[panel],
+            notes=["hello"],
+        )
+        text = format_figure(result)
+        assert "fig06: Varying N" in text
+        assert "[scale=tiny]" in text
+        assert "note: hello" in text
+
+    def test_number_formatting(self):
+        p = Panel(title="x", x_label="v", x_values=[1])
+        p.add("big", [123456.0])
+        p.add("small", [0.00123])
+        p.add("zero", [0.0])
+        text = format_panel(p)
+        assert "123,456" in text
+        assert "0.0012" in text

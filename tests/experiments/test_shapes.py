@@ -1,0 +1,100 @@
+"""Tests for the paper-shape verification registry."""
+
+import pytest
+
+from repro.experiments.results import FigureResult, Panel
+from repro.experiments.shapes import SHAPE_CHECKS, verify_figure
+
+
+def make_fig10(ts1, ts2, fb):
+    panel = Panel(
+        title="samples per valid trajectory",
+        x_label="#observations",
+        x_values=list(range(2, 2 + len(fb))),
+    )
+    panel.add("TS1 (full rejection)", ts1)
+    panel.add("TS2 (segment-wise)", ts2)
+    panel.add("FB (Algorithm 2)", fb)
+    return FigureResult(figure="fig10", title="t", scale="test", panels=[panel])
+
+
+class TestRegistry:
+    def test_every_experiment_has_checks(self):
+        expected = {f"fig{n:02d}" for n in range(6, 15)}
+        assert expected <= set(SHAPE_CHECKS)
+
+    def test_unknown_figure_yields_no_outcomes(self):
+        result = FigureResult(figure="nope", title="t", scale="s")
+        assert verify_figure(result) == []
+
+
+class TestFig10Checks:
+    def test_paper_shape_passes(self):
+        result = make_fig10([100, 10_000, 100_000], [50, 100, 150], [1, 1, 1])
+        outcomes = verify_figure(result)
+        assert all(o.passed for o in outcomes)
+
+    def test_fb_not_one_fails(self):
+        result = make_fig10([100, 10_000, 100_000], [50, 100, 150], [1, 2, 1])
+        outcomes = {o.description: o for o in verify_figure(result)}
+        assert not outcomes["FB needs exactly one draw per valid trajectory"].passed
+
+    def test_ts1_cheaper_than_ts2_fails(self):
+        result = make_fig10([10, 20, 30], [50, 100, 150], [1, 1, 1])
+        outcomes = {o.description: o for o in verify_figure(result)}
+        assert not outcomes[
+            "TS1 at least as expensive as TS2 at the largest m"
+        ].passed
+
+
+class TestFig12Checks:
+    def make(self, fb_mean, u_mean, no_mean):
+        panel = Panel(title="err", x_label="tic", x_values=[0, 1, 2])
+        panel.add("NO", [0.0, no_mean, no_mean])
+        panel.add("F", [0.0, no_mean * 0.8, no_mean * 0.8])
+        panel.add("FB", [0.0, fb_mean, fb_mean])
+        panel.add("U", [0.0, u_mean, u_mean])
+        panel.add("FBU", [0.0, (fb_mean + u_mean) / 2, (fb_mean + u_mean) / 2])
+        return FigureResult(figure="fig12", title="t", scale="s", panels=[panel])
+
+    def test_paper_ordering_passes(self):
+        outcomes = verify_figure(self.make(fb_mean=0.5, u_mean=1.0, no_mean=2.0))
+        failed = [o for o in outcomes if not o.passed and o.strict]
+        assert failed == []
+
+    def test_fb_worse_than_u_detected(self):
+        outcomes = {
+            o.description: o
+            for o in verify_figure(self.make(fb_mean=1.5, u_mean=1.0, no_mean=2.0))
+        }
+        assert not outcomes["U (uniform diamond) worse than FB"].passed
+
+    def test_broken_results_fail_gracefully(self):
+        # Missing series: checks report failure, never raise.
+        panel = Panel(title="err", x_label="tic", x_values=[0])
+        panel.add("FB", [0.0])
+        result = FigureResult(figure="fig12", title="t", scale="s", panels=[panel])
+        outcomes = verify_figure(result)
+        assert any(not o.passed for o in outcomes)
+
+
+class TestVerdicts:
+    def test_strict_failure_is_fail(self):
+        result = make_fig10([10, 5, 1], [50, 100, 150], [1, 1, 1])
+        outcomes = verify_figure(result)
+        verdicts = {o.description: o.verdict for o in outcomes}
+        assert verdicts["TS1 grows with the observation count"] == "FAIL"
+
+    def test_lenient_failure_is_warn(self):
+        panel_t = Panel(title="CPU time (s)", x_label="|D|", x_values=[1, 2])
+        panel_t.add("TS", [1.0, 2.0])
+        panel_t.add("FA", [2.0, 1.0])  # shrinking: lenient check fails
+        panel_t.add("EX", [1.0, 2.0])
+        panel_c = Panel(title="|C(q)| and |I(q)|", x_label="|D|", x_values=[1, 2])
+        panel_c.add("|C(q)|", [1.0, 2.0])
+        panel_c.add("|I(q)|", [1.0, 2.0])
+        result = FigureResult(
+            figure="fig08", title="t", scale="s", panels=[panel_t, panel_c]
+        )
+        outcomes = {o.description: o for o in verify_figure(result)}
+        assert outcomes["query cost (FA) grows"].verdict == "WARN"

@@ -1,0 +1,268 @@
+"""Tests for Algorithm 2 — the forward-backward model adaptation.
+
+The ground truth throughout is brute-force enumeration of all
+observation-consistent paths under the a-priori chain, with probabilities
+conditioned on consistency: the adapted model must reproduce exactly that
+trajectory distribution (marginals, transitions, and samples).
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.exact import enumerate_consistent_trajectories
+from repro.markov.adaptation import (
+    ObservationContradictionError,
+    adapt_model,
+)
+from repro.markov.chain import MarkovChain
+
+
+def random_chain(n_states, rng, density=0.4):
+    """A random, well-connected stochastic matrix."""
+    mat = rng.uniform(size=(n_states, n_states))
+    mask = rng.uniform(size=(n_states, n_states)) < density
+    np.fill_diagonal(mask, True)  # guarantee no dead rows
+    mat = mat * mask
+    mat /= mat.sum(axis=1, keepdims=True)
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+def enumerated_marginal(paths, t, t_first):
+    """Marginal state distribution at t from enumerated trajectories."""
+    out: dict[int, float] = {}
+    for ptraj in paths:
+        s = ptraj.states[t - t_first]
+        out[s] = out.get(s, 0.0) + ptraj.probability
+    return out
+
+
+@pytest.fixture
+def line_chain():
+    """A 4-state right-drifting chain: 0->1->2->3 with some stalling."""
+    mat = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.5, 0.5, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+class TestInputValidation:
+    def test_requires_observations(self, line_chain):
+        with pytest.raises(ValueError):
+            adapt_model(line_chain, [])
+
+    def test_rejects_unsorted_times(self, line_chain):
+        with pytest.raises(ValueError):
+            adapt_model(line_chain, [(5, 0), (2, 1)])
+
+    def test_rejects_duplicate_times(self, line_chain):
+        with pytest.raises(ValueError):
+            adapt_model(line_chain, [(2, 0), (2, 1)])
+
+    def test_rejects_out_of_range_state(self, line_chain):
+        with pytest.raises(ValueError):
+            adapt_model(line_chain, [(0, 99)])
+
+    def test_contradiction_detected(self, line_chain):
+        # State 0 cannot be reached from state 3.
+        with pytest.raises(ObservationContradictionError):
+            adapt_model(line_chain, [(0, 3), (5, 0)])
+
+    def test_unreachable_in_time_detected(self, line_chain):
+        # State 3 needs >= 3 steps from state 0.
+        with pytest.raises(ObservationContradictionError):
+            adapt_model(line_chain, [(0, 0), (2, 3)])
+
+
+class TestSingleObservation:
+    def test_span_is_degenerate(self, line_chain):
+        model = adapt_model(line_chain, [(4, 1)])
+        assert model.t_first == model.t_last == 4
+        assert model.posterior(4).probability_of(1) == 1.0
+
+    def test_extension_propagates_apriori(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0)], extend_to=2)
+        assert model.t_last == 2
+        # After 2 steps from 0: P(0)=0.25, P(1)=0.5, P(2)=0.25.
+        post = model.posterior(2)
+        assert post.probability_of(0) == pytest.approx(0.25)
+        assert post.probability_of(1) == pytest.approx(0.5)
+        assert post.probability_of(2) == pytest.approx(0.25)
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_posterior_marginals_match_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        chain = random_chain(5, rng)
+        # Build a feasible observation triple by simulating a walk.
+        walk = [int(rng.integers(5))]
+        for _ in range(6):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(0, walk[0]), (3, walk[3]), (6, walk[6])]
+
+        model = adapt_model(chain, observations)
+        paths = enumerate_consistent_trajectories(chain, observations)
+        for t in range(0, 7):
+            expected = enumerated_marginal(paths, t, 0)
+            post = model.posterior(t)
+            got = dict(zip(post.states.tolist(), post.probs.tolist()))
+            assert set(got) == set(expected)
+            for s, p in expected.items():
+                assert got[s] == pytest.approx(p, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transition_rows_match_conditional_enumeration(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        chain = random_chain(4, rng)
+        walk = [int(rng.integers(4))]
+        for _ in range(4):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(0, walk[0]), (4, walk[4])]
+        model = adapt_model(chain, observations)
+        paths = enumerate_consistent_trajectories(chain, observations)
+
+        for t in range(0, 4):
+            # P(o(t+1)=b | o(t)=a, Θ) from the enumeration.
+            joint: dict[tuple[int, int], float] = {}
+            marg: dict[int, float] = {}
+            for ptraj in paths:
+                a, b = ptraj.states[t], ptraj.states[t + 1]
+                joint[(a, b)] = joint.get((a, b), 0.0) + ptraj.probability
+                marg[a] = marg.get(a, 0.0) + ptraj.probability
+            for (a, b), p_ab in joint.items():
+                nxt, probs = model.transition_row(t, a)
+                got = dict(zip(nxt.tolist(), probs.tolist()))
+                assert got[b] == pytest.approx(p_ab / marg[a], abs=1e-10)
+
+    def test_forward_marginals_condition_on_past_only(self, line_chain):
+        observations = [(0, 0), (3, 3)]
+        model = adapt_model(line_chain, observations)
+        # Forward marginal at t=1 must match a-priori propagation from 0
+        # (the future observation at t=3 is not yet incorporated).
+        fwd = model.forward_marginal(1)
+        assert fwd.probability_of(0) == pytest.approx(0.5)
+        assert fwd.probability_of(1) == pytest.approx(0.5)
+        # The posterior at t=1, by contrast, knows the object must reach 3
+        # at t=3, which forces progress: staying at 0 is impossible.
+        post = model.posterior(1)
+        assert post.probability_of(0) == 0.0
+        assert post.probability_of(1) == 1.0
+
+    def test_observation_times_collapse_posterior(self, line_chain):
+        observations = [(0, 0), (2, 1), (4, 3)]
+        model = adapt_model(line_chain, observations)
+        for t, s in observations:
+            assert model.posterior(t).probability_of(s) == 1.0
+
+
+class TestSampling:
+    def test_samples_hit_all_observations(self):
+        rng = np.random.default_rng(0)
+        chain = random_chain(6, rng)
+        walk = [2]
+        for _ in range(8):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(0, walk[0]), (4, walk[4]), (8, walk[8])]
+        model = adapt_model(chain, observations)
+        paths = model.sample_paths(np.random.default_rng(1), 300)
+        assert paths.shape == (300, 9)
+        for t, s in observations:
+            assert (paths[:, t] == s).all()
+
+    def test_sample_frequencies_match_enumeration(self):
+        rng = np.random.default_rng(3)
+        chain = random_chain(4, rng)
+        walk = [0]
+        for _ in range(4):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(0, walk[0]), (4, walk[4])]
+        model = adapt_model(chain, observations)
+        paths_exact = enumerate_consistent_trajectories(chain, observations)
+        expected = {p.states: p.probability for p in paths_exact}
+
+        n = 40_000
+        sampled = model.sample_paths(np.random.default_rng(4), n)
+        counts: dict[tuple, int] = {}
+        for row in sampled:
+            key = tuple(int(x) for x in row)
+            counts[key] = counts.get(key, 0) + 1
+        # Every sampled path must be a possible world.
+        assert set(counts) <= set(expected)
+        for key, p in expected.items():
+            assert counts.get(key, 0) / n == pytest.approx(p, abs=0.02)
+
+    def test_sub_window_sampling(self):
+        rng = np.random.default_rng(5)
+        chain = random_chain(5, rng)
+        walk = [1]
+        for _ in range(6):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(10, walk[0]), (16, walk[6])]
+        model = adapt_model(chain, observations)
+        window = model.sample_paths(np.random.default_rng(6), 50, 12, 14)
+        assert window.shape == (50, 3)
+
+    def test_sampling_outside_span_rejected(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0), (2, 2)])
+        with pytest.raises(KeyError):
+            model.sample_paths(np.random.default_rng(0), 5, 0, 3)
+
+    def test_empty_window_rejected(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0), (2, 2)])
+        with pytest.raises(ValueError):
+            model.sample_paths(np.random.default_rng(0), 5, 2, 1)
+
+
+class TestExtension:
+    def test_extension_with_intermediate_observations(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0), (2, 2)], extend_to=4)
+        assert model.t_last == 4
+        # Between observations the path is pinned 0 -> 1 -> 2; afterwards
+        # the chain drifts freely.
+        assert model.posterior(1).probability_of(1) == 1.0
+        post4 = model.posterior(4)
+        assert post4.probability_of(2) == pytest.approx(0.25)
+        assert post4.probability_of(3) == pytest.approx(0.5 * 0.5 + 0.5)
+
+    def test_extension_samples_consistent(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0), (2, 2)], extend_to=5)
+        paths = model.sample_paths(np.random.default_rng(0), 100)
+        assert paths.shape == (100, 6)
+        assert (paths[:, 2] == 2).all()
+        # Monotone drift: states never decrease in this chain.
+        assert (np.diff(paths, axis=1) >= 0).all()
+
+    def test_extension_not_before_last_observation(self, line_chain):
+        model = adapt_model(line_chain, [(0, 0), (3, 3)], extend_to=2)
+        assert model.t_last == 3
+
+
+class TestScale:
+    def test_moderately_large_state_space(self):
+        """Adaptation must stay sparse — 3000 states, 40 steps."""
+        rng = np.random.default_rng(9)
+        n = 3000
+        # Ring topology: i -> i, i+1, i+2 (mod n).
+        rows = np.repeat(np.arange(n), 3)
+        cols = (rows + np.tile([0, 1, 2], n)) % n
+        data = np.tile([0.2, 0.5, 0.3], n)
+        chain = MarkovChain(sparse.csr_matrix((data, (rows, cols)), shape=(n, n)))
+        observations = [(0, 0), (20, 25), (40, 50)]
+        model = adapt_model(chain, observations)
+        post = model.posterior(10)
+        assert post.probs.sum() == pytest.approx(1.0)
+        assert len(post) <= 21  # diamond width bound
+        paths = model.sample_paths(np.random.default_rng(1), 50)
+        assert (paths[:, 20] == 25).all()
+        assert (paths[:, 40] == 50).all()

@@ -1,0 +1,123 @@
+"""Property-based tests: Algorithm 2 invariants on random feasible worlds.
+
+The central structural invariant: the support of the posterior marginal at
+every tic equals the reachability diamond (forward ∩ backward reachable
+states) — conditioning redistributes mass but support is purely a
+reachability property when all transitions in the support graph have
+positive probability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.markov.adaptation import adapt_model
+from repro.markov.chain import MarkovChain
+from repro.trajectory.diamonds import compute_diamonds
+from repro.trajectory.observation import ObservationSet
+
+
+@st.composite
+def feasible_world(draw):
+    """A random chain plus observations generated from a real walk."""
+    seed = draw(st.integers(0, 10_000))
+    n_states = draw(st.integers(3, 10))
+    span = draw(st.integers(2, 8))
+    obs_every = draw(st.integers(1, 4))
+    rng = np.random.default_rng(seed)
+    mat = rng.uniform(size=(n_states, n_states))
+    mask = rng.uniform(size=(n_states, n_states)) < 0.5
+    np.fill_diagonal(mask, True)
+    mat = mat * mask
+    mat /= mat.sum(axis=1, keepdims=True)
+    chain = MarkovChain(sparse.csr_matrix(mat))
+
+    walk = [int(rng.integers(n_states))]
+    for _ in range(span):
+        nxt, probs = chain.successors(walk[-1], 0)
+        walk.append(int(rng.choice(nxt, p=probs)))
+    obs_times = sorted({0, span} | set(range(0, span, obs_every)))
+    observations = [(t, walk[t]) for t in obs_times]
+    return chain, observations, seed
+
+
+class TestPosteriorInvariants:
+    @given(feasible_world())
+    @settings(max_examples=60, deadline=None)
+    def test_posterior_support_equals_diamond(self, world):
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        diamonds = compute_diamonds(chain, ObservationSet(observations))
+        for diamond in diamonds:
+            for t in range(diamond.t_start, diamond.t_end + 1):
+                post = model.posterior(t)
+                assert set(post.states.tolist()) == set(
+                    diamond.states_at(t).tolist()
+                )
+
+    @given(feasible_world())
+    @settings(max_examples=60, deadline=None)
+    def test_posterior_normalized_everywhere(self, world):
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        for t in range(model.t_first, model.t_last + 1):
+            assert model.posterior(t).probs.sum() == pytest.approx(1.0)
+            assert model.forward_marginal(t).probs.sum() == pytest.approx(1.0)
+
+    @given(feasible_world())
+    @settings(max_examples=60, deadline=None)
+    def test_transition_rows_are_distributions(self, world):
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        for t, rows in model.transitions.items():
+            for state, (nxt, probs) in rows.items():
+                assert probs.sum() == pytest.approx(1.0)
+                assert (probs > 0).all()
+                assert len(set(nxt.tolist())) == len(nxt)
+
+    @given(feasible_world())
+    @settings(max_examples=40, deadline=None)
+    def test_chapman_kolmogorov_consistency(self, world):
+        """posterior(t+1) = posterior(t) pushed through F(t)."""
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        for t in range(model.t_first, model.t_last):
+            post_t = model.posterior(t)
+            pushed: dict[int, float] = {}
+            for state, p in zip(post_t.states, post_t.probs):
+                nxt, probs = model.transition_row(t, int(state))
+                for s2, p2 in zip(nxt, probs):
+                    pushed[int(s2)] = pushed.get(int(s2), 0.0) + float(p * p2)
+            post_next = model.posterior(t + 1)
+            assert set(pushed) == set(post_next.states.tolist())
+            for s2, p2 in zip(post_next.states, post_next.probs):
+                assert pushed[int(s2)] == pytest.approx(float(p2), abs=1e-9)
+
+    @given(feasible_world(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_stay_inside_diamond(self, world, sample_seed):
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        diamonds = compute_diamonds(chain, ObservationSet(observations))
+        paths = model.sample_paths(np.random.default_rng(sample_seed), 50)
+        allowed = {}
+        for diamond in diamonds:
+            for t in range(diamond.t_start, diamond.t_end + 1):
+                allowed.setdefault(t, set()).update(
+                    diamond.states_at(t).tolist()
+                )
+        for offset, t in enumerate(range(model.t_first, model.t_last + 1)):
+            assert set(paths[:, offset].tolist()) <= allowed[t]
+
+    @given(feasible_world())
+    @settings(max_examples=40, deadline=None)
+    def test_posterior_support_within_forward_support(self, world):
+        """Conditioning on the future can only *shrink* the forward support."""
+        chain, observations, _ = world
+        model = adapt_model(chain, observations)
+        for t in range(model.t_first, model.t_last + 1):
+            post = set(model.posterior(t).states.tolist())
+            fwd = set(model.forward_marginal(t).states.tolist())
+            assert post <= fwd

@@ -1,0 +1,130 @@
+"""Tests for sparse categorical distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.markov.distributions import SparseDistribution
+
+
+class TestConstruction:
+    def test_point(self):
+        d = SparseDistribution.point(7)
+        assert list(d.states) == [7]
+        assert d.probability_of(7) == 1.0
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            SparseDistribution(np.array([0, 1]), np.array([0.5, 0.6]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SparseDistribution(np.array([0, 1]), np.array([-0.5, 1.5]))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SparseDistribution(np.array([1, 0]), np.array([0.5, 0.5]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SparseDistribution(np.array([1, 1]), np.array([0.5, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SparseDistribution(np.array([], dtype=int), np.array([]))
+
+    def test_from_arrays_merges_duplicates(self):
+        d = SparseDistribution.from_arrays(
+            np.array([3, 1, 3]), np.array([1.0, 2.0, 1.0])
+        )
+        assert list(d.states) == [1, 3]
+        assert d.probability_of(3) == pytest.approx(0.5)
+
+    def test_from_arrays_drops_zero_weights(self):
+        d = SparseDistribution.from_arrays(np.array([0, 1]), np.array([0.0, 2.0]))
+        assert list(d.states) == [1]
+
+    def test_uniform(self):
+        d = SparseDistribution.uniform(np.array([4, 2, 2]))
+        assert list(d.states) == [2, 4]
+        assert np.allclose(d.probs, 0.5)
+
+
+class TestOperations:
+    def test_to_dense(self):
+        d = SparseDistribution(np.array([1, 3]), np.array([0.25, 0.75]))
+        dense = d.to_dense(5)
+        assert np.allclose(dense, [0, 0.25, 0, 0.75, 0])
+
+    def test_probability_of_missing_state(self):
+        d = SparseDistribution.point(2)
+        assert d.probability_of(0) == 0.0
+        assert d.probability_of(99) == 0.0
+
+    def test_propagate(self):
+        mat = sparse.csr_matrix(np.array([[0.5, 0.5], [0.0, 1.0]]))
+        d = SparseDistribution.point(0)
+        out = d.propagate(mat)
+        assert np.allclose(out.to_dense(2), [0.5, 0.5])
+
+    def test_propagate_dead_end_raises(self):
+        mat = sparse.csr_matrix((2, 2))
+        with pytest.raises(ValueError):
+            SparseDistribution.point(0).propagate(mat)
+
+    def test_expected_distance(self):
+        coords = np.array([[0.0, 0.0], [2.0, 0.0]])
+        d = SparseDistribution(np.array([0, 1]), np.array([0.5, 0.5]))
+        assert d.expected_distance(coords, np.array([0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_sample_respects_support(self):
+        rng = np.random.default_rng(0)
+        d = SparseDistribution(np.array([2, 5]), np.array([0.9, 0.1]))
+        draws = d.sample(rng, 500)
+        assert set(np.unique(draws)) <= {2, 5}
+        assert (draws == 2).mean() == pytest.approx(0.9, abs=0.05)
+
+    def test_entropy_point_zero(self):
+        assert SparseDistribution.point(3).entropy() == 0.0
+
+    def test_entropy_uniform(self):
+        d = SparseDistribution.uniform(np.arange(4))
+        assert d.entropy() == pytest.approx(np.log(4))
+
+
+@st.composite
+def dist_strategy(draw):
+    n = draw(st.integers(1, 8))
+    states = draw(
+        st.lists(st.integers(0, 30), min_size=n, max_size=n, unique=True)
+    )
+    weights = draw(
+        st.lists(st.floats(0.01, 10.0), min_size=n, max_size=n)
+    )
+    return SparseDistribution.from_arrays(
+        np.asarray(states), np.asarray(weights)
+    )
+
+
+class TestProperties:
+    @given(dist_strategy())
+    @settings(max_examples=100)
+    def test_always_normalized(self, d):
+        assert d.probs.sum() == pytest.approx(1.0)
+
+    @given(dist_strategy())
+    @settings(max_examples=100)
+    def test_states_sorted_unique(self, d):
+        assert np.all(np.diff(d.states) > 0)
+
+    @given(dist_strategy(), st.integers(0, 5))
+    @settings(max_examples=50)
+    def test_propagate_preserves_normalization(self, d, seed):
+        rng = np.random.default_rng(seed)
+        n = int(d.states.max()) + 1
+        mat = rng.uniform(0.1, 1.0, size=(n, n))
+        mat /= mat.sum(axis=1, keepdims=True)
+        out = d.propagate(sparse.csr_matrix(mat))
+        assert out.probs.sum() == pytest.approx(1.0)

@@ -1,0 +1,139 @@
+"""Tests for the HMM bridge: Algorithm 2 as a special case of smoothing."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.adaptation import adapt_model
+from repro.markov.chain import MarkovChain
+from repro.markov.distributions import SparseDistribution
+from repro.markov.hmm import Evidence, forward_backward_smoothing
+from tests.conftest import make_drift_chain
+
+
+def random_chain(n, rng, density=0.5):
+    mat = rng.uniform(size=(n, n))
+    mask = rng.uniform(size=(n, n)) < density
+    np.fill_diagonal(mask, True)
+    mat = mat * mask
+    mat /= mat.sum(axis=1, keepdims=True)
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+class TestEvidence:
+    def test_certain_builds_indicators(self):
+        ev = Evidence.certain(4, [(0, 2), (3, 1)])
+        like = ev.likelihood_at(0)
+        assert like[2] == 1.0 and like.sum() == 1.0
+        assert ev.likelihood_at(1) is None
+        assert ev.times == [0, 3]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Evidence(3, {0: np.ones(4)})
+
+    def test_zero_likelihood_rejected(self):
+        with pytest.raises(ValueError):
+            Evidence(3, {0: np.zeros(3)})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Evidence(2, {0: np.array([-0.5, 1.0])})
+
+
+class TestSmoothingBasics:
+    def test_no_evidence_uniform_stays_uniform_on_doubly_stochastic(self):
+        # A doubly stochastic chain keeps the uniform distribution invariant.
+        mat = np.array([[0.5, 0.5], [0.5, 0.5]])
+        chain = MarkovChain(sparse.csr_matrix(mat))
+        out = forward_backward_smoothing(chain, Evidence(2, {}), 0, 4)
+        for dist in out.values():
+            assert np.allclose(dist.to_dense(2), 0.5)
+
+    def test_evidence_pins_state(self):
+        chain = make_drift_chain()
+        ev = Evidence.certain(4, [(0, 0), (2, 2)])
+        out = forward_backward_smoothing(chain, ev, 0, 2)
+        assert out[0].probability_of(0) == pytest.approx(1.0)
+        assert out[2].probability_of(2) == pytest.approx(1.0)
+        assert out[1].probability_of(1) == pytest.approx(1.0)  # forced path
+
+    def test_contradiction_raises(self):
+        chain = make_drift_chain()
+        ev = Evidence.certain(4, [(0, 3), (2, 0)])
+        with pytest.raises(ValueError, match="contradicts"):
+            forward_backward_smoothing(chain, ev, 0, 2)
+
+    def test_empty_range_rejected(self):
+        chain = make_drift_chain()
+        with pytest.raises(ValueError):
+            forward_backward_smoothing(chain, Evidence(4, {}), 3, 2)
+
+
+class TestAlgorithm2Equivalence:
+    """The paper's § 5.2 claim, executed: Algorithm 2's posteriors equal
+    HMM smoothing with indicator emissions at observation times."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_posteriors_match(self, seed):
+        rng = np.random.default_rng(seed)
+        chain = random_chain(6, rng)
+        walk = [int(rng.integers(6))]
+        for _ in range(7):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        observations = [(0, walk[0]), (4, walk[4]), (7, walk[7])]
+
+        model = adapt_model(chain, observations)
+        ev = Evidence.certain(6, observations)
+        prior = SparseDistribution.point(walk[0])
+        smoothed = forward_backward_smoothing(chain, ev, 0, 7, prior=prior)
+
+        for t in range(0, 8):
+            ours = model.posterior(t).to_dense(6)
+            hmm = smoothed[t].to_dense(6)
+            assert np.allclose(ours, hmm, atol=1e-10), f"mismatch at t={t}"
+
+    def test_posteriors_match_on_drift_chain(self):
+        chain = make_drift_chain()
+        observations = [(0, 0), (3, 2), (6, 3)]
+        model = adapt_model(chain, observations)
+        ev = Evidence.certain(4, observations)
+        smoothed = forward_backward_smoothing(
+            chain, ev, 0, 6, prior=SparseDistribution.point(0)
+        )
+        for t in range(0, 7):
+            assert np.allclose(
+                model.posterior(t).to_dense(4), smoothed[t].to_dense(4), atol=1e-10
+            )
+
+
+class TestNoisyEvidence:
+    """Soft evidence goes beyond the paper's certain-observation model."""
+
+    def test_soft_observation_spreads_mass(self):
+        chain = make_drift_chain()
+        # "Probably at 0, maybe at 1" at t=0.
+        ev = Evidence.noisy(4, [(0, np.array([0.8, 0.2, 0.0, 0.0]))])
+        out = forward_backward_smoothing(chain, ev, 0, 1)
+        p0 = out[0]
+        assert p0.probability_of(0) > p0.probability_of(1) > 0.0
+        assert p0.probs.sum() == pytest.approx(1.0)
+
+    def test_noisy_reduces_to_certain_in_limit(self):
+        chain = make_drift_chain()
+        certain = forward_backward_smoothing(
+            chain, Evidence.certain(4, [(0, 0), (3, 2)]), 0, 3
+        )
+        almost = Evidence.noisy(
+            4,
+            [
+                (0, np.array([1.0, 1e-15, 1e-15, 1e-15])),
+                (3, np.array([1e-15, 1e-15, 1.0, 1e-15])),
+            ],
+        )
+        noisy = forward_backward_smoothing(chain, almost, 0, 3)
+        for t in range(4):
+            assert np.allclose(
+                certain[t].to_dense(4), noisy[t].to_dense(4), atol=1e-9
+            )

@@ -1,0 +1,140 @@
+"""Tests for the TS1/TS2 rejection samplers and the posterior sampler."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.exact import enumerate_consistent_trajectories
+from repro.markov.adaptation import adapt_model
+from repro.markov.chain import MarkovChain
+from repro.markov.sampling import (
+    posterior_sample,
+    rejection_sample,
+    segment_rejection_sample,
+)
+
+
+@pytest.fixture
+def drift_chain():
+    """0 -> {0, 1}, 1 -> {1, 2}, 2 -> {2, 3}, 3 -> {3} with 50/50 splits."""
+    mat = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.5, 0.5, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+class TestRejectionSampling:
+    def test_accepted_hit_all_observations(self, drift_chain):
+        obs = [(0, 0), (2, 1), (4, 2)]
+        stats = rejection_sample(
+            drift_chain, obs, 30, np.random.default_rng(0), max_attempts=100_000
+        )
+        assert stats.trajectories.shape[0] == 30
+        for t, s in obs:
+            assert (stats.trajectories[:, t] == s).all()
+
+    def test_attempts_exceed_accepted(self, drift_chain):
+        obs = [(0, 0), (3, 2)]
+        stats = rejection_sample(drift_chain, obs, 20, np.random.default_rng(1))
+        assert stats.attempts >= 20
+        assert stats.attempts_per_valid >= 1.0
+
+    def test_single_observation_always_accepts(self, drift_chain):
+        stats = rejection_sample(drift_chain, [(0, 0)], 10, np.random.default_rng(2))
+        assert stats.attempts == 10
+        assert stats.attempts_per_valid == 1.0
+
+    def test_budget_respected(self, drift_chain):
+        # Hitting state 3 exactly at t=3 has probability (1/2)^3; with a
+        # budget of 2 attempts we will usually not collect 50 samples.
+        stats = rejection_sample(
+            drift_chain, [(0, 0), (3, 3)], 50, np.random.default_rng(3), max_attempts=2
+        )
+        assert stats.attempts == 2 or stats.trajectories.shape[0] == 50
+
+    def test_empirical_distribution_unbiased(self, drift_chain):
+        """Accepted TS1 samples follow the exact conditional distribution."""
+        obs = [(0, 0), (3, 2)]
+        stats = rejection_sample(
+            drift_chain, obs, 4000, np.random.default_rng(4), max_attempts=500_000
+        )
+        exact = {
+            p.states: p.probability
+            for p in enumerate_consistent_trajectories(drift_chain, obs)
+        }
+        counts: dict[tuple, int] = {}
+        for row in stats.trajectories:
+            key = tuple(int(x) for x in row)
+            counts[key] = counts.get(key, 0) + 1
+        n = stats.trajectories.shape[0]
+        assert set(counts) <= set(exact)
+        for key, p in exact.items():
+            assert counts.get(key, 0) / n == pytest.approx(p, abs=0.03)
+
+
+class TestSegmentSampling:
+    def test_accepted_hit_all_observations(self, drift_chain):
+        obs = [(0, 0), (2, 1), (4, 2), (6, 3)]
+        stats = segment_rejection_sample(
+            drift_chain, obs, 25, np.random.default_rng(0)
+        )
+        assert stats.trajectories.shape == (25, 7)
+        for t, s in obs:
+            assert (stats.trajectories[:, t] == s).all()
+
+    def test_needs_fewer_attempts_than_ts1(self, drift_chain):
+        """The Fig. 10 claim: segment-wise is linear, full rejection worse."""
+        obs = [(0, 0), (2, 1), (4, 2), (6, 3)]
+        n = 40
+        ts1 = rejection_sample(
+            drift_chain, obs, n, np.random.default_rng(1), max_attempts=1_000_000
+        )
+        ts2 = segment_rejection_sample(drift_chain, obs, n, np.random.default_rng(2))
+        assert ts2.attempts_per_valid < ts1.attempts_per_valid
+
+    def test_transitions_follow_chain_support(self, drift_chain):
+        obs = [(0, 0), (4, 2)]
+        stats = segment_rejection_sample(
+            drift_chain, obs, 30, np.random.default_rng(3)
+        )
+        support = drift_chain.matrix.toarray() > 0
+        for row in stats.trajectories:
+            for a, b in zip(row[:-1], row[1:]):
+                assert support[a, b]
+
+
+class TestPosteriorSampler:
+    def test_one_attempt_per_sample(self, drift_chain):
+        obs = [(0, 0), (3, 2), (6, 3)]
+        model = adapt_model(drift_chain, obs)
+        stats = posterior_sample(model, 100, np.random.default_rng(0))
+        assert stats.attempts == 100
+        assert stats.attempts_per_valid == 1.0
+        for t, s in obs:
+            assert (stats.trajectories[:, t] == s).all()
+
+    def test_matches_rejection_distribution(self, drift_chain):
+        """TS1 and the FB sampler draw from the same distribution."""
+        obs = [(0, 0), (4, 2)]
+        model = adapt_model(drift_chain, obs)
+        fb = posterior_sample(model, 5000, np.random.default_rng(1))
+        ts1 = rejection_sample(
+            drift_chain, obs, 5000, np.random.default_rng(2), max_attempts=10_000_000
+        )
+
+        def freq(traj):
+            counts: dict[tuple, float] = {}
+            for row in traj:
+                key = tuple(int(x) for x in row)
+                counts[key] = counts.get(key, 0) + 1
+            return {k: v / traj.shape[0] for k, v in counts.items()}
+
+        f_fb = freq(fb.trajectories)
+        f_ts = freq(ts1.trajectories)
+        for key in set(f_fb) | set(f_ts):
+            assert f_fb.get(key, 0.0) == pytest.approx(f_ts.get(key, 0.0), abs=0.035)

@@ -1,0 +1,104 @@
+"""Tests for the batched rejection-cost estimators behind Fig. 10."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.chain import MarkovChain
+from repro.markov.sampling import estimate_rejection_cost, estimate_segment_cost
+
+
+@pytest.fixture
+def coin_chain():
+    """Two states, 50/50 everywhere: hit probabilities are exactly 1/2."""
+    return MarkovChain(sparse.csr_matrix(np.array([[0.5, 0.5], [0.5, 0.5]])))
+
+
+@pytest.fixture
+def deterministic_chain():
+    """0 -> 1 -> 0 -> 1 ... with certainty."""
+    return MarkovChain(sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+
+
+class TestRejectionCost:
+    def test_deterministic_chain_costs_one(self, deterministic_chain):
+        cost, capped = estimate_rejection_cost(
+            deterministic_chain,
+            [(0, 0), (2, 0), (4, 0)],
+            target_valid=10,
+            budget=1000,
+            rng=np.random.default_rng(0),
+        )
+        assert not capped
+        assert cost == pytest.approx(1.0)
+
+    def test_coin_chain_matches_analytic(self, coin_chain):
+        # One checkpoint after 3 steps: hit probability exactly 1/2.
+        cost, capped = estimate_rejection_cost(
+            coin_chain,
+            [(0, 0), (3, 1)],
+            target_valid=400,
+            budget=50_000,
+            rng=np.random.default_rng(1),
+        )
+        assert not capped
+        assert cost == pytest.approx(2.0, rel=0.15)
+
+    def test_two_checkpoints_multiply(self, coin_chain):
+        # Two independent 1/2 checkpoints: expected cost 4.
+        cost, capped = estimate_rejection_cost(
+            coin_chain,
+            [(0, 0), (2, 1), (4, 0)],
+            target_valid=400,
+            budget=50_000,
+            rng=np.random.default_rng(2),
+        )
+        assert not capped
+        assert cost == pytest.approx(4.0, rel=0.2)
+
+    def test_budget_cap_reported(self, coin_chain):
+        cost, capped = estimate_rejection_cost(
+            coin_chain,
+            [(0, 0), (2, 1), (4, 0), (6, 1), (8, 0)],
+            target_valid=10_000_000,
+            budget=500,
+            rng=np.random.default_rng(3),
+        )
+        assert capped
+        assert cost >= 1.0
+
+
+class TestSegmentCost:
+    def test_deterministic_chain_costs_per_segment(self, deterministic_chain):
+        cost, capped = estimate_segment_cost(
+            deterministic_chain,
+            [(0, 0), (2, 0), (4, 0)],
+            target_valid=10,
+            budget_per_segment=1000,
+            rng=np.random.default_rng(0),
+        )
+        assert not capped
+        assert cost == pytest.approx(2.0)  # 1 per segment, 2 segments
+
+    def test_linear_in_observation_count(self, coin_chain):
+        rng = np.random.default_rng(1)
+        costs = []
+        for m in (2, 3, 4):
+            obs = [(2 * i, i % 2) for i in range(m)]
+            cost, capped = estimate_segment_cost(
+                coin_chain, obs, target_valid=300,
+                budget_per_segment=20_000, rng=rng,
+            )
+            assert not capped
+            costs.append(cost)
+        # Each extra observation adds ~2 attempts: roughly linear growth.
+        assert costs[1] == pytest.approx(costs[0] + 2.0, rel=0.25)
+        assert costs[2] == pytest.approx(costs[0] + 4.0, rel=0.25)
+
+    def test_single_observation_is_free(self, coin_chain):
+        cost, capped = estimate_segment_cost(
+            coin_chain, [(0, 0)], target_valid=5,
+            budget_per_segment=100, rng=np.random.default_rng(2),
+        )
+        assert cost == 1.0
+        assert not capped

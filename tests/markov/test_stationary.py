@@ -1,0 +1,93 @@
+"""Tests for stationary-distribution and mixing diagnostics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.chain import MarkovChain
+from repro.markov.stationary import (
+    mixing_profile,
+    spectral_gap,
+    stationary_distribution,
+    total_variation,
+)
+
+
+def chain_from(mat):
+    return MarkovChain(sparse.csr_matrix(np.asarray(mat, dtype=float)))
+
+
+class TestStationaryDistribution:
+    def test_doubly_stochastic_is_uniform(self):
+        chain = chain_from([[0.5, 0.5], [0.5, 0.5]])
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi, 0.5)
+
+    def test_matches_eigenvector(self):
+        rng = np.random.default_rng(0)
+        mat = rng.uniform(0.1, 1.0, size=(6, 6))
+        mat /= mat.sum(axis=1, keepdims=True)
+        chain = chain_from(mat)
+        pi = stationary_distribution(chain)
+        # pi must satisfy pi = M^T pi.
+        assert np.allclose(chain.matrix.T @ pi, pi, atol=1e-9)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_absorbing_state(self):
+        chain = chain_from([[0.5, 0.5], [0.0, 1.0]])
+        pi = stationary_distribution(chain)
+        assert pi[1] == pytest.approx(1.0, abs=1e-8)
+
+    def test_periodic_chain_averaged(self):
+        # Period-2 chain: 0 <-> 1; stationary law is (0.5, 0.5).
+        chain = chain_from([[0.0, 1.0], [1.0, 0.0]])
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi, 0.5, atol=1e-8)
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        p = np.array([0.3, 0.7])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestMixingProfile:
+    def test_decreasing_toward_zero(self):
+        rng = np.random.default_rng(1)
+        mat = rng.uniform(0.1, 1.0, size=(5, 5))
+        mat /= mat.sum(axis=1, keepdims=True)
+        chain = chain_from(mat)
+        profile = mixing_profile(chain, start_state=0, horizon=60)
+        assert profile[-1] < 0.01
+        assert profile[-1] <= profile[0] + 1e-12
+
+    def test_invalid_horizon(self):
+        chain = chain_from([[1.0]])
+        with pytest.raises(ValueError):
+            mixing_profile(chain, 0, 0)
+
+
+class TestSpectralGap:
+    def test_iid_chain_has_full_gap(self):
+        # Rows identical: next state independent of current (lambda2 = 0).
+        chain = chain_from([[0.3, 0.7], [0.3, 0.7]])
+        assert spectral_gap(chain) == pytest.approx(1.0, abs=1e-9)
+
+    def test_periodic_chain_has_zero_gap(self):
+        chain = chain_from([[0.0, 1.0], [1.0, 0.0]])
+        assert spectral_gap(chain) == pytest.approx(0.0, abs=1e-9)
+
+    def test_larger_gap_mixes_faster(self):
+        slow = chain_from([[0.95, 0.05], [0.05, 0.95]])
+        fast = chain_from([[0.5, 0.5], [0.5, 0.5]])
+        assert spectral_gap(fast) > spectral_gap(slow)
+        profile_slow = mixing_profile(slow, 0, 10)
+        profile_fast = mixing_profile(fast, 0, 10)
+        assert profile_fast[-1] <= profile_slow[-1] + 1e-12

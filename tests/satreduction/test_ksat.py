@@ -1,0 +1,68 @@
+"""Tests for CNF handling."""
+
+import numpy as np
+import pytest
+
+from repro.satreduction.ksat import CNF, random_ksat
+
+
+class TestCNF:
+    def test_evaluate(self):
+        cnf = CNF.parse(2, [(1, 2), (-1,)])
+        assert cnf.evaluate((False, True))
+        assert not cnf.evaluate((True, True))
+
+    def test_satisfiable(self):
+        assert CNF.parse(1, [(1,)]).is_satisfiable()
+        assert not CNF.parse(1, [(1,), (-1,)]).is_satisfiable()
+
+    def test_satisfying_assignments(self):
+        cnf = CNF.parse(2, [(1,)])
+        sols = cnf.satisfying_assignments()
+        assert len(sols) == 2
+        assert all(a[0] for a in sols)
+
+    def test_paper_example_formula(self):
+        """E = (¬x1∨x2∨x3) ∧ (x2∨¬x3∨x4) ∧ (x1∨¬x2) from Section 4.1."""
+        cnf = CNF.parse(4, [(-1, 2, 3), (2, -3, 4), (1, -2)])
+        assert cnf.is_satisfiable()
+        sols = cnf.satisfying_assignments()
+        assert len(sols) > 0
+        for a in sols:
+            assert cnf.evaluate(a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNF.parse(2, [()])  # empty clause
+        with pytest.raises(ValueError):
+            CNF.parse(2, [(3,)])  # out of range
+        with pytest.raises(ValueError):
+            CNF.parse(2, [(0,)])  # zero literal
+        with pytest.raises(ValueError):
+            CNF.parse(2, [(1, -1)])  # variable twice
+        with pytest.raises(ValueError):
+            CNF(0, ())
+
+    def test_assignment_length_checked(self):
+        cnf = CNF.parse(2, [(1,)])
+        with pytest.raises(ValueError):
+            cnf.evaluate((True,))
+
+
+class TestRandomKSat:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        cnf = random_ksat(6, 10, 3, rng)
+        assert cnf.n_vars == 6
+        assert cnf.n_clauses == 10
+        assert all(len(c) == 3 for c in cnf.clauses)
+
+    def test_distinct_variables_per_clause(self):
+        rng = np.random.default_rng(1)
+        cnf = random_ksat(5, 20, 3, rng)
+        for clause in cnf.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, 3, np.random.default_rng(0))

@@ -1,0 +1,80 @@
+"""Tests for the executable Lemma 1 reduction (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.satreduction.ksat import CNF, random_ksat
+from repro.satreduction.reduction import (
+    TARGET_ID,
+    build_reduction,
+    satisfiable_via_pnn,
+)
+
+
+class TestConstruction:
+    def test_objects_and_times(self):
+        cnf = CNF.parse(3, [(1, 2), (-2, 3)])
+        inst = build_reduction(cnf)
+        assert len(inst.db) == 4  # 3 variables + target o
+        assert inst.times == (1, 2)
+        assert TARGET_ID in inst.db
+
+    def test_variable_objects_have_two_worlds(self):
+        from repro.core.exact import enumerate_consistent_trajectories
+
+        cnf = CNF.parse(2, [(1, -2)])
+        inst = build_reduction(cnf)
+        for var in ("x1", "x2"):
+            obj = inst.db.get(var)
+            paths = enumerate_consistent_trajectories(
+                obj.chain, obj.observations.as_pairs()
+            )
+            assert len(paths) == 2
+            for p in paths:
+                assert p.probability == pytest.approx(0.5)
+
+
+class TestProbabilityFormula:
+    """P∃NN(o) must equal 1 - (#satisfying assignments) / 2^n exactly."""
+
+    @pytest.mark.parametrize(
+        "n_vars,clauses",
+        [
+            (1, [(1,)]),
+            (2, [(1, 2)]),
+            (2, [(1,), (-1,)]),  # unsatisfiable
+            (3, [(1, 2), (-2, 3), (-1, -3)]),
+            (4, [(-1, 2, 3), (2, -3, 4), (1, -2)]),  # the paper's example
+        ],
+    )
+    def test_formula(self, n_vars, clauses):
+        cnf = CNF.parse(n_vars, clauses)
+        inst = build_reduction(cnf)
+        expected = 1.0 - len(cnf.satisfying_assignments()) / 2**n_vars
+        assert inst.exact_p_exists_nn() == pytest.approx(expected, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_formulas(self, seed):
+        rng = np.random.default_rng(seed)
+        cnf = random_ksat(4, 5, 2, rng)
+        inst = build_reduction(cnf)
+        expected = 1.0 - len(cnf.satisfying_assignments()) / 2**cnf.n_vars
+        assert inst.exact_p_exists_nn() == pytest.approx(expected, abs=1e-10)
+
+
+class TestDecisionProcedure:
+    def test_satisfiable_detected(self):
+        assert satisfiable_via_pnn(CNF.parse(2, [(1, 2)]))
+
+    def test_unsatisfiable_detected(self):
+        assert not satisfiable_via_pnn(CNF.parse(1, [(1,), (-1,)]))
+
+    def test_paper_example_is_satisfiable(self):
+        cnf = CNF.parse(4, [(-1, 2, 3), (2, -3, 4), (1, -2)])
+        assert satisfiable_via_pnn(cnf) == cnf.is_satisfiable() == True  # noqa: E712
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_brute_force(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        cnf = random_ksat(3, 6, 2, rng)
+        assert satisfiable_via_pnn(cnf) == cnf.is_satisfiable()

@@ -1,0 +1,213 @@
+"""Tests for spatial primitives: rects and min/max distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import (
+    Rect,
+    maxdist_point_rect,
+    maxdist_rects,
+    mindist_point_rect,
+    mindist_rects,
+)
+
+coord = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+def rect_strategy(ndim=2):
+    def build(vals):
+        lo = tuple(min(a, b) for a, b in vals)
+        hi = tuple(max(a, b) for a, b in vals)
+        return Rect(lo, hi)
+
+    return st.lists(st.tuples(coord, coord), min_size=ndim, max_size=ndim).map(build)
+
+
+def point_strategy(ndim=2):
+    return st.lists(coord, min_size=ndim, max_size=ndim).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    )
+
+
+class TestRectBasics:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((0.0,), (1.0, 2.0))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_from_points_bounds_all(self):
+        pts = np.array([[0.0, 3.0], [2.0, -1.0], [1.0, 1.0]])
+        r = Rect.from_points(pts)
+        assert r.lo == (0.0, -1.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_from_points_single_point(self):
+        r = Rect.from_points(np.array([1.5, 2.5]))
+        assert r.lo == r.hi == (1.5, 2.5)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_points(np.empty((0, 2)))
+
+    def test_point_constructor_is_degenerate(self):
+        r = Rect.point([1.0, 2.0])
+        assert r.volume() == 0.0
+        assert r.contains_point([1.0, 2.0])
+
+    def test_volume_and_margin(self):
+        r = Rect((0.0, 0.0), (2.0, 3.0))
+        assert r.volume() == 6.0
+        assert r.margin() == 5.0
+
+    def test_center(self):
+        r = Rect((0.0, 0.0), (2.0, 4.0))
+        assert np.allclose(r.center, [1.0, 2.0])
+
+
+class TestRectSetOps:
+    def test_union_covers_both(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, -1.0), (3.0, 0.5))
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    def test_union_all_matches_pairwise(self):
+        rects = [Rect((i, i), (i + 1.0, i + 2.0)) for i in range(4)]
+        u = Rect.union_all(rects)
+        v = rects[0]
+        for r in rects[1:]:
+            v = v.union(r)
+        assert u == v
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+    def test_intersects_touching_edges(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.1, 0.0), (2.0, 1.0))
+        assert not a.intersects(b)
+        assert a.overlap_volume(b) == 0.0
+
+    def test_overlap_volume(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        assert a.overlap_volume(b) == pytest.approx(1.0)
+
+    def test_contains_point_boundary(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.contains_point([0.0, 1.0])
+        assert not r.contains_point([1.0001, 0.5])
+
+    def test_enlargement_zero_when_contained(self):
+        a = Rect((0.0, 0.0), (4.0, 4.0))
+        b = Rect((1.0, 1.0), (2.0, 2.0))
+        assert a.enlargement(b) == 0.0
+        assert b.enlargement(a) == pytest.approx(16.0 - 1.0)
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        r = Rect((0.0, 0.0), (2.0, 2.0))
+        assert r.mindist_point([1.0, 1.0]) == 0.0
+
+    def test_mindist_outside_axis(self):
+        r = Rect((0.0, 0.0), (2.0, 2.0))
+        assert r.mindist_point([4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_mindist_corner(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.mindist_point([2.0, 2.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_maxdist_corner(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.maxdist_point([0.0, 0.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_batch_matches_scalar(self):
+        r = Rect((0.0, 0.0), (1.0, 2.0))
+        pts = np.array([[3.0, 3.0], [-1.0, 0.5], [0.5, 0.5]])
+        lo = mindist_point_rect(pts, r)
+        hi = maxdist_point_rect(pts, r)
+        for i, p in enumerate(pts):
+            assert lo[i] == pytest.approx(r.mindist_point(p))
+            assert hi[i] == pytest.approx(r.maxdist_point(p))
+
+    def test_rect_rect_disjoint(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((3.0, 0.0), (4.0, 1.0))
+        assert mindist_rects(a, b) == pytest.approx(2.0)
+
+    def test_rect_rect_overlapping_mindist_zero(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        assert mindist_rects(a, b) == 0.0
+
+    def test_maxdist_rects_hand_value(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 0.0), (3.0, 1.0))
+        assert maxdist_rects(a, b) == pytest.approx(np.sqrt(9.0 + 1.0))
+
+
+class TestDistanceProperties:
+    @given(rect_strategy(), point_strategy())
+    @settings(max_examples=150)
+    def test_min_le_max(self, rect, point):
+        assert rect.mindist_point(point) <= rect.maxdist_point(point) + 1e-9
+
+    @given(rect_strategy(), point_strategy())
+    @settings(max_examples=150)
+    def test_mindist_zero_when_contained(self, rect, point):
+        # (The converse can fail for denormal gaps whose square underflows.)
+        if rect.contains_point(point):
+            assert rect.mindist_point(point) == 0.0
+
+    @given(rect_strategy(), point_strategy())
+    @settings(max_examples=150)
+    def test_positive_mindist_implies_outside(self, rect, point):
+        if rect.mindist_point(point) > 0.0:
+            assert not rect.contains_point(point)
+
+    @given(rect_strategy(), rect_strategy())
+    @settings(max_examples=150)
+    def test_rect_mindist_zero_when_intersecting(self, a, b):
+        # One-directional: the converse fails on denormal gaps (underflow).
+        if a.intersects(b):
+            assert mindist_rects(a, b) == 0.0
+
+    @given(rect_strategy(), rect_strategy())
+    @settings(max_examples=150)
+    def test_positive_rect_mindist_implies_disjoint(self, a, b):
+        if mindist_rects(a, b) > 0.0:
+            assert not a.intersects(b)
+
+    @given(rect_strategy(), rect_strategy(), point_strategy())
+    @settings(max_examples=150)
+    def test_union_distance_bounds(self, a, b, point):
+        """mindist to a union is <= mindist to each part; maxdist >=."""
+        u = a.union(b)
+        assert u.mindist_point(point) <= a.mindist_point(point) + 1e-9
+        assert u.maxdist_point(point) + 1e-9 >= a.maxdist_point(point)
+
+    @given(rect_strategy(), point_strategy())
+    @settings(max_examples=100)
+    def test_maxdist_attained_at_some_corner(self, rect, point):
+        corners = np.array(
+            [
+                [rect.lo[0], rect.lo[1]],
+                [rect.lo[0], rect.hi[1]],
+                [rect.hi[0], rect.lo[1]],
+                [rect.hi[0], rect.hi[1]],
+            ]
+        )
+        dists = np.sqrt(np.sum((corners - point) ** 2, axis=1))
+        assert rect.maxdist_point(point) == pytest.approx(dists.max())

@@ -1,0 +1,116 @@
+"""Tests for R*-tree deletion and tree condensation."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import Rect
+from repro.spatial.rstar import RStarTree
+
+
+def random_items(n, seed):
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0, 100, size=(n, 2))
+    spans = rng.uniform(0, 5, size=(n, 2))
+    return [(Rect(tuple(lo), tuple(lo + sp)), i) for i, (lo, sp) in enumerate(zip(lows, spans))]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = RStarTree()
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        tree.insert(rect, "x")
+        assert tree.delete(rect, "x")
+        assert len(tree) == 0
+        assert tree.search(rect) == []
+
+    def test_delete_missing_returns_false(self):
+        tree = RStarTree()
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        tree.insert(rect, "x")
+        assert not tree.delete(rect, "y")
+        assert not tree.delete(Rect((5.0, 5.0), (6.0, 6.0)), "x")
+        assert len(tree) == 1
+
+    def test_delete_one_of_duplicates(self):
+        tree = RStarTree()
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        tree.insert(rect, "a")
+        tree.insert(rect, "b")
+        assert tree.delete(rect, "a")
+        remaining = [e.data for e in tree.search(rect)]
+        assert remaining == ["b"]
+
+    def test_delete_all_incrementally(self):
+        items = random_items(120, seed=0)
+        tree = RStarTree(max_entries=6)
+        for rect, data in items:
+            tree.insert(rect, data)
+        rng = np.random.default_rng(1)
+        order = rng.permutation(len(items))
+        for count, idx in enumerate(order, start=1):
+            rect, data = items[idx]
+            assert tree.delete(rect, data), f"failed to delete item {data}"
+            assert len(tree) == len(items) - count
+        assert len(tree) == 0
+
+    def test_invariants_maintained_during_deletions(self):
+        items = random_items(200, seed=2)
+        tree = RStarTree(max_entries=8)
+        for rect, data in items:
+            tree.insert(rect, data)
+        rng = np.random.default_rng(3)
+        to_delete = rng.permutation(len(items))[:150]
+        kept = set(range(len(items))) - set(int(i) for i in to_delete)
+        for i, idx in enumerate(to_delete):
+            rect, data = items[idx]
+            assert tree.delete(rect, data)
+            if i % 25 == 24:
+                tree.check_invariants()
+        tree.check_invariants()
+        survivors = {e.data for e in tree.entries()}
+        assert survivors == kept
+
+    def test_search_correct_after_mixed_workload(self):
+        items = random_items(150, seed=4)
+        tree = RStarTree(max_entries=5)
+        live: dict[int, Rect] = {}
+        rng = np.random.default_rng(5)
+        for rect, data in items:
+            tree.insert(rect, data)
+            live[data] = rect
+            if rng.uniform() < 0.4 and live:
+                victim = int(rng.choice(list(live)))
+                assert tree.delete(live[victim], victim)
+                del live[victim]
+        window = Rect((20.0, 20.0), (80.0, 80.0))
+        got = {e.data for e in tree.search(window)}
+        expected = {d for d, r in live.items() if r.intersects(window)}
+        assert got == expected
+
+    def test_root_shrinks(self):
+        items = random_items(100, seed=6)
+        tree = RStarTree(max_entries=4)
+        for rect, data in items:
+            tree.insert(rect, data)
+        tall = tree.height()
+        for rect, data in items[:96]:
+            tree.delete(rect, data)
+        assert tree.height() <= tall
+        tree.check_invariants()
+
+    def test_nearest_after_deletions(self):
+        items = random_items(80, seed=7)
+        tree = RStarTree(max_entries=5)
+        for rect, data in items:
+            tree.insert(rect, data)
+        for rect, data in items[:40]:
+            tree.delete(rect, data)
+        point = [50.0, 50.0]
+        got = tree.nearest(point, 3)
+        remaining = items[40:]
+        from repro.spatial.geometry import mindist_point_rect
+
+        expected = sorted(
+            float(mindist_point_rect(np.asarray(point), rect)) for rect, _ in remaining
+        )[:3]
+        assert [g[0] for g in got] == pytest.approx(expected)

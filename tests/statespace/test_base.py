@@ -1,0 +1,68 @@
+"""Tests for the StateSpace embedding."""
+
+import numpy as np
+import pytest
+
+from repro.statespace.base import StateSpace
+
+
+@pytest.fixture
+def space():
+    return StateSpace(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0], [3.0, 4.0]]))
+
+
+class TestConstruction:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.array([[np.nan, 0.0]]))
+
+    def test_coords_read_only(self, space):
+        with pytest.raises(ValueError):
+            space.coords[0, 0] = 9.0
+
+    def test_len_and_ndim(self, space):
+        assert len(space) == 4
+        assert space.ndim == 2
+
+
+class TestQueries:
+    def test_coords_of_indices(self, space):
+        got = space.coords_of(np.array([2, 0]))
+        assert np.allclose(got, [[0.0, 2.0], [0.0, 0.0]])
+
+    def test_coords_of_2d_index_array(self, space):
+        got = space.coords_of(np.array([[0, 1], [2, 3]]))
+        assert got.shape == (2, 2, 2)
+
+    def test_distances_to_origin(self, space):
+        d = space.distances_to([0.0, 0.0])
+        assert np.allclose(d, [0.0, 1.0, 2.0, 5.0])
+
+    def test_distances_to_subset(self, space):
+        d = space.distances_to([0.0, 0.0], states=np.array([3, 1]))
+        assert np.allclose(d, [5.0, 1.0])
+
+    def test_nearest_state(self, space):
+        assert space.nearest_state([0.9, 0.1]) == 1
+
+    def test_mbr_of(self, space):
+        rect = space.mbr_of(np.array([0, 3]))
+        assert rect.lo == (0.0, 0.0)
+        assert rect.hi == (3.0, 4.0)
+
+    def test_mbr_of_empty_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mbr_of(np.array([], dtype=int))
+
+    def test_bounding_rect(self, space):
+        rect = space.bounding_rect()
+        assert rect.lo == (0.0, 0.0)
+        assert rect.hi == (3.0, 4.0)

@@ -1,0 +1,106 @@
+"""Tests for the synthetic state-space generator (paper Section 7 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import validate_stochastic
+from repro.statespace.generator import build_synthetic_space, connection_radius
+
+
+class TestConnectionRadius:
+    def test_paper_formula(self):
+        assert connection_radius(1000, 8.0) == pytest.approx(
+            np.sqrt(8.0 / (1000 * np.pi))
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            connection_radius(0, 8.0)
+        with pytest.raises(ValueError):
+            connection_radius(100, 0.0)
+
+    def test_radius_shrinks_with_n(self):
+        assert connection_radius(10_000, 8.0) < connection_radius(1000, 8.0)
+
+
+class TestBuildSyntheticSpace:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        syn = build_synthetic_space(500, branching=8.0, rng=rng)
+        assert syn.space.n_states == 500
+        assert syn.chain.n_states == 500
+        assert syn.adjacency.shape == (500, 500)
+
+    def test_chain_is_stochastic(self):
+        rng = np.random.default_rng(1)
+        syn = build_synthetic_space(800, branching=6.0, rng=rng)
+        validate_stochastic(syn.chain.matrix)
+
+    def test_average_branching_near_target(self):
+        rng = np.random.default_rng(2)
+        syn = build_synthetic_space(3000, branching=8.0, rng=rng)
+        # Boundary effects reduce the average degree slightly.
+        assert 5.0 <= syn.average_branching <= 9.5
+
+    def test_transition_weight_inverse_to_distance(self):
+        rng = np.random.default_rng(3)
+        syn = build_synthetic_space(400, branching=10.0, rng=rng)
+        # For a state with >= 2 neighbors, nearer neighbor gets more mass.
+        mat = syn.chain.matrix
+        coords = syn.space.coords
+        checked = 0
+        for state in range(400):
+            row = mat.getrow(state)
+            if row.nnz < 2:
+                continue
+            dists = np.sqrt(
+                np.sum((coords[row.indices] - coords[state]) ** 2, axis=1)
+            )
+            order_by_dist = np.argsort(dists)
+            order_by_prob = np.argsort(-row.data)
+            assert order_by_dist[0] == order_by_prob[0]
+            checked += 1
+            if checked > 20:
+                break
+        assert checked > 0
+
+    def test_self_loops_mass(self):
+        rng = np.random.default_rng(4)
+        syn = build_synthetic_space(300, branching=8.0, rng=rng, self_loops=0.2)
+        mat = syn.chain.matrix
+        diag = mat.diagonal()
+        degrees = np.diff(syn.adjacency.indptr)
+        connected = degrees > 0
+        assert np.allclose(diag[connected], 0.2)
+
+    def test_isolated_states_get_full_self_loop(self):
+        rng = np.random.default_rng(5)
+        # Extremely low branching guarantees isolated states.
+        syn = build_synthetic_space(200, branching=0.05, rng=rng)
+        degrees = np.diff(syn.adjacency.indptr)
+        isolated = np.flatnonzero(degrees == 0)
+        assert isolated.size > 0
+        diag = syn.chain.matrix.diagonal()
+        assert np.allclose(diag[isolated], 1.0)
+
+    def test_invalid_self_loops(self):
+        with pytest.raises(ValueError):
+            build_synthetic_space(100, self_loops=1.0)
+
+    def test_coords_in_unit_square(self):
+        rng = np.random.default_rng(6)
+        syn = build_synthetic_space(500, rng=rng)
+        assert syn.space.coords.min() >= 0.0
+        assert syn.space.coords.max() <= 1.0
+
+    def test_edge_lengths_match_adjacency(self):
+        rng = np.random.default_rng(7)
+        syn = build_synthetic_space(400, rng=rng)
+        assert syn.edge_lengths.nnz == syn.adjacency.nnz
+        assert syn.edge_lengths.max() <= syn.radius + 1e-12
+
+    def test_deterministic_given_rng(self):
+        a = build_synthetic_space(300, rng=np.random.default_rng(42))
+        b = build_synthetic_space(300, rng=np.random.default_rng(42))
+        assert np.allclose(a.space.coords, b.space.coords)
+        assert (a.chain.matrix != b.chain.matrix).nnz == 0

@@ -1,0 +1,91 @@
+"""Tests for grid state spaces."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import validate_stochastic
+from repro.statespace.grid import build_grid_space
+
+
+class TestGridStructure:
+    def test_state_cell_roundtrip(self):
+        grid = build_grid_space(5, 3)
+        for col in range(5):
+            for row in range(3):
+                state = grid.state_at(col, row)
+                assert grid.cell_of(state) == (col, row)
+
+    def test_out_of_bounds(self):
+        grid = build_grid_space(4, 4)
+        with pytest.raises(IndexError):
+            grid.state_at(4, 0)
+        with pytest.raises(IndexError):
+            grid.cell_of(16)
+
+    def test_coords_spacing(self):
+        grid = build_grid_space(3, 3, cell_size=2.0)
+        a = grid.space.coords[grid.state_at(0, 0)]
+        b = grid.space.coords[grid.state_at(1, 0)]
+        assert np.allclose(b - a, [2.0, 0.0])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            build_grid_space(0, 4)
+
+
+class TestGridChain:
+    def test_stochastic(self):
+        grid = build_grid_space(6, 6, stay_probability=0.3)
+        validate_stochastic(grid.chain.matrix)
+
+    def test_four_neighborhood_interior(self):
+        grid = build_grid_space(5, 5)
+        state = grid.state_at(2, 2)
+        nxt, probs = grid.chain.successors(state, 0)
+        assert len(nxt) == 4
+        assert np.allclose(probs, 0.25)
+
+    def test_corner_has_two_moves(self):
+        grid = build_grid_space(5, 5)
+        nxt, probs = grid.chain.successors(grid.state_at(0, 0), 0)
+        assert len(nxt) == 2
+        assert np.allclose(probs, 0.5)
+
+    def test_eight_neighborhood(self):
+        grid = build_grid_space(5, 5, diagonal=True)
+        nxt, _ = grid.chain.successors(grid.state_at(2, 2), 0)
+        assert len(nxt) == 8
+
+    def test_stay_probability_on_diagonal(self):
+        grid = build_grid_space(4, 4, stay_probability=0.5)
+        state = grid.state_at(1, 1)
+        nxt, probs = grid.chain.successors(state, 0)
+        idx = list(nxt).index(state)
+        assert probs[idx] == pytest.approx(0.5)
+
+    def test_blocked_cells_not_entered(self):
+        blocked = {(1, 1)}
+        grid = build_grid_space(3, 3, blocked=blocked)
+        wall = grid.state_at(1, 1)
+        mat = grid.chain.matrix
+        # No transition into the wall from its neighbors.
+        for col, row in [(0, 1), (2, 1), (1, 0), (1, 2)]:
+            state = grid.state_at(col, row)
+            nxt, _ = grid.chain.successors(state, 0)
+            assert wall not in nxt
+        # The wall itself is a self-loop sink (stochastic but unreachable).
+        nxt, probs = grid.chain.successors(wall, 0)
+        assert list(nxt) == [wall]
+
+    def test_blocked_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            build_grid_space(3, 3, blocked={(5, 5)})
+
+    def test_fully_enclosed_cell_self_loops(self):
+        # Center cell of 3x3 with all neighbors blocked.
+        blocked = {(0, 1), (2, 1), (1, 0), (1, 2)}
+        grid = build_grid_space(3, 3, blocked=blocked)
+        center = grid.state_at(1, 1)
+        nxt, probs = grid.chain.successors(center, 0)
+        assert list(nxt) == [center]
+        assert probs[0] == pytest.approx(1.0)

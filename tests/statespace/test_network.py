@@ -1,0 +1,57 @@
+"""Tests for the city road-network generator (taxi substitute substrate)."""
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import connected_components
+
+from repro.markov.chain import validate_stochastic
+from repro.statespace.network import build_city_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_city_network(blocks=10, core_blocks=4, rng=np.random.default_rng(0))
+
+
+class TestTopology:
+    def test_symmetric_adjacency(self, network):
+        diff = network.adjacency - network.adjacency.T
+        assert abs(diff).sum() == 0
+
+    def test_core_is_denser(self, network):
+        """Downtown intersections outnumber an equal-area periphery patch."""
+        coords = network.space.coords
+        center = network.center
+        extent = coords.max(axis=0) - coords.min(axis=0)
+        core_half = extent[0] / 6.0
+        in_core = np.all(np.abs(coords - center) <= core_half, axis=1)
+        corner = coords.min(axis=0) + core_half
+        in_corner = np.all(np.abs(coords - corner) <= core_half, axis=1)
+        assert in_core.sum() > 1.5 * max(in_corner.sum(), 1)
+
+    def test_giant_component_dominates(self, network):
+        n_comp, labels = connected_components(network.adjacency, directed=False)
+        largest = np.bincount(labels).max()
+        assert largest >= 0.9 * network.space.n_states
+
+    def test_edge_lengths_positive(self, network):
+        assert network.edge_lengths.data.min() > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            build_city_network(blocks=1)
+        with pytest.raises(ValueError):
+            build_city_network(blocks=4, core_blocks=8)
+        with pytest.raises(ValueError):
+            build_city_network(drop_edge_probability=0.7)
+
+
+class TestDefaultChain:
+    def test_stochastic(self, network):
+        chain = network.default_chain()
+        validate_stochastic(chain.matrix)
+
+    def test_distance_from_center_shape(self, network):
+        d = network.distance_from_center()
+        assert d.shape == (network.space.n_states,)
+        assert d.min() >= 0

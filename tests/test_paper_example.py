@@ -1,0 +1,132 @@
+"""Example 1 / Figure 1 of the paper, reproduced end to end.
+
+The scenario: two uncertain objects on four states with the query nearest
+to s1.  Expected exact results (paper text):
+
+* ``P∃NN(o2, q, D, {1,2,3}) = 0.25``
+* ``P∀NN(o1, q, D, {1,2,3}) = 0.75``
+* ``PCNNQ(q, D, {1,2,3}, 0.1)`` returns o1 with {1,2,3} and o2 with {2,3}.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import MarkovChain, Query, QueryEngine, StateSpace, TrajectoryDatabase
+from repro.core.exact import (
+    exact_forall_nn_over_times,
+    exact_nn_probabilities,
+    enumerate_consistent_trajectories,
+)
+
+S1, S2, S3, S4 = 0, 1, 2, 3
+
+
+@pytest.fixture
+def example_db():
+    # dist(q, s1) < dist(q, s2) < dist(q, s3) < dist(q, s4).
+    coords = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [4.0, 0.0]])
+    space = StateSpace(coords)
+    identity = MarkovChain(sparse.identity(4, format="csr"))
+
+    # o1: observed at s2 (t=1); branches to {s1, s3}; from s3 again {s1, s3}.
+    m1 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    # o2: observed at s3 (t=1); branches to {s2, s4}; then stays.
+    m2 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0, 0.0],
+                    [0.0, 0.5, 0.0, 0.5],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    db = TrajectoryDatabase(space, identity)
+    db.add_object("o1", [(1, S2)], chain=m1, extend_to=3)
+    db.add_object("o2", [(1, S3)], chain=m2, extend_to=3)
+    return db
+
+
+@pytest.fixture
+def query():
+    return Query.from_point([0.0, 0.0])
+
+
+class TestPossibleWorlds:
+    def test_o1_has_three_trajectories(self, example_db):
+        obj = example_db.get("o1")
+        paths = enumerate_consistent_trajectories(
+            obj.chain, obj.observations.as_pairs(), extend_to=3
+        )
+        got = {p.states: p.probability for p in paths}
+        assert got == {
+            (S2, S1, S1): pytest.approx(0.5),
+            (S2, S3, S1): pytest.approx(0.25),
+            (S2, S3, S3): pytest.approx(0.25),
+        }
+
+    def test_o2_has_two_trajectories(self, example_db):
+        obj = example_db.get("o2")
+        paths = enumerate_consistent_trajectories(
+            obj.chain, obj.observations.as_pairs(), extend_to=3
+        )
+        got = {p.states: p.probability for p in paths}
+        assert got == {
+            (S3, S2, S2): pytest.approx(0.5),
+            (S3, S4, S4): pytest.approx(0.5),
+        }
+
+
+class TestExactProbabilities:
+    def test_paper_values(self, example_db, query):
+        probs = exact_nn_probabilities(example_db, query, [1, 2, 3])
+        assert probs["o1"][0] == pytest.approx(0.75)  # P∀NN(o1)
+        assert probs["o2"][1] == pytest.approx(0.25)  # P∃NN(o2)
+        # Complementary views implied by two-object worlds:
+        assert probs["o1"][1] == pytest.approx(1.0)  # o1 NN at t=1 always
+        assert probs["o2"][0] == pytest.approx(0.0)
+
+    def test_pcnn_intervals(self, example_db, query):
+        tables = exact_forall_nn_over_times(example_db, query, [1, 2, 3])
+        # o1 qualifies on the full interval at tau=0.1.
+        assert tables["o1"][(1, 2, 3)] == pytest.approx(0.75)
+        # o2 qualifies on {2, 3}: requires tr2,1 and o1 staying on s3-branch.
+        assert tables["o2"][(2, 3)] == pytest.approx(0.125)
+        assert tables["o2"][(2,)] == pytest.approx(0.25)
+
+
+class TestSamplingEngine:
+    def test_sampled_probabilities_converge(self, example_db, query):
+        engine = QueryEngine(example_db, n_samples=30_000, seed=7)
+        estimates = engine.nn_probabilities(query, [1, 2, 3])
+        assert estimates["o1"][0] == pytest.approx(0.75, abs=0.01)
+        assert estimates["o2"][1] == pytest.approx(0.25, abs=0.01)
+
+    def test_pcnn_query_returns_paper_result(self, example_db, query):
+        engine = QueryEngine(example_db, n_samples=30_000, seed=11)
+        result = engine.continuous_nn(query, [1, 2, 3], tau=0.1, maximal_only=True)
+        got = {(e.object_id, e.times) for e in result.entries}
+        assert ("o1", (1, 2, 3)) in got
+        assert ("o2", (2, 3)) in got
+
+    def test_threshold_query(self, example_db, query):
+        engine = QueryEngine(example_db, n_samples=20_000, seed=3)
+        result = engine.exists_nn(query, [1, 2, 3], tau=0.2)
+        ids = result.object_ids()
+        assert "o1" in ids and "o2" in ids
+        result_strict = engine.exists_nn(query, [1, 2, 3], tau=0.5)
+        assert result_strict.object_ids() == ["o1"]

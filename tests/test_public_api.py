@@ -1,0 +1,91 @@
+"""Tests for the top-level package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_key_classes_importable_from_root(self):
+        from repro import (
+            AdaptedModel,
+            MarkovChain,
+            Query,
+            QueryEngine,
+            Rect,
+            RStarTree,
+            SparseDistribution,
+            StateSpace,
+            Trajectory,
+            TrajectoryDatabase,
+            USTTree,
+            UncertainObject,
+        )
+
+        assert QueryEngine and TrajectoryDatabase  # imported fine
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core.apriori",
+            "repro.core.bounds",
+            "repro.core.evaluator",
+            "repro.core.exact",
+            "repro.core.knn",
+            "repro.core.queries",
+            "repro.core.results",
+            "repro.core.snapshot",
+            "repro.markov.adaptation",
+            "repro.markov.chain",
+            "repro.markov.distributions",
+            "repro.markov.sampling",
+            "repro.trajectory.database",
+            "repro.trajectory.diamonds",
+            "repro.trajectory.nn",
+            "repro.trajectory.observation",
+            "repro.trajectory.trajectory",
+            "repro.spatial.geometry",
+            "repro.spatial.rstar",
+            "repro.spatial.ust_tree",
+            "repro.statespace.base",
+            "repro.statespace.generator",
+            "repro.statespace.grid",
+            "repro.statespace.network",
+            "repro.data.io",
+            "repro.data.synthetic",
+            "repro.data.taxi",
+            "repro.analysis.calibration",
+            "repro.analysis.effectiveness",
+            "repro.analysis.hoeffding",
+            "repro.satreduction.ksat",
+            "repro.satreduction.reduction",
+            "repro.experiments.config",
+            "repro.experiments.figures",
+            "repro.experiments.report",
+            "repro.experiments.results",
+            "repro.experiments.runner",
+        ],
+    )
+    def test_every_module_imports(self, module):
+        assert importlib.import_module(module) is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.core.evaluator", "repro.markov.adaptation", "repro.spatial.ust_tree"],
+    )
+    def test_public_functions_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} missing module docstring"
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if callable(obj):
+                assert obj.__doc__, f"{module}.{name} missing docstring"

@@ -1,0 +1,44 @@
+"""Tests for subpackage re-export surfaces."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.core",
+    "repro.data",
+    "repro.experiments",
+    "repro.markov",
+    "repro.satreduction",
+    "repro.spatial",
+    "repro.statespace",
+    "repro.trajectory",
+]
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("package", SUBPACKAGES)
+    def test_all_exports_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__, f"{package} missing docstring"
+        for name in mod.__all__:
+            assert getattr(mod, name) is not None, f"{package}.{name} missing"
+
+    def test_lazy_ust_tree_export(self):
+        from repro.spatial import PruningResult, SegmentKey, USTTree
+
+        assert USTTree is not None
+        assert PruningResult is not None and SegmentKey is not None
+
+    def test_lazy_unknown_attribute_raises(self):
+        import repro.spatial
+
+        with pytest.raises(AttributeError):
+            repro.spatial.NoSuchThing
+
+    def test_convenience_paths_equal_canonical(self):
+        from repro.core import QueryEngine as A
+        from repro.core.evaluator import QueryEngine as B
+
+        assert A is B

@@ -1,0 +1,92 @@
+"""Bridging test: the probabilistic engine on a *certain* database must
+reduce exactly to classical certain-trajectory NN semantics.
+
+Objects observed at every tic carry no uncertainty, so all sampled worlds
+are identical and every probability must be exactly 0 or 1 — and the 1s
+must be precisely the classical NN answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.core.queries import Query
+from repro.statespace.base import StateSpace
+from repro.trajectory.certain_nn import (
+    continuous_nn_intervals,
+    exists_nn_objects,
+    forall_nn_objects,
+)
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
+from tests.conftest import make_drift_chain
+
+
+@pytest.fixture
+def certain_world():
+    space = StateSpace(np.stack([np.arange(4.0), np.zeros(4)], axis=1))
+    chain = make_drift_chain()
+    db = TrajectoryDatabase(space, chain)
+    trajectories = {
+        "a": Trajectory(0, np.array([0, 1, 2, 3])),
+        "b": Trajectory(0, np.array([1, 1, 1, 2])),
+        "c": Trajectory(0, np.array([3, 3, 3, 3])),
+    }
+    for oid, traj in trajectories.items():
+        db.add_object(oid, traj.observe_every(1), ground_truth=traj)
+    return db, trajectories, space
+
+
+class TestCertainReduction:
+    def test_probabilities_are_zero_or_one(self, certain_world):
+        db, trajectories, space = certain_world
+        engine = QueryEngine(db, n_samples=50, seed=0)
+        q = Query.from_point([0.0, 0.0])
+        times = np.arange(4)
+        probs = engine.nn_probabilities(q, times)
+        for p_forall, p_exists in probs.values():
+            assert p_forall in (0.0, 1.0)
+            assert p_exists in (0.0, 1.0)
+
+    def test_exists_matches_classical(self, certain_world):
+        db, trajectories, space = certain_world
+        engine = QueryEngine(db, n_samples=30, seed=1)
+        q = Query.from_point([0.0, 0.0])
+        times = np.arange(4)
+        result = engine.exists_nn(q, times, tau=0.5)
+        classical = exists_nn_objects(
+            trajectories, space, q.coords_at(times), times
+        )
+        assert set(result.object_ids()) == classical
+
+    def test_forall_matches_classical(self, certain_world):
+        db, trajectories, space = certain_world
+        engine = QueryEngine(db, n_samples=30, seed=2)
+        q = Query.from_point([1.0, 0.0])
+        times = np.arange(4)
+        result = engine.forall_nn(q, times, tau=0.5)
+        classical = forall_nn_objects(
+            trajectories, space, q.coords_at(times), times
+        )
+        assert set(result.object_ids()) == classical
+
+    def test_pcnn_matches_classical_intervals(self, certain_world):
+        db, trajectories, space = certain_world
+        engine = QueryEngine(db, n_samples=30, seed=3)
+        q = Query.from_point([0.0, 0.0])
+        times = np.arange(4)
+        pcnn = engine.continuous_nn(q, times, tau=0.5, maximal_only=True)
+        intervals = continuous_nn_intervals(
+            trajectories, space, q.coords_at(times), times
+        )
+        # Every classical CNN interval must appear inside some maximal
+        # qualifying timestamp set of the same owner (with P = 1).
+        for interval in intervals:
+            span = set(range(interval.t_lo, interval.t_hi + 1))
+            matches = [
+                e
+                for e in pcnn.entries
+                if e.object_id == interval.owner and span <= set(e.times)
+            ]
+            assert matches, f"missing interval {interval}"
+            assert all(e.probability == 1.0 for e in matches)

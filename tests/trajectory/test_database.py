@@ -1,0 +1,98 @@
+"""Tests for the trajectory database."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.chain import MarkovChain
+from repro.statespace.base import StateSpace
+from repro.trajectory.database import TrajectoryDatabase
+
+
+@pytest.fixture
+def db():
+    mat = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.5, 0.5, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    space = StateSpace(np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]]))
+    return TrajectoryDatabase(space, MarkovChain(sparse.csr_matrix(mat)))
+
+
+class TestPopulation:
+    def test_add_and_get(self, db):
+        obj = db.add_object("a", [(0, 0), (3, 2)])
+        assert db.get("a") is obj
+        assert "a" in db and len(db) == 1
+
+    def test_duplicate_id_rejected(self, db):
+        db.add_object("a", [(0, 0)])
+        with pytest.raises(KeyError):
+            db.add_object("a", [(0, 1)])
+
+    def test_unknown_get_raises(self, db):
+        with pytest.raises(KeyError, match="unknown object"):
+            db.get("ghost")
+
+    def test_remove(self, db):
+        db.add_object("a", [(0, 0), (2, 1)])
+        db.diamonds_of("a")
+        db.remove_object("a")
+        assert "a" not in db
+
+    def test_chain_shape_mismatch_rejected(self, db):
+        bad = MarkovChain(sparse.identity(3, format="csr"))
+        with pytest.raises(ValueError):
+            db.add_object("a", [(0, 0)], chain=bad)
+
+    def test_mismatched_db_construction_rejected(self):
+        space = StateSpace(np.zeros((2, 2)))
+        chain = MarkovChain(sparse.identity(3, format="csr"))
+        with pytest.raises(ValueError):
+            TrajectoryDatabase(space, chain)
+
+
+class TestTemporalAccess:
+    def test_alive_at(self, db):
+        db.add_object("a", [(0, 0), (4, 2)])
+        db.add_object("b", [(3, 0), (8, 2)])
+        assert [o.object_id for o in db.objects_alive_at(1)] == ["a"]
+        assert {o.object_id for o in db.objects_alive_at(3)} == {"a", "b"}
+        assert [o.object_id for o in db.objects_alive_at(9)] == []
+
+    def test_overlapping(self, db):
+        db.add_object("a", [(0, 0), (4, 2)])
+        db.add_object("b", [(6, 0), (9, 2)])
+        got = db.objects_overlapping(np.array([5, 6]))
+        assert [o.object_id for o in got] == ["b"]
+
+    def test_horizon(self, db):
+        db.add_object("a", [(2, 0), (4, 2)])
+        db.add_object("b", [(1, 0), (9, 3)])
+        assert db.time_horizon() == (1, 9)
+
+    def test_empty_horizon_raises(self, db):
+        with pytest.raises(ValueError):
+            db.time_horizon()
+
+    def test_iteration(self, db):
+        db.add_object("a", [(0, 0)])
+        db.add_object("b", [(0, 1)])
+        assert {o.object_id for o in db} == {"a", "b"}
+        assert set(db.object_ids) == {"a", "b"}
+
+
+class TestDiamondCache:
+    def test_cached_instance(self, db):
+        db.add_object("a", [(0, 0), (4, 2)])
+        first = db.diamonds_of("a")
+        assert db.diamonds_of("a") is first
+
+    def test_extension_included(self, db):
+        db.add_object("a", [(0, 0), (2, 1)], extend_to=5)
+        diamonds = db.diamonds_of("a")
+        assert diamonds[-1].t_end == 5

@@ -1,0 +1,92 @@
+"""Tests for live observation ingestion and index staleness detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.core.queries import Query
+from repro.trajectory.database import TrajectoryDatabase
+from tests.conftest import make_drift_chain, make_line_space
+
+
+@pytest.fixture
+def db():
+    db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+    db.add_object("a", [(0, 0), (4, 2)])
+    return db
+
+
+class TestAddObservation:
+    def test_observation_added_and_model_refreshed(self, db):
+        before = db.get("a")
+        _ = before.adapted
+        after = db.add_observation("a", 2, 1)
+        assert db.get("a") is after
+        assert after.observations.state_at(2) == 1
+        # The new model must collapse at the new observation.
+        assert after.adapted.posterior(2).probability_of(1) == 1.0
+
+    def test_duplicate_time_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.add_observation("a", 4, 2)
+
+    def test_contradicting_observation_detected_lazily(self, db):
+        obj = db.add_observation("a", 1, 3)  # state 3 unreachable at t=1
+        with pytest.raises(Exception):
+            obj.adapted
+
+    def test_extends_span_forward(self, db):
+        obj = db.add_observation("a", 6, 3)
+        assert obj.t_last == 6
+        assert len(db.diamonds_of("a")) == 2
+
+    def test_supersedes_extension(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        db.add_object("e", [(0, 0)], extend_to=4)
+        obj = db.add_observation("e", 6, 3)
+        assert obj.extend_to is None
+        assert obj.t_last == 6
+
+    def test_version_increments(self, db):
+        v0 = db.version
+        db.add_observation("a", 2, 1)
+        assert db.version == v0 + 1
+        db.add_object("b", [(0, 1)])
+        assert db.version == v0 + 2
+        db.remove_object("b")
+        assert db.version == v0 + 3
+
+    def test_ground_truth_preserved(self):
+        from repro.trajectory.trajectory import Trajectory
+
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        truth = Trajectory(0, np.array([0, 1, 1, 2, 2]))
+        db.add_object("g", truth.observe_every(4), ground_truth=truth)
+        obj = db.add_observation("g", 2, 1)
+        assert obj.ground_truth is truth
+
+
+class TestEngineStalenessDetection:
+    def test_index_rebuilds_after_mutation(self, db):
+        engine = QueryEngine(db, n_samples=50, seed=0)
+        tree_before = engine.ust_tree
+        db.add_object("b", [(0, 1), (4, 3)])
+        tree_after = engine.ust_tree
+        assert tree_after is not tree_before
+        assert len(tree_after) == 2
+
+    def test_new_observation_affects_results(self, db):
+        db.add_object("b", [(0, 1), (4, 3)])
+        engine = QueryEngine(db, n_samples=4000, seed=1)
+        q = Query.from_point([0.0, 0.0])
+        before = engine.nn_probabilities(q, [2])
+        # Pin b at state 1 at t=2: closer to q than its previous spread.
+        db.add_observation("b", 2, 1)
+        after = engine.nn_probabilities(q, [2])
+        assert after["b"][0] >= before["b"][0] - 0.02
+
+    def test_unchanged_db_keeps_index(self, db):
+        engine = QueryEngine(db, n_samples=50, seed=0)
+        t1 = engine.ust_tree
+        t2 = engine.ust_tree
+        assert t1 is t2

@@ -1,0 +1,82 @@
+"""Tests for workload uncertainty statistics."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.statistics import database_statistics, object_statistics
+from repro.trajectory.database import TrajectoryDatabase
+from tests.conftest import make_drift_chain, make_line_space, make_random_world
+
+
+class TestObjectStatistics:
+    def test_certain_object_has_no_uncertainty(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        # Observed every tic: no uncertainty anywhere.
+        db.add_object("pinned", [(0, 0), (1, 1), (2, 2)])
+        stats = object_statistics(db, "pinned")
+        assert stats.mean_diamond_width == 1.0
+        assert stats.max_diamond_width == 1
+        assert stats.mean_posterior_entropy == 0.0
+        assert stats.uncertainty_area == 0.0
+
+    def test_wider_gap_more_uncertainty(self):
+        db = TrajectoryDatabase(make_line_space(8, spacing=1.0), make_drift_chain_8())
+        db.add_object("tight", [(0, 0), (2, 2)])
+        db.add_object("loose", [(10, 0), (16, 6)])
+        tight = object_statistics(db, "tight")
+        loose = object_statistics(db, "loose")
+        assert loose.max_diamond_width >= tight.max_diamond_width
+        assert loose.mean_posterior_entropy >= tight.mean_posterior_entropy
+
+    def test_span_and_counts(self):
+        db, _ = make_random_world(seed=0, n_objects=2, span=6, obs_every=3)
+        stats = object_statistics(db, "o0")
+        assert stats.span == 7
+        assert stats.n_observations == 3
+
+
+def make_drift_chain_8():
+    import numpy as np
+    from scipy import sparse
+
+    from repro.markov.chain import MarkovChain
+
+    n = 8
+    mat = np.zeros((n, n))
+    for i in range(n - 1):
+        mat[i, i] = 0.5
+        mat[i, i + 1] = 0.5
+    mat[n - 1, n - 1] = 1.0
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+class TestDatabaseStatistics:
+    def test_aggregates(self):
+        db, _ = make_random_world(seed=1, n_objects=4, span=6, obs_every=3)
+        stats = database_statistics(db)
+        assert stats.n_objects == 4
+        assert stats.n_segments == 8  # two segments each
+        assert stats.mean_observations_per_object == pytest.approx(3.0)
+        assert stats.mean_diamond_width >= 1.0
+        assert stats.max_diamond_width >= 1
+
+    def test_empty_database_rejected(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        with pytest.raises(ValueError):
+            database_statistics(db)
+
+    def test_entropy_increases_with_observation_interval(self):
+        from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+
+        def entropy(obs_interval, seed=3):
+            cfg = SyntheticWorkloadConfig(
+                n_states=400,
+                n_objects=6,
+                lifetime=24,
+                horizon=30,
+                obs_interval=obs_interval,
+            )
+            wl = generate_workload(cfg, np.random.default_rng(seed))
+            return database_statistics(wl.db).mean_posterior_entropy
+
+        assert entropy(8) > entropy(2)

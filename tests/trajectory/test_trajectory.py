@@ -1,0 +1,133 @@
+"""Tests for certain trajectories and uncertain objects."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.chain import MarkovChain
+from repro.trajectory.observation import ObservationSet
+from repro.trajectory.trajectory import Trajectory, UncertainObject
+
+
+@pytest.fixture
+def drift_chain():
+    mat = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.5, 0.5, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MarkovChain(sparse.csr_matrix(mat))
+
+
+class TestTrajectory:
+    def test_span(self):
+        t = Trajectory(5, np.array([0, 1, 2]))
+        assert t.t_end == 7
+        assert t.covers(5) and t.covers(7) and not t.covers(8)
+
+    def test_state_at(self):
+        t = Trajectory(5, np.array([0, 1, 2]))
+        assert t.state_at(6) == 1
+        with pytest.raises(KeyError):
+            t.state_at(4)
+
+    def test_states_at_vectorized(self):
+        t = Trajectory(0, np.array([3, 4, 5, 6]))
+        got = t.states_at(np.array([1, 3]))
+        assert list(got) == [4, 6]
+        with pytest.raises(KeyError):
+            t.states_at(np.array([0, 9]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, np.array([], dtype=int))
+
+    def test_len(self):
+        assert len(Trajectory(0, np.arange(7))) == 7
+
+
+class TestObserveEvery:
+    def test_includes_endpoints(self):
+        t = Trajectory(10, np.arange(10))
+        obs = t.observe_every(4)
+        assert obs.times[0] == 10
+        assert obs.times[-1] == 19
+
+    def test_interval_spacing(self):
+        t = Trajectory(0, np.arange(9))
+        obs = t.observe_every(4)
+        assert obs.times == (0, 4, 8)
+
+    def test_states_match_trajectory(self):
+        t = Trajectory(3, np.array([5, 6, 7, 8, 9]))
+        obs = t.observe_every(2)
+        for o in obs:
+            assert o.state == t.state_at(o.time)
+
+    def test_interval_one_keeps_everything(self):
+        t = Trajectory(0, np.arange(5))
+        assert len(t.observe_every(1)) == 5
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, np.arange(3)).observe_every(0)
+
+
+class TestUncertainObject:
+    def make(self, drift_chain, observations, **kwargs):
+        return UncertainObject("u1", ObservationSet(observations), drift_chain, **kwargs)
+
+    def test_span_from_observations(self, drift_chain):
+        obj = self.make(drift_chain, [(2, 0), (6, 2)])
+        assert (obj.t_first, obj.t_last) == (2, 6)
+
+    def test_span_with_extension(self, drift_chain):
+        obj = self.make(drift_chain, [(2, 0), (6, 2)], extend_to=9)
+        assert obj.t_last == 9
+
+    def test_extension_before_last_obs_rejected(self, drift_chain):
+        with pytest.raises(ValueError):
+            self.make(drift_chain, [(2, 0), (6, 2)], extend_to=5)
+
+    def test_alive_during(self, drift_chain):
+        obj = self.make(drift_chain, [(2, 0), (6, 2)])
+        mask = obj.alive_during(np.array([0, 2, 4, 6, 8]))
+        assert list(mask) == [False, True, True, True, False]
+        assert obj.covers_any(np.array([0, 4]))
+        assert not obj.covers_all(np.array([0, 4]))
+
+    def test_adaptation_cached(self, drift_chain):
+        obj = self.make(drift_chain, [(0, 0), (4, 2)])
+        assert not obj.is_adapted()
+        model = obj.adapted
+        assert obj.is_adapted()
+        assert obj.adapted is model
+        obj.invalidate_adaptation()
+        assert not obj.is_adapted()
+
+    def test_sample_states_shape_and_consistency(self, drift_chain):
+        obj = self.make(drift_chain, [(0, 0), (4, 2)])
+        times = np.array([0, 2, 4])
+        states = obj.sample_states(times, 40, np.random.default_rng(0))
+        assert states.shape == (40, 3)
+        assert (states[:, 0] == 0).all()
+        assert (states[:, 2] == 2).all()
+
+    def test_sample_states_subset_noncontiguous(self, drift_chain):
+        obj = self.make(drift_chain, [(0, 0), (6, 3)])
+        times = np.array([1, 4])
+        states = obj.sample_states(times, 25, np.random.default_rng(1))
+        assert states.shape == (25, 2)
+
+    def test_sample_states_outside_span_rejected(self, drift_chain):
+        obj = self.make(drift_chain, [(0, 0), (4, 2)])
+        with pytest.raises(KeyError):
+            obj.sample_states(np.array([3, 5]), 5, np.random.default_rng(0))
+
+    def test_sample_states_empty_times(self, drift_chain):
+        obj = self.make(drift_chain, [(0, 0), (4, 2)])
+        out = obj.sample_states(np.array([], dtype=int), 5, np.random.default_rng(0))
+        assert out.shape == (5, 0)
