@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.evaluator import QueryEngine
-from repro.core.queries import Query
+from repro.core.queries import Query, QueryRequest
 from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
 from repro.markov.adaptation import adapt_model
 from repro.spatial.geometry import Rect
@@ -26,6 +26,25 @@ def workload():
     return generate_workload(config, np.random.default_rng(0))
 
 
+@pytest.fixture(scope="module")
+def wide_model():
+    """One object in the paper's sparse-observation regime (Fig. 12 varies
+    the interval up to 40): 100 timesteps, wide diamonds — the setting where
+    the per-state Python loop of the reference sampler is hottest."""
+    config = SyntheticWorkloadConfig(
+        n_states=30_000,
+        branching=16.0,
+        n_objects=2,
+        lifetime=100,
+        horizon=100,
+        obs_interval=50,
+    )
+    wl = generate_workload(config, np.random.default_rng(0))
+    model = next(iter(wl.db)).adapted
+    _ = model.compiled  # compile once up front; the bench isolates sampling
+    return model
+
+
 def test_bench_adaptation(benchmark, workload):
     """Algorithm 2 on one object (forward + backward sweep)."""
     obj = next(iter(workload.db))
@@ -39,6 +58,33 @@ def test_bench_posterior_sampling(benchmark, workload):
     model = obj.adapted
     rng = np.random.default_rng(1)
     benchmark(lambda: model.sample_paths(rng, 1000))
+
+
+def test_bench_sample_paths_compiled(benchmark, wide_model):
+    """Compiled backend: 10k posterior paths over 100 timesteps.
+
+    The acceptance target of the compiled-backend refactor is ≥5× over
+    ``test_bench_sample_paths_reference`` on this workload.
+    """
+    rng = np.random.default_rng(1)
+    benchmark(lambda: wide_model.sample_paths(rng, 10_000, backend="compiled"))
+
+
+def test_bench_sample_paths_reference(benchmark, wide_model):
+    """Legacy row-dict backend on the identical workload (same RNG stream)."""
+    rng = np.random.default_rng(1)
+    benchmark(lambda: wide_model.sample_paths(rng, 10_000, backend="reference"))
+
+
+def test_bench_batch_query_sliding_window(benchmark, workload):
+    """20 sliding P∀NN windows via batch_query: worlds drawn once per epoch."""
+    engine = QueryEngine(workload.db, n_samples=500, seed=8)
+    _ = engine.ust_tree
+    for obj in workload.db:
+        _ = obj.adapted
+    q = Query.from_state(workload.db.space, workload.sample_query_state())
+    requests = [QueryRequest(q, tuple(range(t, t + 8))) for t in range(10, 30)]
+    benchmark(lambda: engine.batch_query(requests))
 
 
 def test_bench_world_statistics(benchmark):

@@ -16,7 +16,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 import numpy as np
 
-from repro import Query, QueryEngine, Trajectory
+from repro import Query, QueryEngine, QueryRequest, Trajectory
 from repro.analysis.hoeffding import confidence_radius, samples_needed
 from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
 
@@ -75,6 +75,32 @@ def main() -> None:
     convoy = engine.forall_nn(patrol, window, tau=0.3, k=2)
     for r in convoy.results:
         print(f"  {r.object_id:6s} P∀2NN ≈ {r.probability:.3f}")
+
+    print("\n=== Sliding-window monitoring: batch_query over one draw epoch ===")
+    # Re-ask "who shadows the patrol?" for every 5-tic sub-window.  A batch
+    # shares sampled worlds across all windows: each influence object is
+    # sampled at most once per epoch, and overlapping windows are answered
+    # from the *same* possible worlds (mutually consistent estimates).
+    span = 5
+    requests = [
+        QueryRequest(patrol, tuple(range(t, t + span)), mode="forall", tau=0.5)
+        for t in range(int(window[0]), int(window[-1]) - span + 2)
+    ]
+    calls_before = engine.sampler_calls
+    answers = engine.batch_query(requests)
+    for req, res in zip(requests, answers):
+        if res.results:
+            top = res.results[0]
+            print(
+                f"  tics {req.times[0]:2d}-{req.times[-1]:2d}: "
+                f"{top.object_id:6s} P ≈ {top.probability:.3f}"
+                + (f"  (+{len(res.results) - 1} more)" if len(res.results) > 1 else "")
+            )
+    print(
+        f"  {len(requests)} windows refined with "
+        f"{engine.sampler_calls - calls_before} sampler calls "
+        f"({engine.worlds.hits} world-cache hits)"
+    )
 
 
 if __name__ == "__main__":

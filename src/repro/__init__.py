@@ -19,10 +19,12 @@ Public API tour
 """
 
 from .core.evaluator import QueryEngine
-from .core.queries import Query, normalize_times
+from .core.queries import Query, QueryRequest, normalize_times
 from .core.results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .core.worlds import WorldCache
 from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
 from .markov.chain import InhomogeneousMarkovChain, MarkovChain, uniformized
+from .markov.compiled import CompiledModel, compile_model
 from .markov.distributions import SparseDistribution
 from .spatial.geometry import Rect
 from .spatial.rstar import RStarTree
@@ -39,6 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptedModel",
+    "CompiledModel",
     "InhomogeneousMarkovChain",
     "MarkovChain",
     "Observation",
@@ -49,6 +52,7 @@ __all__ = [
     "PCNNResult",
     "Query",
     "QueryEngine",
+    "QueryRequest",
     "QueryResult",
     "Rect",
     "RStarTree",
@@ -58,8 +62,10 @@ __all__ = [
     "TrajectoryDatabase",
     "USTTree",
     "UncertainObject",
+    "WorldCache",
     "adapt_model",
     "build_city_network",
+    "compile_model",
     "build_grid_space",
     "build_synthetic_space",
     "normalize_times",

@@ -11,9 +11,10 @@ from .exact import (
     exact_forall_nn_over_times,
     exact_nn_probabilities,
 )
-from .queries import Query, normalize_times
+from .queries import Query, QueryRequest, normalize_times
 from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
 from .snapshot import snapshot_nn_probability_at, snapshot_probabilities
+from .worlds import WorldCache
 
 __all__ = [
     "AprioriBudgetExceeded",
@@ -25,8 +26,10 @@ __all__ = [
     "PossibleTrajectory",
     "Query",
     "QueryEngine",
+    "QueryRequest",
     "QueryResult",
     "WorldBudgetExceeded",
+    "WorldCache",
     "decide_with_bounds",
     "domination_probability",
     "enumerate_consistent_trajectories",

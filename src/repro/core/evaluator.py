@@ -5,9 +5,21 @@ candidates ``C(q)`` and influence objects ``I(q)``; (2) refinement — the
 a-posteriori models of all influence objects are sampled into possible
 worlds; (3) counting — world statistics estimate the requested probability
 per candidate, compared against the threshold τ.
+
+Refinement draws worlds through a per-object :class:`~repro.core.worlds.
+WorldCache`: each object is sampled over its full adapted span at most once
+per *draw epoch* (with a per-object RNG derived from the engine seed, the
+epoch and the object id, so worlds do not depend on which other objects a
+query refines).  Standalone queries advance the epoch on entry — they see
+fresh, independent worlds exactly as before — while :meth:`QueryEngine.
+batch_query` holds one epoch across a whole batch, so sliding-window
+monitoring re-samples each object at most once instead of once per query.
 """
 
 from __future__ import annotations
+
+import hashlib
+from typing import Sequence
 
 import numpy as np
 
@@ -19,9 +31,11 @@ from ..trajectory.nn import (
     knn_indicator,
     nn_indicator,
 )
+from ..trajectory.trajectory import UncertainObject
 from .apriori import mine_timestamp_sets
-from .queries import Query, normalize_times
+from .queries import Query, QueryRequest, normalize_times
 from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .worlds import WorldCache
 
 __all__ = ["QueryEngine"]
 
@@ -44,6 +58,16 @@ class QueryEngine:
         object overlapping ``T`` is refined.
     refine_per_tic:
         Tighten index bounds with per-tic diamond MBRs during pruning.
+    backend:
+        Sampling backend for refinement: ``"compiled"`` (vectorized
+        inverse-CDF, the default) or ``"reference"`` (legacy row-dict walk,
+        kept for parity testing).  Both yield bit-identical worlds for one
+        seed.
+    reuse_worlds:
+        When ``True``, standalone queries do *not* advance the draw epoch,
+        so consecutive queries share sampled worlds until
+        :meth:`new_draw_epoch` is called explicitly.  The default preserves
+        the classic semantics: every standalone query sees fresh worlds.
     """
 
     def __init__(
@@ -55,18 +79,35 @@ class QueryEngine:
         use_pruning: bool = True,
         refine_per_tic: bool = True,
         ust_tree: USTTree | None = None,
+        backend: str = "compiled",
+        reuse_worlds: bool = False,
     ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
         if rng is not None and seed is not None:
             raise ValueError("pass either seed or rng, not both")
+        if backend not in ("compiled", "reference"):
+            raise ValueError(f"unknown sampling backend {backend!r}")
         self.db = db
         self.n_samples = int(n_samples)
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.use_pruning = use_pruning
         self.refine_per_tic = refine_per_tic
+        self.backend = backend
+        self.reuse_worlds = reuse_worlds
         self._ust = ust_tree
         self._ust_version = db.version if ust_tree is not None else None
+        #: Cached per-object sampled worlds; see :mod:`repro.core.worlds`.
+        self.worlds = WorldCache()
+        self._draw_epoch = 0
+        self._epoch_counter = 0  # monotonic allocator (epochs can be restored)
+        self._batch_depth = 0
+        self._direct_draws = 0
+        self._direct_round = 0
+        self._last_batch_epoch: int | None = None
+        # Root entropy for per-object world RNGs: drawn once from the main
+        # stream so two engines with the same seed sample identical worlds.
+        self._world_entropy = int(self.rng.integers(2**63))
 
     # ------------------------------------------------------------------
     # index management
@@ -90,13 +131,104 @@ class QueryEngine:
         self._ust_version = None
 
     # ------------------------------------------------------------------
+    # world management
+    # ------------------------------------------------------------------
+    @property
+    def draw_epoch(self) -> int:
+        """Current draw epoch; worlds are deterministic within one epoch."""
+        return self._draw_epoch
+
+    @property
+    def sampler_calls(self) -> int:
+        """Total sampler invocations so far (cache misses + direct draws)."""
+        return self.worlds.misses + self._direct_draws
+
+    def new_draw_epoch(self) -> int:
+        """Advance to a fresh, never-used epoch: subsequent queries redraw."""
+        self._epoch_counter += 1
+        self._draw_epoch = self._epoch_counter
+        return self._draw_epoch
+
+    def _begin_query(self) -> None:
+        """Epoch policy at query entry.
+
+        Standalone queries get fresh worlds (classic semantics); inside a
+        batch, or when the engine was built with ``reuse_worlds=True``, the
+        current epoch is held so worlds are shared.
+        """
+        if not self.reuse_worlds and self._batch_depth == 0:
+            self.new_draw_epoch()
+
+    def _object_rng(self, object_id: str, round_: int = 0) -> np.random.Generator:
+        """Deterministic per-(object, epoch[, round]) generator.
+
+        Derived from the engine's root entropy rather than drawn from the
+        shared stream, so an object's worlds do not depend on which other
+        objects a query happens to refine — k-variants and repeated windows
+        stay exactly comparable.  The id enters the seed as a full 128-bit
+        digest (a 32-bit tag would correlate colliding objects' worlds,
+        breaking object independence at ~10k-object scale).  ``round_``
+        distinguishes successive direct ``distance_tensor`` calls within
+        one epoch, so repeated calls still yield fresh, averageable worlds.
+        """
+        digest = hashlib.sha256(object_id.encode("utf-8")).digest()
+        tags = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                [self._world_entropy, self._draw_epoch, round_, *tags]
+            )
+        )
+
+    def _sampled_states(
+        self, obj: UncertainObject, times: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Worlds for one object at the given (covered) times.
+
+        When worlds are shared across queries (inside a batch, or on a
+        ``reuse_worlds`` engine) the cache holds one *full-span* sample per
+        object and epoch, so every sub-window reuses the same worlds and
+        the sampler runs at most once per object per epoch.  Otherwise —
+        a standalone default query on a fresh epoch, or a direct
+        ``distance_tensor`` call — nothing could coherently be reused, so
+        the object is sampled over just the requested window (the
+        pre-cache engine's cost) without touching the cache; only
+        full-span entries ever enter it, which is what keeps all answers
+        within one epoch drawn from the same worlds.
+        """
+        times = np.asarray(times, dtype=np.intp)
+        share = self.reuse_worlds or self._batch_depth > 0
+        if not share:
+            self._direct_draws += 1
+            rng = self._object_rng(obj.object_id, self._direct_round)
+            return obj.sample_states(times, n, rng, backend=self.backend)
+
+        def draw() -> tuple[int, np.ndarray]:
+            rng = self._object_rng(obj.object_id)
+            return obj.t_first, obj.adapted.sample_paths(
+                rng, n, backend=self.backend
+            )
+
+        t0, paths = self.worlds.states_for(
+            key=(obj.object_id, n, self.backend),
+            stamp=(self.db.version, self._draw_epoch),
+            sampler=draw,
+        )
+        return paths[:, times - t0]
+
+    # ------------------------------------------------------------------
     # filter step
     # ------------------------------------------------------------------
     def filter_objects(
-        self, q: Query, times: np.ndarray, k: int = 1
+        self, q: Query, times: np.ndarray, k: int = 1, *, normalized: bool = False
     ) -> PruningResult:
-        """Run the § 6 filter step (or the no-pruning fallback)."""
-        times = normalize_times(times)
+        """Run the § 6 filter step (or the no-pruning fallback).
+
+        ``normalized=True`` promises ``times`` is already the canonical
+        sorted-unique array, skipping a redundant re-normalization on the
+        internal query paths.
+        """
+        if not normalized:
+            times = normalize_times(times)
         if self.use_pruning:
             return self.ust_tree.prune(
                 q.coords_at(times), times, k=k, refine_per_tic=self.refine_per_tic
@@ -115,16 +247,31 @@ class QueryEngine:
     # refinement: possible worlds
     # ------------------------------------------------------------------
     def distance_tensor(
-        self, object_ids: list[str], q: Query, times: np.ndarray, n_samples: int | None = None
+        self,
+        object_ids: list[str],
+        q: Query,
+        times: np.ndarray,
+        n_samples: int | None = None,
+        *,
+        normalized: bool = False,
     ) -> np.ndarray:
         """Sample worlds and return ``dist[w, o, t]`` (inf where not alive).
 
         Objects are sampled independently — the paper's object-independence
         assumption — and each world combines one sampled trajectory per
-        object.
+        object.  Inside a batch (or on a ``reuse_worlds`` engine) worlds
+        come from the epoch's shared cache; on a default engine each direct
+        call draws fresh window-scoped worlds (deterministic per epoch).
+        Pass ``normalized=True`` when ``times`` is already canonical.
         """
-        times = normalize_times(times)
+        if not normalized:
+            times = normalize_times(times)
         n = self.n_samples if n_samples is None else int(n_samples)
+        if not (self.reuse_worlds or self._batch_depth):
+            # One round per direct call: repeated calls within an epoch draw
+            # fresh (yet seed-deterministic) worlds, so averaging over calls
+            # adds information exactly as it did before the world cache.
+            self._direct_round += 1
         q_coords = q.coords_at(times)
         dist = np.full((n, len(object_ids), times.size), np.inf)
         for col, object_id in enumerate(object_ids):
@@ -133,7 +280,7 @@ class QueryEngine:
             if not alive.any():
                 continue
             alive_times = times[alive]
-            states = obj.sample_states(alive_times, n, self.rng)
+            states = self._sampled_states(obj, alive_times, n)
             coords = self.db.space.coords_of(states)  # (n, n_alive, d)
             diff = coords - q_coords[alive][None, :, :]
             dist[:, col, alive] = np.sqrt(np.sum(diff * diff, axis=-1))
@@ -156,7 +303,8 @@ class QueryEngine:
         if not 0.0 <= tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
         times = normalize_times(times)
-        pruning = self.filter_objects(q, times, k=k)
+        self._begin_query()
+        pruning = self.filter_objects(q, times, k=k, normalized=True)
         # For ∃ semantics every influence object is a potential result
         # (Section 6, "Pruning for the P∃NNQ query").
         result_ids = pruning.candidates if mode == "forall" else pruning.influencers
@@ -164,7 +312,7 @@ class QueryEngine:
         if not refine_ids:
             return QueryResult([], {}, pruning.candidates, pruning.influencers, 0, times)
 
-        dist = self.distance_tensor(refine_ids, q, times)
+        dist = self.distance_tensor(refine_ids, q, times, normalized=True)
         if mode == "forall":
             probs = forall_knn_prob(dist, k)
         else:
@@ -203,12 +351,13 @@ class QueryEngine:
         so the refinement set is ``I(q)``, not ``C(q)``.
         """
         times = normalize_times(times)
-        pruning = self.filter_objects(q, times, k=k)
+        self._begin_query()
+        pruning = self.filter_objects(q, times, k=k, normalized=True)
         refine_ids = pruning.influencers
         entries: list[PCNNEntry] = []
         sets_evaluated = 0
         if refine_ids:
-            dist = self.distance_tensor(refine_ids, q, times)
+            dist = self.distance_tensor(refine_ids, q, times, normalized=True)
             is_nn = knn_indicator(dist, k) if k > 1 else nn_indicator(dist)
             for col, object_id in enumerate(refine_ids):
                 indicator = is_nn[:, col, :]
@@ -234,6 +383,80 @@ class QueryEngine:
         return result
 
     # ------------------------------------------------------------------
+    # batched queries (continuous monitoring)
+    # ------------------------------------------------------------------
+    def batch_query(
+        self,
+        requests: Sequence[QueryRequest | tuple],
+        *,
+        refresh_worlds: bool | None = None,
+    ) -> list[QueryResult | PCNNResult]:
+        """Evaluate many queries against one shared set of sampled worlds.
+
+        All requests run in a single draw epoch: every influence object is
+        sampled at most once per ``(n_samples, backend)`` no matter how many
+        queries touch it, which is what makes sliding-window monitoring
+        (P∀NN/P∃NN/PCNN over overlapping windows) cheap.  Sharing worlds
+        also makes results *mutually consistent* — overlapping windows are
+        estimated from the same possible worlds rather than independent
+        redraws.
+
+        Parameters
+        ----------
+        requests:
+            :class:`~repro.core.queries.QueryRequest` items, or bare
+            ``(query, times)`` / ``(query, times, mode)`` tuples that are
+            coerced with default ``tau=0.0, k=1``.
+        refresh_worlds:
+            Whether to advance to a fresh epoch before the batch.  The
+            default (``None``) follows engine policy: fresh worlds on a
+            default engine, held worlds on a ``reuse_worlds`` engine
+            (whose contract is that worlds only change on an explicit
+            :meth:`new_draw_epoch` or a database mutation).  Pass ``False``
+            to extend the previous *batch's* worlds — e.g. when a
+            monitoring loop issues successive batches and wants estimates
+            that only move when the database does; the engine restores
+            that batch's epoch even if standalone queries ran in between
+            (per-object RNGs are epoch-derived, so the same worlds are
+            reproduced exactly, at worst at resampling cost).
+
+        Returns
+        -------
+        list
+            One :class:`QueryResult` (``forall``/``exists``) or
+            :class:`PCNNResult` (``pcnn``) per request, in order.
+        """
+        reqs = [
+            r if isinstance(r, QueryRequest) else QueryRequest(*r) for r in requests
+        ]
+        explicit_hold = refresh_worlds is False
+        if refresh_worlds is None:
+            refresh_worlds = not self.reuse_worlds
+        if refresh_worlds:
+            self.new_draw_epoch()
+        elif explicit_hold and self._last_batch_epoch is not None:
+            # Only an *explicit* hold rewinds to the previous batch's epoch;
+            # the default on a reuse_worlds engine keeps the current epoch,
+            # so an explicit new_draw_epoch() between batches is respected.
+            self._draw_epoch = self._last_batch_epoch
+        self._last_batch_epoch = self._draw_epoch
+        self._batch_depth += 1
+        try:
+            out: list[QueryResult | PCNNResult] = []
+            for req in reqs:
+                if req.mode == "forall":
+                    out.append(self.forall_nn(req.query, req.times, req.tau, req.k))
+                elif req.mode == "exists":
+                    out.append(self.exists_nn(req.query, req.times, req.tau, req.k))
+                else:
+                    out.append(
+                        self.continuous_nn(req.query, req.times, req.tau, req.k)
+                    )
+            return out
+        finally:
+            self._batch_depth -= 1
+
+    # ------------------------------------------------------------------
     # raw probability access (calibration experiments)
     # ------------------------------------------------------------------
     def nn_probabilities(
@@ -245,11 +468,14 @@ class QueryEngine:
         this to compare estimators on the same object set.
         """
         times = normalize_times(times)
-        pruning = self.filter_objects(q, times, k=k)
+        self._begin_query()
+        pruning = self.filter_objects(q, times, k=k, normalized=True)
         refine_ids = pruning.influencers
         if not refine_ids:
             return {}
-        dist = self.distance_tensor(refine_ids, q, times, n_samples=n_samples)
+        dist = self.distance_tensor(
+            refine_ids, q, times, n_samples=n_samples, normalized=True
+        )
         p_all = forall_knn_prob(dist, k)
         p_any = exists_knn_prob(dist, k)
         return {

@@ -3,17 +3,20 @@
 Section 3.2: all three PNN semantics take "a certain reference state or
 trajectory q" — a query state being simply a trivial (constant) query
 trajectory.  A :class:`Query` therefore exposes one operation: its location
-at each requested time.
+at each requested time.  :class:`QueryRequest` bundles a query with its
+semantics and parameters for the engine's batched API.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..statespace.base import StateSpace
 from ..trajectory.trajectory import Trajectory
 
-__all__ = ["Query", "normalize_times"]
+__all__ = ["Query", "QueryRequest", "normalize_times"]
 
 
 def normalize_times(times) -> np.ndarray:
@@ -82,3 +85,28 @@ class Query:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Query(kind={self._kind!r})"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One element of a ``QueryEngine.batch_query`` call.
+
+    ``mode`` selects the semantics: ``"forall"`` (P∀kNNQ), ``"exists"``
+    (P∃kNNQ) or ``"pcnn"`` (PCkNNQ — where ``tau`` is required to be
+    meaningful, exactly as in :meth:`QueryEngine.continuous_nn`).
+    """
+
+    query: Query
+    times: tuple[int, ...]
+    mode: str = "forall"
+    tau: float = 0.0
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("forall", "exists", "pcnn"):
+            raise ValueError(f"unknown query mode {self.mode!r}")
+        if not 0.0 <= self.tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        object.__setattr__(self, "times", tuple(int(t) for t in self.times))

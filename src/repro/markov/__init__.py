@@ -8,6 +8,7 @@ from .chain import (
     uniformized,
     validate_stochastic,
 )
+from .compiled import CompiledMatrix, CompiledModel, compile_model
 from .distributions import SparseDistribution
 from .hmm import Evidence, forward_backward_smoothing
 from .sampling import (
@@ -22,6 +23,8 @@ from .stationary import mixing_profile, spectral_gap, stationary_distribution
 
 __all__ = [
     "AdaptedModel",
+    "CompiledMatrix",
+    "CompiledModel",
     "Evidence",
     "InhomogeneousMarkovChain",
     "MarkovChain",
@@ -30,6 +33,7 @@ __all__ = [
     "SparseDistribution",
     "TransitionModel",
     "adapt_model",
+    "compile_model",
     "estimate_rejection_cost",
     "estimate_segment_cost",
     "forward_backward_smoothing",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .chain import TransitionModel
+from .compiled import CompiledModel, compile_model
 from .distributions import SparseDistribution
 
 __all__ = ["ObservationContradictionError", "AdaptedModel", "adapt_model"]
@@ -65,8 +66,18 @@ class AdaptedModel:
     posteriors: dict[int, SparseDistribution]
     forwards: dict[int, SparseDistribution]
     observation_times: tuple[int, ...] = field(default=())
+    _compiled: CompiledModel | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
+    @property
+    def compiled(self) -> CompiledModel:
+        """The flattened sampling view of ``F`` (built lazily, then cached)."""
+        if self._compiled is None:
+            self._compiled = compile_model(self)
+        return self._compiled
+
     def covers(self, t: int) -> bool:
         """Whether the object's uncertain trajectory is defined at ``t``."""
         return self.t_first <= t <= self.t_last
@@ -94,12 +105,19 @@ class AdaptedModel:
         n: int,
         t_start: int | None = None,
         t_end: int | None = None,
+        backend: str = "compiled",
     ) -> np.ndarray:
         """Draw ``n`` trajectories over ``[t_start, t_end]`` from ``F``.
 
         Every returned trajectory is consistent with all observations; the
         rows are i.i.d. samples of the a-posteriori stochastic process.
         Returns an ``(n, t_end - t_start + 1)`` integer array of states.
+
+        ``backend="compiled"`` (default) samples through the flattened
+        :attr:`compiled` view — one vectorized inverse-CDF transform per
+        timestep.  ``backend="reference"`` keeps the legacy row-dict walk;
+        both consume the RNG stream identically (one ``rng.random(n)`` per
+        timestep), so a fixed seed yields bit-identical paths on either.
         """
         a = self.t_first if t_start is None else int(t_start)
         b = self.t_last if t_end is None else int(t_end)
@@ -109,17 +127,23 @@ class AdaptedModel:
             raise KeyError(
                 f"window [{a}, {b}] outside adapted span [{self.t_first}, {self.t_last}]"
             )
+        if backend == "compiled":
+            return self.compiled.sample_paths(rng, n, a, b)
+        if backend != "reference":
+            raise ValueError(f"unknown sampling backend {backend!r}")
         length = b - a + 1
         out = np.empty((n, length), dtype=np.intp)
-        out[:, 0] = self.posterior(a).sample(rng, n)
+        start = self.posterior(a)
+        out[:, 0] = _inverse_cdf_pick(start.states, np.cumsum(start.probs), rng.random(n))
         for offset, t in enumerate(range(a, b)):
             current = out[:, offset]
             nxt = out[:, offset + 1]
             rows = self.transitions[t]
+            u = rng.random(n)
             for state in np.unique(current):
                 mask = current == state
                 next_states, probs = rows[int(state)]
-                nxt[mask] = _draw_categorical(next_states, probs, int(mask.sum()), rng)
+                nxt[mask] = _inverse_cdf_pick(next_states, np.cumsum(probs), u[mask])
         return out
 
     def expected_positions(self, coords: np.ndarray) -> dict[int, np.ndarray]:
@@ -131,14 +155,11 @@ class AdaptedModel:
         return out
 
 
-def _draw_categorical(
-    values: np.ndarray, probs: np.ndarray, size: int, rng: np.random.Generator
+def _inverse_cdf_pick(
+    values: np.ndarray, cdf: np.ndarray, u: np.ndarray
 ) -> np.ndarray:
-    """Vectorized categorical draws via inverse-CDF (faster than choice)."""
-    if values.size == 1:
-        return np.full(size, values[0], dtype=np.intp)
-    cdf = np.cumsum(probs)
-    picks = np.searchsorted(cdf, rng.random(size), side="right")
+    """Map uniforms through a categorical CDF (clipped against float error)."""
+    picks = np.searchsorted(cdf, u, side="right")
     return values[np.minimum(picks, values.size - 1)]
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from .compiled import CompiledMatrix
+
 __all__ = [
     "TransitionModel",
     "MarkovChain",
@@ -80,6 +82,34 @@ class TransitionModel:
         out = mat.copy()
         out.data = np.ones_like(out.data)
         return out
+
+    def compiled_step(self, t: int) -> CompiledMatrix:
+        """Cached :class:`~repro.markov.compiled.CompiledMatrix` for time ``t``.
+
+        Compilation is keyed by the identity of ``matrix_at(t)``, so the
+        homogeneous chain pays it once and an inhomogeneous chain once per
+        distinct matrix.  Each entry pins the keyed matrix, so a recycled
+        ``id()`` can never alias a different matrix; when the cache is full
+        the oldest entry is dropped (not the whole cache — a clear-all
+        would recompile every timestep of a long inhomogeneous chain on
+        each sampling pass), which also bounds exotic subclasses that
+        build a fresh matrix per call.
+        """
+        cache: dict[int, tuple[sparse.spmatrix, CompiledMatrix]] = (
+            self.__dict__.setdefault("_compiled_steps", {})
+        )
+        matrix = self.matrix_at(t)
+        entry = cache.get(id(matrix))
+        if entry is None or entry[0] is not matrix:
+            if len(cache) >= 1024:
+                # Evict the *newest* entry: cyclic timestep scans (the only
+                # realistic way to exceed the cap) keep their prefix hot this
+                # way, whereas FIFO/LRU would evict each entry just before
+                # the next pass needs it and recompile everything.
+                cache.popitem()
+            entry = (matrix, CompiledMatrix(matrix))
+            cache[id(matrix)] = entry
+        return entry[1]
 
 
 class MarkovChain(TransitionModel):

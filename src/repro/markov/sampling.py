@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .adaptation import AdaptedModel, _draw_categorical
+from .adaptation import AdaptedModel
 from .chain import TransitionModel
 
 __all__ = [
@@ -69,16 +69,7 @@ def _roll_forward(
     rng: np.random.Generator,
 ) -> np.ndarray:
     """One a-priori forward roll-out from ``(t_start, start_state)``."""
-    path = np.empty(t_end - t_start + 1, dtype=np.intp)
-    path[0] = start_state
-    state = start_state
-    for offset, t in enumerate(range(t_start, t_end)):
-        nxt, probs = chain.successors(state, t)
-        if nxt.size == 0:
-            raise ValueError(f"state {state} has no successors at time {t}")
-        state = int(_draw_categorical(nxt, probs, 1, rng)[0])
-        path[offset + 1] = state
-    return path
+    return _roll_batch(chain, start_state, t_start, t_end, 1, rng)[0]
 
 
 def rejection_sample(
@@ -168,18 +159,18 @@ def _roll_batch(
     batch: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Roll ``batch`` independent a-priori walks at once (grouped draws)."""
+    """Roll ``batch`` independent a-priori walks at once (vectorized).
+
+    Each timestep is one inverse-CDF transform through the chain's compiled
+    transition matrix (:meth:`TransitionModel.compiled_step`) — no
+    per-state Python loop.
+    """
     out = np.empty((batch, t_end - t_start + 1), dtype=np.intp)
     out[:, 0] = start_state
+    current = out[:, 0]
     for offset, t in enumerate(range(t_start, t_end)):
-        cur = out[:, offset]
-        nxt = out[:, offset + 1]
-        for state in np.unique(cur):
-            mask = cur == state
-            succ, probs = chain.successors(int(state), t)
-            if succ.size == 0:
-                raise ValueError(f"state {state} has no successors at time {t}")
-            nxt[mask] = _draw_categorical(succ, probs, int(mask.sum()), rng)
+        current = chain.compiled_step(t).draw(current, rng.random(batch), t=t)
+        out[:, offset + 1] = current
     return out
 
 
@@ -228,7 +219,10 @@ def estimate_segment_cost(
 
     Each segment is retried independently until its endpoint matches, so
     the expected total cost is ``Σ_seg 1 / p_seg`` — estimated here from
-    batched hit rates.
+    batched hit rates.  A segment with *zero* hits inside its budget makes
+    the estimate ``float("inf")`` (with ``capped=True``): the true cost is
+    unbounded from this evidence, and a finite ``budget`` value would be
+    indistinguishable from a genuine measurement in Fig. 10.
     """
     obs = sorted((int(t), int(s)) for t, s in observations)
     total = 0.0
@@ -242,11 +236,9 @@ def estimate_segment_cost(
             attempts += size
             hits += int(np.sum(rolls[:, -1] == s1))
         if hits == 0:
-            capped = True
-            total += attempts
-        else:
-            capped = capped or hits < target_valid
-            total += attempts / hits
+            return float("inf"), True
+        capped = capped or hits < target_valid
+        total += attempts / hits
     if not obs[1:]:
         total = 1.0  # single observation: every roll is trivially valid
     return total, capped
@@ -256,11 +248,12 @@ def posterior_sample(
     model: AdaptedModel,
     n: int,
     rng: np.random.Generator,
+    backend: str = "compiled",
 ) -> SamplingStats:
     """Forward-backward sampler wrapped in the same stats interface.
 
     Every draw is valid by construction, so ``attempts == n`` always — the
     flat line of Fig. 10.
     """
-    trajectories = model.sample_paths(rng, n)
+    trajectories = model.sample_paths(rng, n, backend=backend)
     return SamplingStats(trajectories=trajectories, attempts=n, requested=n)

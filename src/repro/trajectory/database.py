@@ -46,8 +46,18 @@ class TrajectoryDatabase:
 
     @property
     def version(self) -> int:
-        """Mutation counter; index caches compare against it for staleness."""
+        """Mutation counter; derived caches compare against it for staleness.
+
+        Both the query engine's UST-tree index and its per-object world
+        cache key off this value: any mutation (object added or removed,
+        observation ingested) invalidates sampled worlds and index pages on
+        the next access, so queries never run against a stale view.
+        """
         return self._version
+
+    def _bump_version(self) -> None:
+        """Record a mutation, invalidating every version-stamped cache."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # population
@@ -73,13 +83,13 @@ class TrajectoryDatabase:
             object_id, observations, own_chain, ground_truth, extend_to=extend_to
         )
         self._objects[object_id] = obj
-        self._version += 1
+        self._bump_version()
         return obj
 
     def remove_object(self, object_id: str) -> None:
         del self._objects[object_id]
         self._diamonds.pop(object_id, None)
-        self._version += 1
+        self._bump_version()
 
     def add_observation(self, object_id: str, time: int, state: int) -> UncertainObject:
         """Ingest a new observation for an existing object.
@@ -105,7 +115,7 @@ class TrajectoryDatabase:
         )
         self._objects[old.object_id] = replacement
         self._diamonds.pop(old.object_id, None)
-        self._version += 1
+        self._bump_version()
         return replacement
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..markov.adaptation import AdaptedModel, adapt_model
 from ..markov.chain import TransitionModel
+from ..markov.compiled import CompiledModel
 from .observation import ObservationSet
 
 __all__ = ["Trajectory", "UncertainObject"]
@@ -134,6 +135,11 @@ class UncertainObject:
             )
         return self._adapted
 
+    @property
+    def compiled(self) -> CompiledModel:
+        """The flattened sampling view of the a-posteriori model."""
+        return self.adapted.compiled
+
     def is_adapted(self) -> bool:
         return self._adapted is not None
 
@@ -146,11 +152,13 @@ class UncertainObject:
         times: np.ndarray,
         n: int,
         rng: np.random.Generator,
+        backend: str = "compiled",
     ) -> np.ndarray:
         """Sample posterior states at the requested (sorted) times.
 
         All times must lie within the object's span; the returned array has
-        shape ``(n, len(times))``.
+        shape ``(n, len(times))``.  ``backend`` selects the sampling path —
+        see :meth:`AdaptedModel.sample_paths`.
         """
         times = np.asarray(times, dtype=np.intp)
         if times.size == 0:
@@ -159,7 +167,9 @@ class UncertainObject:
             raise KeyError(
                 f"object {self.object_id} does not cover all of {times.tolist()}"
             )
-        paths = self.adapted.sample_paths(rng, n, int(times.min()), int(times.max()))
+        paths = self.adapted.sample_paths(
+            rng, n, int(times.min()), int(times.max()), backend=backend
+        )
         return paths[:, times - times.min()]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,271 @@
+"""World-cache correctness: reuse, epochs, staleness, backend parity.
+
+Covers the engine-level guarantees of the compiled-sampling refactor:
+batched queries sample each object at most once per draw epoch, database
+mutations invalidate both the UST-tree and the world cache, and the two
+sampling backends produce bit-identical query results for one seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.core.queries import Query, QueryRequest
+from repro.core.results import PCNNResult, QueryResult
+from tests.conftest import make_drift_chain, make_line_space, make_random_world
+from repro.trajectory.database import TrajectoryDatabase
+
+
+@pytest.fixture
+def world():
+    db, _ = make_random_world(seed=7, n_objects=5, span=8, obs_every=3)
+    return db
+
+
+class TestBatchQueryReuse:
+    def test_sliding_window_samples_each_object_once(self, world):
+        engine = QueryEngine(world, n_samples=200, seed=1)
+        q = Query.from_point([5.0, 5.0])
+        requests = [
+            QueryRequest(q, tuple(range(t, t + 3)), "forall") for t in range(6)
+        ]
+        results = engine.batch_query(requests)
+        assert len(results) == len(requests)
+        # The sampler-call counter: at most one sampler invocation per
+        # object per draw epoch, no matter how many windows touched it.
+        assert engine.sampler_calls <= len(world)
+        assert engine.worlds.hits > 0
+
+    def test_second_batch_resamples_by_default(self, world):
+        engine = QueryEngine(world, n_samples=100, seed=2)
+        q = Query.from_point([5.0, 5.0])
+        reqs = [QueryRequest(q, (1, 2, 3))]
+        engine.batch_query(reqs)
+        first = engine.sampler_calls
+        engine.batch_query(reqs)
+        assert engine.sampler_calls > first  # fresh epoch, fresh worlds
+
+    def test_batch_can_extend_previous_epoch(self, world):
+        engine = QueryEngine(world, n_samples=100, seed=2)
+        q = Query.from_point([5.0, 5.0])
+        engine.batch_query([QueryRequest(q, (1, 2, 3))])
+        first = engine.sampler_calls
+        engine.batch_query([QueryRequest(q, (2, 3, 4))], refresh_worlds=False)
+        assert engine.sampler_calls == first  # same epoch: cache only
+
+    def test_held_epoch_survives_interleaved_standalone_query(self, world):
+        """Regression: refresh_worlds=False extends the previous *batch's*
+        worlds even when standalone queries advanced the epoch in between."""
+        engine = QueryEngine(world, n_samples=300, seed=13)
+        q = Query.from_point([5.0, 5.0])
+        reqs = [QueryRequest(q, (1, 2, 3)), QueryRequest(q, (2, 3, 4))]
+        first = engine.batch_query(reqs)
+        engine.forall_nn(q, [1, 2])  # interleaved one-off: bumps the epoch
+        second = engine.batch_query(reqs, refresh_worlds=False)
+        for a, b in zip(first, second):
+            assert a.probabilities == b.probabilities
+
+    def test_repeated_distance_tensor_draws_fresh_worlds(self, world):
+        """Direct distance_tensor calls must stay averageable: two calls in
+        one epoch may not return identical tensors (regression)."""
+        engine = QueryEngine(world, n_samples=100, seed=14)
+        q = Query.from_point([5.0, 5.0])
+        oid = next(o.object_id for o in world if o.covers_all(np.array([1, 2])))
+        d1 = engine.distance_tensor([oid], q, np.array([1, 2]))
+        d2 = engine.distance_tensor([oid], q, np.array([1, 2]))
+        assert not np.array_equal(d1, d2)
+
+    def test_identical_requests_in_batch_consistent(self, world):
+        """Regression: standalone queries interleaved with a held-epoch batch
+        must not leak partial worlds — identical requests in one batch agree
+        even when a wider request sits between them."""
+        engine = QueryEngine(world, n_samples=200, seed=6)
+        q = Query.from_point([5.0, 5.0])
+        # Establish a batch epoch, then interleave a standalone query so the
+        # held batch below really does run against a previously-used epoch.
+        engine.batch_query([QueryRequest(q, (2, 3, 4))])
+        engine.forall_nn(q, [2, 3, 4])
+        out = engine.batch_query(
+            [
+                QueryRequest(q, (2, 3)),
+                QueryRequest(q, (1, 2, 3, 4, 5)),
+                QueryRequest(q, (2, 3)),
+            ],
+            refresh_worlds=False,
+        )
+        assert out[0].probabilities == out[2].probabilities
+        # And the held batch sampled each object at most once.
+        assert engine.worlds.misses <= 2 * len(world)
+
+    def test_batch_on_reuse_engine_keeps_worlds_by_default(self, world):
+        """A reuse_worlds engine's contract — worlds held until an explicit
+        refresh — must survive an interleaved batch_query (regression)."""
+        engine = QueryEngine(world, n_samples=200, seed=15, reuse_worlds=True)
+        q = Query.from_point([5.0, 5.0])
+        r1 = engine.forall_nn(q, [2, 3])
+        engine.batch_query([QueryRequest(q, (1, 2, 3))])  # default: no refresh
+        r2 = engine.forall_nn(q, [2, 3])
+        assert r1.probabilities == r2.probabilities
+        engine.batch_query([QueryRequest(q, (1, 2, 3))], refresh_worlds=True)
+        r3 = engine.forall_nn(q, [2, 3])
+        assert r3.n_samples == r1.n_samples  # explicit refresh allowed, runs fine
+
+    def test_explicit_new_epoch_respected_by_default_batch(self, world):
+        """Regression: a default-policy batch on a reuse engine must not
+        rewind an explicit new_draw_epoch() to the previous batch's epoch."""
+        engine = QueryEngine(world, n_samples=200, seed=16, reuse_worlds=True)
+        q = Query.from_point([5.0, 5.0])
+        engine.batch_query([QueryRequest(q, (1, 2, 3))])
+        e_before = engine.draw_epoch
+        engine.new_draw_epoch()
+        engine.batch_query([QueryRequest(q, (1, 2, 3))])  # default policy
+        assert engine.draw_epoch > e_before  # not rewound to the stale epoch
+
+    def test_mixed_modes_share_worlds(self, world):
+        engine = QueryEngine(world, n_samples=150, seed=3)
+        q = Query.from_point([5.0, 5.0])
+        out = engine.batch_query(
+            [
+                QueryRequest(q, (1, 2, 3), "forall"),
+                QueryRequest(q, (1, 2, 3), "exists"),
+                QueryRequest(q, (1, 2, 3), "pcnn", 0.3),
+            ]
+        )
+        assert isinstance(out[0], QueryResult)
+        assert isinstance(out[1], QueryResult)
+        assert isinstance(out[2], PCNNResult)
+        assert engine.sampler_calls <= len(world)
+        # Shared worlds make ∃ ≥ ∀ exact, not just statistical.
+        for oid, p_forall in out[0].probabilities.items():
+            assert out[1].probabilities[oid] >= p_forall - 1e-12
+
+    def test_tuple_requests_coerced(self, world):
+        engine = QueryEngine(world, n_samples=50, seed=4)
+        q = Query.from_point([5.0, 5.0])
+        out = engine.batch_query([(q, (1, 2)), (q, (2, 3), "exists")])
+        assert all(isinstance(r, QueryResult) for r in out)
+
+    def test_bad_mode_rejected(self, world):
+        q = Query.from_point([0.0, 0.0])
+        with pytest.raises(ValueError, match="mode"):
+            QueryRequest(q, (1, 2), "sometimes")
+
+
+class TestEpochSemantics:
+    def test_standalone_queries_draw_fresh_worlds(self, world):
+        engine = QueryEngine(world, n_samples=100, seed=5)
+        q = Query.from_point([5.0, 5.0])
+        e0 = engine.draw_epoch
+        engine.forall_nn(q, [1, 2, 3])
+        e1 = engine.draw_epoch
+        engine.forall_nn(q, [1, 2, 3])
+        assert e1 > e0 and engine.draw_epoch > e1
+
+    def test_reuse_worlds_engine_holds_epoch(self, world):
+        engine = QueryEngine(world, n_samples=100, seed=5, reuse_worlds=True)
+        q = Query.from_point([5.0, 5.0])
+        r1 = engine.forall_nn(q, [1, 2, 3])
+        calls = engine.sampler_calls
+        r2 = engine.forall_nn(q, [1, 2, 3])
+        assert engine.sampler_calls == calls  # no resampling
+        assert r1.probabilities == r2.probabilities  # literally same worlds
+        engine.new_draw_epoch()
+        engine.forall_nn(q, [1, 2, 3])
+        assert engine.sampler_calls > calls
+
+    def test_determinism_across_engines(self, world):
+        q = Query.from_point([5.0, 5.0])
+        reqs = [QueryRequest(q, tuple(range(t, t + 3))) for t in range(4)]
+        r1 = QueryEngine(world, n_samples=300, seed=9).batch_query(reqs)
+        r2 = QueryEngine(world, n_samples=300, seed=9).batch_query(reqs)
+        for a, b in zip(r1, r2):
+            assert a.probabilities == b.probabilities
+
+
+class TestBackendParityAtQueryLevel:
+    """Same seed + fixed database ⇒ bit-identical QueryResult probabilities."""
+
+    def test_forall_probabilities_bit_identical(self, world):
+        q = Query.from_point([5.0, 5.0])
+        res_c = QueryEngine(world, n_samples=400, seed=11).forall_nn(q, [1, 2, 3])
+        res_r = QueryEngine(
+            world, n_samples=400, seed=11, backend="reference"
+        ).forall_nn(q, [1, 2, 3])
+        assert res_c.probabilities == res_r.probabilities
+
+    def test_pcnn_entries_bit_identical(self, world):
+        q = Query.from_point([5.0, 5.0])
+        res_c = QueryEngine(world, n_samples=300, seed=12).continuous_nn(
+            q, [1, 2, 3, 4], tau=0.2
+        )
+        res_r = QueryEngine(
+            world, n_samples=300, seed=12, backend="reference"
+        ).continuous_nn(q, [1, 2, 3, 4], tau=0.2)
+        assert [(e.object_id, e.times, e.probability) for e in res_c.entries] == [
+            (e.object_id, e.times, e.probability) for e in res_r.entries
+        ]
+
+    def test_unknown_backend_rejected(self, world):
+        with pytest.raises(ValueError, match="backend"):
+            QueryEngine(world, n_samples=10, seed=0, backend="quantum")
+
+
+class TestStaleWorldRegression:
+    """Mutations must invalidate both the UST-tree and the world cache."""
+
+    @pytest.fixture
+    def db(self):
+        db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+        db.add_object("a", [(0, 0), (4, 2)])
+        db.add_object("b", [(0, 1), (4, 3)])
+        return db
+
+    def test_add_observation_invalidates_worlds(self, db):
+        engine = QueryEngine(db, n_samples=2000, seed=0, reuse_worlds=True)
+        q = Query.from_point([0.0, 0.0])
+        engine.forall_nn(q, [2])
+        calls = engine.sampler_calls
+        tree_before = engine.ust_tree
+        v_before = db.version
+        # Pin "a" at state 2 at t=2: its worlds *must* be redrawn, even with
+        # reuse_worlds=True, or the query would answer from a stale database.
+        db.add_observation("a", 2, 2)
+        assert db.version == v_before + 1
+        res = engine.forall_nn(q, [2])
+        assert engine.sampler_calls > calls  # worlds resampled
+        assert engine.ust_tree is not tree_before  # index rebuilt
+        # Every sampled world of "a" now sits at state 2 (posterior is a
+        # point mass), so its NN probability against q=(0,0) is exact.
+        dist = engine.distance_tensor(["a"], q, np.array([2]))
+        assert np.allclose(dist, 2.0)
+        assert res.n_samples == 2000
+
+    def test_remove_object_invalidates_worlds(self, db):
+        engine = QueryEngine(db, n_samples=500, seed=1, reuse_worlds=True)
+        q = Query.from_point([0.0, 0.0])
+        before = engine.forall_nn(q, [1, 2])
+        assert "b" in before.probabilities
+        v = db.version
+        db.remove_object("b")
+        assert db.version == v + 1
+        after = engine.forall_nn(q, [1, 2])
+        assert "b" not in after.probabilities
+        assert after.probabilities["a"] == pytest.approx(1.0)
+
+    def test_cache_stamp_tracks_version_and_epoch(self, db):
+        engine = QueryEngine(db, n_samples=50, seed=2, reuse_worlds=True)
+        q = Query.from_point([0.0, 0.0])
+        engine.forall_nn(q, [1])
+        assert engine.worlds.stamp == (db.version, engine.draw_epoch)
+        db.add_observation("a", 2, 1)
+        engine.forall_nn(q, [1])
+        assert engine.worlds.stamp == (db.version, engine.draw_epoch)
+
+    def test_default_standalone_queries_bypass_cache(self, db):
+        # Only full-span entries ever enter the cache; a fresh-epoch
+        # standalone query samples its window directly.
+        engine = QueryEngine(db, n_samples=50, seed=3)
+        q = Query.from_point([0.0, 0.0])
+        engine.forall_nn(q, [1, 2])
+        assert len(engine.worlds) == 0
+        assert engine.sampler_calls > 0  # direct draws still counted

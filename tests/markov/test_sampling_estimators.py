@@ -102,3 +102,23 @@ class TestSegmentCost:
         )
         assert cost == 1.0
         assert not capped
+
+    def test_zero_hit_segment_returns_inf(self, deterministic_chain):
+        # From state 0 the chain alternates 0,1,0,1,... so state 1 at t=2 is
+        # unreachable: the segment gets zero hits and the cost must be inf
+        # (a finite value would be indistinguishable from a measurement).
+        cost, capped = estimate_segment_cost(
+            deterministic_chain, [(0, 0), (2, 1)], target_valid=5,
+            budget_per_segment=500, rng=np.random.default_rng(3),
+        )
+        assert cost == float("inf")
+        assert capped
+
+    def test_zero_hit_segment_dominates_mixed_chain(self, deterministic_chain):
+        # A feasible segment before the impossible one still yields inf.
+        cost, capped = estimate_segment_cost(
+            deterministic_chain, [(0, 0), (2, 0), (4, 1)], target_valid=5,
+            budget_per_segment=500, rng=np.random.default_rng(4),
+        )
+        assert cost == float("inf")
+        assert capped
