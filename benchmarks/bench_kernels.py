@@ -87,6 +87,91 @@ def test_bench_batch_query_sliding_window(benchmark, workload):
     benchmark(lambda: engine.batch_query(requests))
 
 
+@pytest.fixture(scope="module")
+def long_lifetime_workload():
+    """Long-lived objects (80-tic lifetimes) probed by narrow windows — the
+    sliding-window monitoring regime where window-restricted sampling pays:
+    the batch union below covers 20 of each object's 80 tics (25%)."""
+    config = SyntheticWorkloadConfig(
+        n_states=2000, n_objects=30, lifetime=80, horizon=100, obs_interval=8
+    )
+    return generate_workload(config, np.random.default_rng(1))
+
+
+def _narrow_window_requests(workload):
+    q = Query.from_state(workload.db.space, workload.sample_query_state())
+    # 7 sliding 8-tic windows; union [30, 49] = 20 tics ≤ 25% of lifetime.
+    return [QueryRequest(q, tuple(range(t, t + 8))) for t in range(30, 43, 2)]
+
+
+def _narrow_window_engine(workload, window_restrict):
+    engine = QueryEngine(
+        workload.db, n_samples=1000, seed=8, window_restrict=window_restrict
+    )
+    _ = engine.ust_tree
+    for obj in workload.db:
+        _ = obj.adapted
+    return engine
+
+
+def test_bench_batch_narrow_window_restricted(benchmark, long_lifetime_workload):
+    """Window-restricted refinement (default): each influence object is
+    sampled only over the 20-tic batch union.
+
+    The acceptance target of the windowed-cache refactor is ≥2× over
+    ``test_bench_batch_narrow_full_span`` on this workload.
+    """
+    engine = _narrow_window_engine(long_lifetime_workload, window_restrict=True)
+    requests = _narrow_window_requests(long_lifetime_workload)
+    benchmark(lambda: engine.batch_query(requests))
+
+
+def test_bench_batch_narrow_full_span(benchmark, long_lifetime_workload):
+    """Full-span ablation: identical batch, but every influence object is
+    sampled over its whole 80-tic adapted span (the pre-windowed engine)."""
+    engine = _narrow_window_engine(long_lifetime_workload, window_restrict=False)
+    requests = _narrow_window_requests(long_lifetime_workload)
+    benchmark(lambda: engine.batch_query(requests))
+
+
+def _refinement_kernel(workload, window_restrict):
+    """Isolate the refinement step: draw every object's worlds for a 20-tic
+    union window (fresh epoch per round, so each round really samples).
+    Counting/pruning are excluded — they cost the same in both modes."""
+    engine = QueryEngine(
+        workload.db,
+        n_samples=1000,
+        seed=8,
+        reuse_worlds=True,
+        window_restrict=window_restrict,
+    )
+    for obj in workload.db:
+        _ = obj.adapted.compiled  # pre-compile; the kernel times sampling
+    q = Query.from_state(workload.db.space, workload.sample_query_state())
+    ids = [o.object_id for o in workload.db]
+    times = np.arange(30, 50)
+
+    def run():
+        engine.new_draw_epoch()
+        engine.distance_tensor(ids, q, times)
+
+    return run
+
+
+def test_bench_refine_narrow_window_restricted(benchmark, long_lifetime_workload):
+    """Refinement cost, windowed: sample 30 objects over the 20-tic union.
+
+    The acceptance target of the windowed-cache refactor is ≥2× over
+    ``test_bench_refine_narrow_full_span`` (windows ≤25% of lifetimes).
+    """
+    benchmark(_refinement_kernel(long_lifetime_workload, window_restrict=True))
+
+
+def test_bench_refine_narrow_full_span(benchmark, long_lifetime_workload):
+    """Refinement cost, full-span ablation: same draw over 80-tic spans."""
+    benchmark(_refinement_kernel(long_lifetime_workload, window_restrict=False))
+
+
 def test_bench_world_statistics(benchmark):
     """∀NN counting over a 1000-world tensor."""
     rng = np.random.default_rng(2)

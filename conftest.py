@@ -11,3 +11,13 @@ from pathlib import Path
 _SRC = str(Path(__file__).parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden files (e.g. tests/data/paper_example_golden.json) "
+        "from the current implementation instead of asserting against them",
+    )

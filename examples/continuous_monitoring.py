@@ -98,8 +98,10 @@ def main() -> None:
             )
     print(
         f"  {len(requests)} windows refined with "
-        f"{engine.sampler_calls - calls_before} sampler calls "
-        f"({engine.worlds.hits} world-cache hits)"
+        f"{engine.sampler_calls - calls_before} full sampler calls "
+        f"({engine.worlds.hits} world-cache hits, "
+        f"{engine.worlds.partial_hits} forward extensions) — each object "
+        "sampled only over the batch's time-union, not its full span"
     )
 
 

@@ -11,10 +11,10 @@ from .exact import (
     exact_forall_nn_over_times,
     exact_nn_probabilities,
 )
-from .queries import Query, QueryRequest, normalize_times
+from .queries import Query, QueryRequest, normalize_times, union_window
 from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
 from .snapshot import snapshot_nn_probability_at, snapshot_probabilities
-from .worlds import WorldCache
+from .worlds import WorldCache, WorldSegment
 
 __all__ = [
     "AprioriBudgetExceeded",
@@ -30,6 +30,7 @@ __all__ = [
     "QueryResult",
     "WorldBudgetExceeded",
     "WorldCache",
+    "WorldSegment",
     "decide_with_bounds",
     "domination_probability",
     "enumerate_consistent_trajectories",
@@ -40,4 +41,5 @@ __all__ = [
     "normalize_times",
     "snapshot_nn_probability_at",
     "snapshot_probabilities",
+    "union_window",
 ]

@@ -7,11 +7,18 @@ worlds; (3) counting — world statistics estimate the requested probability
 per candidate, compared against the threshold τ.
 
 Refinement draws worlds through a per-object :class:`~repro.core.worlds.
-WorldCache`: each object is sampled over its full adapted span at most once
-per *draw epoch* (with a per-object RNG derived from the engine seed, the
-epoch and the object id, so worlds do not depend on which other objects a
-query refines).  Standalone queries advance the epoch on entry — they see
-fresh, independent worlds exactly as before — while :meth:`QueryEngine.
+WorldCache`: each object is sampled at most once per *draw epoch* (with a
+per-object RNG derived from the engine seed, the epoch and the object id,
+so worlds do not depend on which other objects a query refines) — and, by
+default, only over the **window the batch actually requests** rather than
+the object's full adapted span.  A batch first computes the union of its
+requests' time sets; every object is then drawn over that union clamped to
+its span, and a later batch that holds the epoch and asks for later tics
+*forward-extends* the cached paths by resuming the stored RNG stream
+(bit-identical to one-shot sampling of the union window; see
+:mod:`repro.core.worlds` for the soundness argument and the backward-
+request fallback).  Standalone queries advance the epoch on entry — they
+see fresh, independent worlds exactly as before — while :meth:`QueryEngine.
 batch_query` holds one epoch across a whole batch, so sliding-window
 monitoring re-samples each object at most once instead of once per query.
 """
@@ -33,7 +40,7 @@ from ..trajectory.nn import (
 )
 from ..trajectory.trajectory import UncertainObject
 from .apriori import mine_timestamp_sets
-from .queries import Query, QueryRequest, normalize_times
+from .queries import Query, QueryRequest, normalize_times, union_window
 from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
 from .worlds import WorldCache
 
@@ -68,6 +75,19 @@ class QueryEngine:
         so consecutive queries share sampled worlds until
         :meth:`new_draw_epoch` is called explicitly.  The default preserves
         the classic semantics: every standalone query sees fresh worlds.
+        One caveat under window restriction: a held-epoch request reaching
+        *before* an object's cached window redraws that object's worlds
+        over the union window (backward extension is unsound; see
+        :mod:`repro.core.worlds`), so estimates for the overlap can move
+        without an explicit refresh.  Forward-growing request sequences —
+        the sliding-window monitoring pattern — never redraw.
+    window_restrict:
+        When ``True`` (default) cached worlds cover only the requested
+        window — the per-batch union of query times, clamped to each
+        object's span — and grow forward on demand.  ``False`` restores
+        the full-adapted-span sampling of the pre-windowed engine (kept as
+        an ablation and for workloads whose windows jump backwards so
+        often that union redraws would dominate).
     """
 
     def __init__(
@@ -81,6 +101,7 @@ class QueryEngine:
         ust_tree: USTTree | None = None,
         backend: str = "compiled",
         reuse_worlds: bool = False,
+        window_restrict: bool = True,
     ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
@@ -95,6 +116,7 @@ class QueryEngine:
         self.refine_per_tic = refine_per_tic
         self.backend = backend
         self.reuse_worlds = reuse_worlds
+        self.window_restrict = window_restrict
         self._ust = ust_tree
         self._ust_version = db.version if ust_tree is not None else None
         #: Cached per-object sampled worlds; see :mod:`repro.core.worlds`.
@@ -102,6 +124,7 @@ class QueryEngine:
         self._draw_epoch = 0
         self._epoch_counter = 0  # monotonic allocator (epochs can be restored)
         self._batch_depth = 0
+        self._batch_window: tuple[int, int] | None = None
         self._direct_draws = 0
         self._direct_round = 0
         self._last_batch_epoch: int | None = None
@@ -140,7 +163,11 @@ class QueryEngine:
 
     @property
     def sampler_calls(self) -> int:
-        """Total sampler invocations so far (cache misses + direct draws)."""
+        """Full sampler invocations so far (cache misses + direct draws).
+
+        Forward extensions of cached segments are cheaper resumed draws and
+        are tracked separately as ``worlds.partial_hits``.
+        """
         return self.worlds.misses + self._direct_draws
 
     def new_draw_epoch(self) -> int:
@@ -179,21 +206,41 @@ class QueryEngine:
             )
         )
 
+    def _cache_window(self, obj: UncertainObject, times: np.ndarray) -> tuple[int, int]:
+        """The window a shared (cached) draw for ``obj`` should cover.
+
+        Inside a batch this is the batch's precomputed time-union — so
+        every request of the batch slices one common draw — clamped to the
+        object's span; for standalone shared queries (``reuse_worlds``) it
+        is the hull of the requested times.  With ``window_restrict=False``
+        it is always the full adapted span (the pre-windowed engine).
+        """
+        if not self.window_restrict:
+            return obj.t_first, obj.t_last
+        if self._batch_window is not None:
+            lo, hi = self._batch_window
+            return max(obj.t_first, lo), min(obj.t_last, hi)
+        return int(times[0]), int(times[-1])
+
     def _sampled_states(
         self, obj: UncertainObject, times: np.ndarray, n: int
     ) -> np.ndarray:
-        """Worlds for one object at the given (covered) times.
+        """Worlds for one object at the given (covered, sorted) times.
 
         When worlds are shared across queries (inside a batch, or on a
-        ``reuse_worlds`` engine) the cache holds one *full-span* sample per
-        object and epoch, so every sub-window reuses the same worlds and
-        the sampler runs at most once per object per epoch.  Otherwise —
-        a standalone default query on a fresh epoch, or a direct
+        ``reuse_worlds`` engine) the cache holds one growable window
+        segment per object and epoch — anchored at the earliest requested
+        time and forward-extended on demand — so every sub-window reuses
+        the same worlds and the *full* sampler runs at most once per object
+        per epoch (extensions are cheap resumed draws).  Otherwise — a
+        standalone default query on a fresh epoch, or a direct
         ``distance_tensor`` call — nothing could coherently be reused, so
-        the object is sampled over just the requested window (the
-        pre-cache engine's cost) without touching the cache; only
-        full-span entries ever enter it, which is what keeps all answers
-        within one epoch drawn from the same worlds.
+        the object is sampled over just the requested window without
+        touching the cache; only shared-epoch segments ever enter it.
+        Answers within one epoch are thus drawn from the same worlds, with
+        one exception: a request reaching *before* a cached anchor redraws
+        that object's union window fresh (the backward fallback of
+        :meth:`WorldCache.states_for`).
         """
         times = np.asarray(times, dtype=np.intp)
         share = self.reuse_worlds or self._batch_depth > 0
@@ -202,18 +249,33 @@ class QueryEngine:
             rng = self._object_rng(obj.object_id, self._direct_round)
             return obj.sample_states(times, n, rng, backend=self.backend)
 
-        def draw() -> tuple[int, np.ndarray]:
-            rng = self._object_rng(obj.object_id)
-            return obj.t_first, obj.adapted.sample_paths(
-                rng, n, backend=self.backend
-            )
+        t_lo, t_hi = self._cache_window(obj, times)
 
-        t0, paths = self.worlds.states_for(
+        def draw(lo: int, hi: int) -> tuple[np.ndarray, np.random.Generator]:
+            rng = self._object_rng(obj.object_id)
+            states = obj.adapted.sample_paths(rng, n, lo, hi, backend=self.backend)
+            return states, rng
+
+        def extend(
+            rng: np.random.Generator,
+            start_states: np.ndarray,
+            t_from: int,
+            hi: int,
+        ) -> np.ndarray:
+            grown = obj.adapted.sample_paths(
+                rng, n, t_from, hi, backend=self.backend, start_states=start_states
+            )
+            return grown[:, 1:]
+
+        seg = self.worlds.states_for(
             key=(obj.object_id, n, self.backend),
             stamp=(self.db.version, self._draw_epoch),
+            t_lo=t_lo,
+            t_hi=t_hi,
             sampler=draw,
+            extender=extend,
         )
-        return paths[:, times - t0]
+        return seg.slice(times)
 
     # ------------------------------------------------------------------
     # filter step
@@ -401,6 +463,15 @@ class QueryEngine:
         estimated from the same possible worlds rather than independent
         redraws.
 
+        On a ``window_restrict`` engine (the default) that one draw covers
+        only the **union of the batch's query times** clamped to each
+        object's span, not the full span — the refinement-cost win for
+        narrow windows.  A later batch holding the epoch
+        (``refresh_worlds=False``) whose union reaches further *forward*
+        extends the cached paths bit-identically to one-shot sampling; a
+        union reaching further *backward* triggers one fresh union-window
+        redraw per object (see :mod:`repro.core.worlds`).
+
         Parameters
         ----------
         requests:
@@ -429,6 +500,8 @@ class QueryEngine:
         reqs = [
             r if isinstance(r, QueryRequest) else QueryRequest(*r) for r in requests
         ]
+        if not reqs:
+            return []
         explicit_hold = refresh_worlds is False
         if refresh_worlds is None:
             refresh_worlds = not self.reuse_worlds
@@ -440,6 +513,13 @@ class QueryEngine:
             # so an explicit new_draw_epoch() between batches is respected.
             self._draw_epoch = self._last_batch_epoch
         self._last_batch_epoch = self._draw_epoch
+        lo, hi = union_window(reqs)
+        if self._batch_window is not None:
+            # A nested batch widens the live window instead of replacing it,
+            # so outer requests keep slicing covered segments.
+            lo = min(lo, self._batch_window[0])
+            hi = max(hi, self._batch_window[1])
+        self._batch_window = (lo, hi)
         self._batch_depth += 1
         try:
             out: list[QueryResult | PCNNResult] = []
@@ -455,6 +535,8 @@ class QueryEngine:
             return out
         finally:
             self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._batch_window = None
 
     # ------------------------------------------------------------------
     # raw probability access (calibration experiments)

@@ -16,7 +16,7 @@ import numpy as np
 from ..statespace.base import StateSpace
 from ..trajectory.trajectory import Trajectory
 
-__all__ = ["Query", "QueryRequest", "normalize_times"]
+__all__ = ["Query", "QueryRequest", "normalize_times", "union_window"]
 
 
 def normalize_times(times) -> np.ndarray:
@@ -25,6 +25,26 @@ def normalize_times(times) -> np.ndarray:
     if arr.size == 0:
         raise ValueError("query time set T must be non-empty")
     return arr
+
+
+def union_window(requests) -> tuple[int, int]:
+    """``[t_lo, t_hi]`` covering every request's time set.
+
+    This is the window a batch samples worlds over (window-restricted
+    refinement): per-query time sets are slices of it, so one draw per
+    object serves the whole batch no matter how the windows overlap.
+    """
+    t_lo: int | None = None
+    t_hi: int | None = None
+    for req in requests:
+        if not req.times:
+            continue
+        lo, hi = req.window
+        t_lo = lo if t_lo is None else min(t_lo, lo)
+        t_hi = hi if t_hi is None else max(t_hi, hi)
+    if t_lo is None or t_hi is None:
+        raise ValueError("batch contains no query times")
+    return int(t_lo), int(t_hi)
 
 
 class Query:
@@ -110,3 +130,10 @@ class QueryRequest:
         if self.k < 1:
             raise ValueError("k must be >= 1")
         object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """``[t_lo, t_hi]`` hull of this request's time set."""
+        if not self.times:
+            raise ValueError("request has no query times")
+        return min(self.times), max(self.times)

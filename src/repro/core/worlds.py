@@ -1,12 +1,39 @@
-"""Per-object possible-world cache for the query engine.
+"""Per-object possible-world cache: window-restricted, forward-extendable.
 
 Refinement (Section 5) samples every influence object into possible worlds.
 A continuous-monitoring workload — P∀NN/P∃NN/PCNN over a sliding window —
 re-refines largely the same objects query after query; re-sampling them from
-scratch each time wastes the dominant share of query cost.  The
-:class:`WorldCache` keeps each object's sampled state matrix (its full
-adapted span) keyed by ``(object_id, n_samples, backend)`` and stamped with
-``(db.version, draw_epoch)``:
+scratch each time wastes the dominant share of query cost.  Worse, sampling
+each object's *full adapted span* when the query window covers a fraction of
+it (the moving-NN setting) wastes most of each draw: a batch asking for 10
+of an object's 80 tics pays for 80.
+
+The :class:`WorldCache` therefore stores **growable window segments**.  Each
+entry is a :class:`WorldSegment` — an ``(n_samples, width)`` state matrix
+anchored at ``t_first`` (the earliest time any batch requested), plus the
+per-object RNG stream that produced it.  Lookups pass the window
+``[t_lo, t_hi]`` they need and fall into exactly one of three cases:
+
+* **hit** — the segment already covers the window; slice and return.
+* **partial hit** — the segment covers ``t_lo`` but ends before ``t_hi``;
+  the cached paths are *forward-extended*: the sampler resumes from the
+  segment's final state column, consuming the stored RNG stream exactly
+  where the original draw left it.  Because resumed draws consume no
+  initial variate, the grown segment is **bit-identical** to what a single
+  one-shot draw of the union window would have produced — worlds within a
+  held epoch never depend on how requests were batched.
+* **miss** — no segment, or the request starts *before* the cached anchor.
+  Backward extension is unsound: sampling ``o(t_lo..t_first-1)`` afresh and
+  splicing it onto the cached suffix would ignore the posterior coupling
+  across the junction *and* could never be bit-reproduced by a one-shot
+  draw (the one-shot stream spends its variates on the early columns
+  first).  A backward request therefore **redraws the whole union window**
+  ``[t_lo, max(t_hi, old end)]`` from a fresh per-object stream — exactly
+  the worlds an engine would have drawn had that window been requested
+  first, keeping replay determinism intact.
+
+Entries are keyed by ``(object_id, n_samples, backend)`` and stamped with
+an opaque ``stamp`` (the engine uses ``(db.version, draw_epoch)``):
 
 * the **database version** invalidates worlds when observations are
   ingested or objects added/removed (stale worlds would silently answer
@@ -16,8 +43,10 @@ adapted span) keyed by ``(object_id, n_samples, backend)`` and stamped with
   same worlds, making results across a batch exactly consistent) and
   independently redrawn across epochs.
 
-``hits``/``misses`` are cumulative; a miss is exactly one sampler
-invocation, which is what the batched-query tests assert on.
+``hits``/``partial_hits``/``misses`` are cumulative and disjoint: every
+lookup increments exactly one of them.  A miss is exactly one full sampler
+invocation and a partial hit exactly one (cheaper) resumed invocation —
+the batched-query tests assert on both.
 """
 
 from __future__ import annotations
@@ -26,34 +55,64 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["WorldCache"]
+__all__ = ["WorldSegment", "WorldCache"]
+
+
+class WorldSegment:
+    """One object's sampled worlds over a contiguous, growable time window.
+
+    ``states`` has shape ``(n_samples, t_last - t_first + 1)``; ``rng`` is
+    the generator that produced it, parked exactly after the draw of the
+    last column so a forward extension continues the same stream.
+    """
+
+    __slots__ = ("t_first", "states", "rng")
+
+    def __init__(
+        self, t_first: int, states: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        self.t_first = int(t_first)
+        self.states = states
+        self.rng = rng
+
+    @property
+    def t_last(self) -> int:
+        return self.t_first + self.states.shape[1] - 1
+
+    def slice(self, times: np.ndarray) -> np.ndarray:
+        """State columns at the requested (covered) times."""
+        return self.states[:, times - self.t_first]
 
 
 class WorldCache:
-    """Maps ``(object_id, n_samples, backend)`` to sampled state matrices.
+    """Maps ``(object_id, n_samples, backend)`` to growable world segments.
 
-    Entries are ``(t_first, states)`` pairs where ``states`` has shape
-    ``(n_samples, span)`` over the object's full adapted span; callers slice
-    the time columns they need.  The cache is stamped with an opaque
-    ``stamp`` (the engine uses ``(db.version, draw_epoch)``); storing or
-    reading with a different stamp drops every entry first, so stale worlds
-    can never leak across database mutations or epoch advances.
+    The cache is stamped with an opaque ``stamp`` (the engine uses
+    ``(db.version, draw_epoch)``); storing or reading with a different stamp
+    drops every entry first, so stale worlds can never leak across database
+    mutations or epoch advances.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
-        self._entries: dict[tuple, tuple[int, np.ndarray]] = {}
+        self._entries: dict[tuple, WorldSegment] = {}
         self._stamp: tuple | None = None
         #: Maximum live entries; beyond it the oldest entry is evicted
-        #: (bounding memory at paper scale — one (n_samples × span) matrix
+        #: (bounding memory at paper scale — one (n_samples × width) matrix
         #: per object is large).  An evicted object touched again in the
-        #: same epoch is simply resampled to identical worlds, since the
-        #: engine's per-(object, epoch) RNGs are deterministic.
+        #: same epoch restarts its deterministic per-(object, epoch) stream
+        #: at the *current* request window; the redraw is exactly
+        #: distributed but no longer bit-identical to the evicted worlds,
+        #: so size the capacity above the per-batch working set.
         self.capacity = int(capacity)
-        #: Cumulative lookup counters (never reset by invalidation).
+        #: Cumulative, disjoint lookup counters (never reset by
+        #: invalidation): ``misses`` counts full window draws, ``hits``
+        #: fully covered lookups, ``partial_hits`` forward extensions of a
+        #: cached prefix.
         self.hits = 0
         self.misses = 0
+        self.partial_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,6 +128,10 @@ class WorldCache:
         """Drop all cached worlds (counters are kept)."""
         self._entries.clear()
 
+    def peek(self, key: tuple) -> WorldSegment | None:
+        """The live segment for ``key`` (no counters touched; tests/metrics)."""
+        return self._entries.get(key)
+
     def _sync(self, stamp: tuple) -> None:
         if stamp != self._stamp:
             self._entries.clear()
@@ -78,23 +141,46 @@ class WorldCache:
         self,
         key: tuple,
         stamp: tuple,
-        sampler: Callable[[], tuple[int, np.ndarray]],
-    ) -> tuple[int, np.ndarray]:
-        """Return the cached ``(t_first, states)`` for ``key``, sampling on miss.
+        t_lo: int,
+        t_hi: int,
+        sampler: Callable[[int, int], tuple[np.ndarray, np.random.Generator]],
+        extender: Callable[
+            [np.random.Generator, np.ndarray, int, int], np.ndarray
+        ],
+    ) -> WorldSegment:
+        """Return a segment for ``key`` covering ``[t_lo, t_hi]``.
 
-        ``sampler`` is invoked at most once per ``(key, stamp)`` while the
-        entry stays resident — the at-most-once-per-epoch guarantee that
+        ``sampler(lo, hi)`` draws a fresh ``(states, rng)`` over a window;
+        ``extender(rng, start_states, t_from, t_hi)`` resumes the stored
+        stream from the segment's last column and returns the new columns
+        for ``(t_from, t_hi]``.  Exactly one counter is incremented per
+        lookup: a *miss* (no entry, or a backward request — which redraws
+        the union window fresh rather than splicing) runs ``sampler`` once;
+        a *partial hit* runs ``extender`` once; a *hit* runs neither.
+        Within one ``(key, stamp)`` residency the covered window only
+        grows, which is the at-most-one-full-draw-per-epoch guarantee that
         ``batch_query`` relies on (exceeded only past :attr:`capacity`,
-        where deterministic resampling reproduces the same worlds).
+        where the redraw restarts at the current window).
         """
         self._sync(stamp)
-        entry = self._entries.get(key)
-        if entry is None:
+        seg = self._entries.get(key)
+        if seg is not None and t_lo < seg.t_first:
+            # Backward request: fall back to one fresh draw of the union
+            # window (see module docstring for why splicing is unsound).
+            t_hi = max(t_hi, seg.t_last)
+            del self._entries[key]
+            seg = None
+        if seg is None:
             self.misses += 1
-            entry = sampler()
+            states, rng = sampler(t_lo, t_hi)
+            seg = WorldSegment(t_lo, states, rng)
             if len(self._entries) >= self.capacity:
                 self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = entry
+            self._entries[key] = seg
+        elif t_hi > seg.t_last:
+            self.partial_hits += 1
+            ext = extender(seg.rng, seg.states[:, -1], seg.t_last, t_hi)
+            seg.states = np.concatenate([seg.states, ext], axis=1)
         else:
             self.hits += 1
-        return entry
+        return seg

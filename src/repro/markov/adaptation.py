@@ -106,6 +106,7 @@ class AdaptedModel:
         t_start: int | None = None,
         t_end: int | None = None,
         backend: str = "compiled",
+        start_states: np.ndarray | None = None,
     ) -> np.ndarray:
         """Draw ``n`` trajectories over ``[t_start, t_end]`` from ``F``.
 
@@ -118,6 +119,14 @@ class AdaptedModel:
         timestep.  ``backend="reference"`` keeps the legacy row-dict walk;
         both consume the RNG stream identically (one ``rng.random(n)`` per
         timestep), so a fixed seed yields bit-identical paths on either.
+
+        ``start_states`` resumes ``n`` previously sampled paths from their
+        known states at ``t_start``: the initial variate is *not* consumed
+        and the first output column echoes ``start_states``.  Sampling
+        ``[a, m]`` and then resuming over ``[m, b]`` from the same generator
+        therefore consumes the stream exactly like one draw of ``[a, b]``,
+        on either backend — forward extension of cached worlds stays
+        bit-identical to one-shot sampling.
         """
         a = self.t_first if t_start is None else int(t_start)
         b = self.t_last if t_end is None else int(t_end)
@@ -128,13 +137,27 @@ class AdaptedModel:
                 f"window [{a}, {b}] outside adapted span [{self.t_first}, {self.t_last}]"
             )
         if backend == "compiled":
-            return self.compiled.sample_paths(rng, n, a, b)
+            return self.compiled.sample_paths(rng, n, a, b, start_states=start_states)
         if backend != "reference":
             raise ValueError(f"unknown sampling backend {backend!r}")
         length = b - a + 1
         out = np.empty((n, length), dtype=np.intp)
-        start = self.posterior(a)
-        out[:, 0] = _inverse_cdf_pick(start.states, np.cumsum(start.probs), rng.random(n))
+        if start_states is None:
+            start = self.posterior(a)
+            out[:, 0] = _inverse_cdf_pick(
+                start.states, np.cumsum(start.probs), rng.random(n)
+            )
+        else:
+            start_states = np.asarray(start_states, dtype=np.intp)
+            if start_states.shape != (n,):
+                raise ValueError(
+                    f"start_states must have shape ({n},), got {start_states.shape}"
+                )
+            if not np.isin(start_states, self.posterior(a).states).all():
+                raise ValueError(
+                    f"some start states lie outside the posterior support at time {a}"
+                )
+            out[:, 0] = start_states
         for offset, t in enumerate(range(a, b)):
             current = out[:, offset]
             nxt = out[:, offset + 1]

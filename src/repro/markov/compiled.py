@@ -171,12 +171,26 @@ class CompiledModel:
         picks = np.searchsorted(cdf, rng.random(n), side="right")
         return np.minimum(picks, states.size - 1)
 
+    def _rows_of_states(self, t: int, states: np.ndarray) -> np.ndarray:
+        """Map global state ids to local support rows at ``t`` (validated)."""
+        support = self._initials[t][0]
+        rows = np.searchsorted(support, states)
+        bad = rows >= support.size
+        bad |= support[np.minimum(rows, support.size - 1)] != states
+        if bad.any():
+            raise ValueError(
+                f"start state {int(states[bad][0])} outside the posterior "
+                f"support at time {t}"
+            )
+        return rows
+
     def sample_paths(
         self,
         rng: np.random.Generator,
         n: int,
         t_start: int | None = None,
         t_end: int | None = None,
+        start_states: np.ndarray | None = None,
     ) -> np.ndarray:
         """Vectorized equivalent of ``AdaptedModel.sample_paths``.
 
@@ -186,6 +200,14 @@ class CompiledModel:
         Samples are propagated as local support-row indices and written into
         a time-major buffer (contiguous writes); the two together are what
         keep the per-timestep cost at a handful of array operations.
+
+        ``start_states`` resumes ``n`` previously sampled paths whose states
+        at ``t_start`` are given: no initial variate is consumed and the
+        first output column echoes ``start_states``, so a draw of
+        ``[a, m]`` followed by a resume over ``[m, b]`` consumes the RNG
+        stream *exactly* like a one-shot draw of ``[a, b]`` — grown and
+        one-shot worlds are bit-identical (the world cache's forward-
+        extension contract).
         """
         a = self.t_first if t_start is None else int(t_start)
         b = self.t_last if t_end is None else int(t_end)
@@ -196,7 +218,15 @@ class CompiledModel:
                 f"window [{a}, {b}] outside adapted span [{self.t_first}, {self.t_last}]"
             )
         buf = np.empty((b - a + 1, n), dtype=np.intp)
-        rows = self._draw_initial_rows(rng, n, a)
+        if start_states is None:
+            rows = self._draw_initial_rows(rng, n, a)
+        else:
+            start_states = np.asarray(start_states, dtype=np.intp)
+            if start_states.shape != (n,):
+                raise ValueError(
+                    f"start_states must have shape ({n},), got {start_states.shape}"
+                )
+            rows = self._rows_of_states(a, start_states)
         buf[0] = self._initials[a][0][rows]
         for offset, t in enumerate(range(a, b)):
             rows = self._layers[t].draw(rows, rng.random(n))

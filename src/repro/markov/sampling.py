@@ -249,11 +249,20 @@ def posterior_sample(
     n: int,
     rng: np.random.Generator,
     backend: str = "compiled",
+    t_start: int | None = None,
+    t_end: int | None = None,
+    start_states: np.ndarray | None = None,
 ) -> SamplingStats:
     """Forward-backward sampler wrapped in the same stats interface.
 
     Every draw is valid by construction, so ``attempts == n`` always — the
-    flat line of Fig. 10.
+    flat line of Fig. 10.  ``t_start``/``t_end`` restrict the draw to a
+    window of the adapted span and ``start_states`` resumes previously
+    sampled paths (see :meth:`AdaptedModel.sample_paths`); resumed draws
+    consume no initial variate, so windowed growth stays bit-identical to
+    one-shot sampling.
     """
-    trajectories = model.sample_paths(rng, n, backend=backend)
+    trajectories = model.sample_paths(
+        rng, n, t_start, t_end, backend=backend, start_states=start_states
+    )
     return SamplingStats(trajectories=trajectories, attempts=n, requested=n)

@@ -7,6 +7,7 @@ from scipy import sparse
 from repro.markov.chain import MarkovChain
 from repro.statespace.base import StateSpace
 from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
 
 
 def make_drift_chain():
@@ -51,8 +52,6 @@ def make_random_world(
     space = StateSpace(coords)
     db = TrajectoryDatabase(space, chain)
 
-    from repro.trajectory.trajectory import Trajectory
-
     for i in range(n_objects):
         walk = [int(rng.integers(n_states))]
         for _ in range(span):
@@ -61,6 +60,50 @@ def make_random_world(
         truth = Trajectory(0, np.asarray(walk))
         db.add_object(f"o{i}", truth.observe_every(obs_every), ground_truth=truth)
     return db, rng
+
+
+def make_paper_example_db():
+    """Example 1 / Figure 1 of the paper: two objects on four line states.
+
+    ``dist(q, s1) < dist(q, s2) < dist(q, s3) < dist(q, s4)`` for the query
+    at the origin; exact results are known in closed form (P∀NN(o1) = 0.75,
+    P∃NN(o2) = 0.25, …), which makes this the canonical topology for golden
+    files and statistical cross-validation.
+    """
+    coords = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [4.0, 0.0]])
+    space = StateSpace(coords)
+    identity = MarkovChain(sparse.identity(4, format="csr"))
+
+    # o1: observed at s2 (t=1); branches to {s1, s3}; from s3 again {s1, s3}.
+    m1 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.5, 0.0, 0.5, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    # o2: observed at s3 (t=1); branches to {s2, s4}; then stays.
+    m2 = MarkovChain(
+        sparse.csr_matrix(
+            np.array(
+                [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0, 0.0],
+                    [0.0, 0.5, 0.0, 0.5],
+                    [0.0, 0.0, 0.0, 1.0],
+                ]
+            )
+        )
+    )
+    db = TrajectoryDatabase(space, identity)
+    db.add_object("o1", [(1, 1)], chain=m1, extend_to=3)
+    db.add_object("o2", [(1, 2)], chain=m2, extend_to=3)
+    return db
 
 
 @pytest.fixture

@@ -1,0 +1,167 @@
+"""Hoeffding-bounded cross-validation of sampled estimates vs exact oracles.
+
+The engine estimates P∀NN/P∃NN/PCNN probabilities from ``n`` sampled worlds;
+Hoeffding's inequality (Section 5.2.3, :mod:`repro.analysis.hoeffding`)
+bounds the estimation error: ``P(|p̂ - p| >= eps) <= 2 exp(-2 n eps²)``.
+These tests pick ``eps`` as the two-sided ``1 - 1e-7`` confidence radius, so
+for the fixed seeds below every assertion holds with overwhelming margin
+*if and only if* the sampler actually draws from the a-posteriori world
+distribution — a wrong RNG-consumption change, a window off-by-one, or a
+biased resume path shows up as a bound violation, not a flaky test.
+
+Every topology runs the full matrix: both sampling backends × both
+full-span and window-restricted world sampling (the cache contract under
+test in this PR).  The weekly CI cron re-runs the suite with
+``STATVAL_SCALE=10`` — ten times the samples, a √10-tighter radius.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.hoeffding import confidence_radius
+from repro.core.evaluator import QueryEngine
+from repro.core.exact import exact_forall_nn_over_times, exact_nn_probabilities
+from repro.core.queries import Query, QueryRequest
+from repro.trajectory.database import TrajectoryDatabase
+from tests.conftest import (
+    make_drift_chain,
+    make_line_space,
+    make_paper_example_db,
+    make_random_world,
+)
+
+SCALE = int(os.environ.get("STATVAL_SCALE", "1"))
+N_SAMPLES = 4_000 * SCALE
+#: Per-comparison two-sided failure probability; the whole suite makes a
+#: few hundred comparisons, so the union-bound failure mass stays ~1e-5.
+DELTA = 1e-7
+EPS = confidence_radius(N_SAMPLES, DELTA)
+
+BACKENDS = ["compiled", "reference"]
+WINDOW_MODES = [True, False]
+
+
+def _drift_db():
+    db = TrajectoryDatabase(make_line_space(4), make_drift_chain())
+    db.add_object("a", [(0, 0), (4, 2)])
+    db.add_object("b", [(0, 1), (4, 3)])
+    return db
+
+
+def _random_db():
+    db, _ = make_random_world(
+        seed=3, n_states=6, n_objects=2, span=4, obs_every=2
+    )
+    return db
+
+
+#: name -> (db builder, query, query times).  Times are strict sub-windows
+#: of the object spans wherever the topology allows, so the
+#: window-restricted runs genuinely sample less than the full span.
+TOPOLOGIES = {
+    "drift": (_drift_db, lambda: Query.from_point([0.0, 0.0]), (1, 2, 3)),
+    "paper": (make_paper_example_db, lambda: Query.from_point([0.0, 0.0]), (2, 3)),
+    "random": (_random_db, lambda: Query.from_point([5.0, 5.0]), (1, 2, 3)),
+}
+
+
+def _engine(db, backend, window_restrict, seed):
+    # reuse_worlds routes standalone queries through the shared world cache
+    # — the code path whose window semantics this suite certifies.
+    return QueryEngine(
+        db,
+        n_samples=N_SAMPLES,
+        seed=seed,
+        backend=backend,
+        reuse_worlds=True,
+        window_restrict=window_restrict,
+    )
+
+
+@pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+class TestForallExistsAgainstExactOracle:
+    def test_nn_probabilities_within_hoeffding_radius(
+        self, topology, backend, window_restrict
+    ):
+        build_db, build_q, times = TOPOLOGIES[topology]
+        db, q = build_db(), build_q()
+        exact = exact_nn_probabilities(db, q, times)
+        est = _engine(db, backend, window_restrict, seed=101).nn_probabilities(
+            q, times
+        )
+        assert set(est) == set(exact)
+        for oid, (p_forall, p_exists) in exact.items():
+            e_forall, e_exists = est[oid]
+            assert abs(e_forall - p_forall) <= EPS, (
+                f"P∀NN({oid}) drifted: sampled {e_forall}, exact {p_forall}"
+            )
+            assert abs(e_exists - p_exists) <= EPS, (
+                f"P∃NN({oid}) drifted: sampled {e_exists}, exact {p_exists}"
+            )
+
+    def test_batched_sliding_windows_within_hoeffding_radius(
+        self, topology, backend, window_restrict
+    ):
+        """Each sliding sub-window of a batch — sampled from one shared,
+        possibly forward-grown world set — matches the exact oracle for
+        that sub-window."""
+        build_db, build_q, times = TOPOLOGIES[topology]
+        db, q = build_db(), build_q()
+        windows = [times[:-1], times[1:], times]
+        engine = _engine(db, backend, window_restrict, seed=202)
+        requests = [QueryRequest(q, w, "forall") for w in windows]
+        requests += [QueryRequest(q, w, "exists") for w in windows]
+        out = engine.batch_query(requests)
+        for req, res in zip(requests, out):
+            exact = exact_nn_probabilities(db, q, req.times)
+            idx = 0 if req.mode == "forall" else 1
+            for oid, p_hat in res.probabilities.items():
+                assert abs(p_hat - exact[oid][idx]) <= EPS, (
+                    f"{req.mode} window {req.times}, {oid}: "
+                    f"sampled {p_hat}, exact {exact[oid][idx]}"
+                )
+
+
+@pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", ["drift", "paper"])
+class TestPCNNAgainstExactOracle:
+    TAU = 0.05
+
+    def test_mined_timestamp_sets_within_hoeffding_radius(
+        self, topology, backend, window_restrict
+    ):
+        build_db, build_q, times = TOPOLOGIES[topology]
+        db, q = build_db(), build_q()
+        tables = exact_forall_nn_over_times(db, q, times)
+        engine = _engine(db, backend, window_restrict, seed=303)
+        result = engine.continuous_nn(q, times, tau=self.TAU)
+
+        seen: dict[tuple[str, tuple[int, ...]], float] = {}
+        for entry in result.entries:
+            p_exact = tables[entry.object_id].get(entry.times)
+            assert p_exact is not None, (
+                f"mined set {entry.times} for {entry.object_id} is not a "
+                "valid timestamp subset"
+            )
+            assert abs(entry.probability - p_exact) <= EPS, (
+                f"PCNN({entry.object_id}, {entry.times}) drifted: "
+                f"sampled {entry.probability}, exact {p_exact}"
+            )
+            seen[(entry.object_id, entry.times)] = entry.probability
+
+        # Completeness: any subset exactly above tau + EPS must have been
+        # mined (its estimate, within the radius, clears the threshold; by
+        # P∀NN monotonicity so do all its subsets, so apriori pruning
+        # cannot have discarded it).
+        for oid, table in tables.items():
+            for subset, p_exact in table.items():
+                if p_exact >= self.TAU + EPS:
+                    assert (oid, subset) in seen, (
+                        f"PCNN({oid}, {subset}) with exact P={p_exact} "
+                        f"missing from mined sets"
+                    )

@@ -36,6 +36,28 @@ class TestBatchQueryReuse:
         assert engine.sampler_calls <= len(world)
         assert engine.worlds.hits > 0
 
+    def test_batch_samples_only_union_window(self, world):
+        """Window restriction: a batch draws each object over the union of
+        the requested times clamped to its span, not the full span."""
+        engine = QueryEngine(world, n_samples=50, seed=21)
+        q = Query.from_point([5.0, 5.0])
+        engine.batch_query([QueryRequest(q, (2, 3)), QueryRequest(q, (3, 4))])
+        segments = [
+            engine.worlds.peek((o.object_id, 50, "compiled")) for o in world
+        ]
+        segments = [s for s in segments if s is not None]
+        assert segments, "batch should have populated the cache"
+        for seg in segments:
+            assert seg.t_first >= 2 and seg.t_last <= 4
+        # Full-span ablation: same batch on a window_restrict=False engine
+        # covers each object's whole adapted span.
+        full = QueryEngine(world, n_samples=50, seed=21, window_restrict=False)
+        full.batch_query([QueryRequest(q, (2, 3)), QueryRequest(q, (3, 4))])
+        for obj in world:
+            seg = full.worlds.peek((obj.object_id, 50, "compiled"))
+            if seg is not None:
+                assert (seg.t_first, seg.t_last) == (obj.t_first, obj.t_last)
+
     def test_second_batch_resamples_by_default(self, world):
         engine = QueryEngine(world, n_samples=100, seed=2)
         q = Query.from_point([5.0, 5.0])
@@ -51,7 +73,11 @@ class TestBatchQueryReuse:
         engine.batch_query([QueryRequest(q, (1, 2, 3))])
         first = engine.sampler_calls
         engine.batch_query([QueryRequest(q, (2, 3, 4))], refresh_worlds=False)
-        assert engine.sampler_calls == first  # same epoch: cache only
+        assert engine.sampler_calls == first  # same epoch: no full redraw
+        # The shifted window grew each cached segment forward — a partial
+        # hit (resumed draw), counted as neither hit nor miss.
+        assert engine.worlds.partial_hits > 0
+        assert engine.worlds.misses == first
 
     def test_held_epoch_survives_interleaved_standalone_query(self, world):
         """Regression: refresh_worlds=False extends the previous *batch's*
@@ -99,16 +125,32 @@ class TestBatchQueryReuse:
 
     def test_batch_on_reuse_engine_keeps_worlds_by_default(self, world):
         """A reuse_worlds engine's contract — worlds held until an explicit
-        refresh — must survive an interleaved batch_query (regression)."""
+        refresh — must survive an interleaved batch_query (regression).
+        The interleaved batch grows the cached window *forward*, which
+        extends the held worlds bit-identically rather than redrawing."""
         engine = QueryEngine(world, n_samples=200, seed=15, reuse_worlds=True)
         q = Query.from_point([5.0, 5.0])
         r1 = engine.forall_nn(q, [2, 3])
-        engine.batch_query([QueryRequest(q, (1, 2, 3))])  # default: no refresh
+        engine.batch_query([QueryRequest(q, (2, 3, 4))])  # default: no refresh
+        assert engine.worlds.partial_hits > 0  # forward extension, no redraw
         r2 = engine.forall_nn(q, [2, 3])
         assert r1.probabilities == r2.probabilities
-        engine.batch_query([QueryRequest(q, (1, 2, 3))], refresh_worlds=True)
+        engine.batch_query([QueryRequest(q, (2, 3, 4))], refresh_worlds=True)
         r3 = engine.forall_nn(q, [2, 3])
         assert r3.n_samples == r1.n_samples  # explicit refresh allowed, runs fine
+
+    def test_backward_batch_window_on_reuse_engine_redraws(self, world):
+        """A held-epoch window that reaches *backward* cannot extend the
+        cached paths soundly; the engine redraws the union window fresh
+        (one miss, no splice) — the new segment contract."""
+        engine = QueryEngine(world, n_samples=200, seed=15, reuse_worlds=True)
+        q = Query.from_point([5.0, 5.0])
+        engine.forall_nn(q, [2, 3])
+        misses = engine.worlds.misses
+        partial = engine.worlds.partial_hits
+        engine.batch_query([QueryRequest(q, (1, 2, 3))])  # backward: redraw
+        assert engine.worlds.misses > misses
+        assert engine.worlds.partial_hits == partial
 
     def test_explicit_new_epoch_respected_by_default_batch(self, world):
         """Regression: a default-policy batch on a reuse engine must not
@@ -144,6 +186,12 @@ class TestBatchQueryReuse:
         q = Query.from_point([5.0, 5.0])
         out = engine.batch_query([(q, (1, 2)), (q, (2, 3), "exists")])
         assert all(isinstance(r, QueryResult) for r in out)
+
+    def test_empty_batch_returns_empty_without_epoch_churn(self, world):
+        engine = QueryEngine(world, n_samples=50, seed=17, reuse_worlds=True)
+        epoch = engine.draw_epoch
+        assert engine.batch_query([]) == []
+        assert engine.draw_epoch == epoch  # no held worlds dropped
 
     def test_bad_mode_rejected(self, world):
         q = Query.from_point([0.0, 0.0])

@@ -8,57 +8,29 @@ to s1.  Expected exact results (paper text):
 * ``PCNNQ(q, D, {1,2,3}, 0.1)`` returns o1 with {1,2,3} and o2 with {2,3}.
 """
 
-import numpy as np
-import pytest
-from scipy import sparse
+import json
+from pathlib import Path
 
-from repro import MarkovChain, Query, QueryEngine, StateSpace, TrajectoryDatabase
+import pytest
+
+from repro import Query, QueryEngine, QueryRequest
 from repro.core.exact import (
     exact_forall_nn_over_times,
     exact_nn_probabilities,
     enumerate_consistent_trajectories,
 )
+from tests.conftest import make_paper_example_db
 
 S1, S2, S3, S4 = 0, 1, 2, 3
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "paper_example_golden.json"
+GOLDEN_SEED = 1337
+GOLDEN_SAMPLES = 4000
 
 
 @pytest.fixture
 def example_db():
-    # dist(q, s1) < dist(q, s2) < dist(q, s3) < dist(q, s4).
-    coords = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [4.0, 0.0]])
-    space = StateSpace(coords)
-    identity = MarkovChain(sparse.identity(4, format="csr"))
-
-    # o1: observed at s2 (t=1); branches to {s1, s3}; from s3 again {s1, s3}.
-    m1 = MarkovChain(
-        sparse.csr_matrix(
-            np.array(
-                [
-                    [1.0, 0.0, 0.0, 0.0],
-                    [0.5, 0.0, 0.5, 0.0],
-                    [0.5, 0.0, 0.5, 0.0],
-                    [0.0, 0.0, 0.0, 1.0],
-                ]
-            )
-        )
-    )
-    # o2: observed at s3 (t=1); branches to {s2, s4}; then stays.
-    m2 = MarkovChain(
-        sparse.csr_matrix(
-            np.array(
-                [
-                    [1.0, 0.0, 0.0, 0.0],
-                    [0.0, 1.0, 0.0, 0.0],
-                    [0.0, 0.5, 0.0, 0.5],
-                    [0.0, 0.0, 0.0, 1.0],
-                ]
-            )
-        )
-    )
-    db = TrajectoryDatabase(space, identity)
-    db.add_object("o1", [(1, S2)], chain=m1, extend_to=3)
-    db.add_object("o2", [(1, S3)], chain=m2, extend_to=3)
-    return db
+    return make_paper_example_db()
 
 
 @pytest.fixture
@@ -130,3 +102,59 @@ class TestSamplingEngine:
         assert "o1" in ids and "o2" in ids
         result_strict = engine.exists_nn(query, [1, 2, 3], tau=0.5)
         assert result_strict.object_ids() == ["o1"]
+
+
+def _golden_payload(example_db, query):
+    """Seeded QueryResult probabilities for all three semantics, one epoch."""
+    engine = QueryEngine(example_db, n_samples=GOLDEN_SAMPLES, seed=GOLDEN_SEED)
+    out = engine.batch_query(
+        [
+            QueryRequest(query, (1, 2, 3), "forall"),
+            QueryRequest(query, (1, 2, 3), "exists"),
+            QueryRequest(query, (1, 2, 3), "pcnn", 0.1),
+        ]
+    )
+    return {
+        "seed": GOLDEN_SEED,
+        "n_samples": GOLDEN_SAMPLES,
+        "forall": out[0].probabilities,
+        "exists": out[1].probabilities,
+        "pcnn": [
+            [e.object_id, list(e.times), e.probability] for e in out[2].entries
+        ],
+    }
+
+
+class TestGoldenFile:
+    """Frozen seeded results for the running example.
+
+    Guards against silent drift of the sampling pipeline (RNG consumption,
+    backend changes, cache semantics) across PRs: any change that alters
+    what a fixed seed produces must consciously regenerate the golden file
+    with ``pytest --regen-golden``.  Exact float equality is intentional —
+    the JSON round-trip preserves float64 bit patterns.
+    """
+
+    def test_seeded_results_match_golden(self, example_db, query, request):
+        payload = _golden_payload(example_db, query)
+        if request.config.getoption("--regen-golden"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            pytest.skip(f"regenerated {GOLDEN_PATH.name}")
+        assert GOLDEN_PATH.exists(), (
+            "golden file missing — run `pytest --regen-golden` once"
+        )
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert payload == golden
+
+    def test_golden_file_matches_exact_oracle_within_hoeffding(self, example_db):
+        """The frozen estimates must stay near ground truth, not just frozen:
+        a regeneration that silently broke the sampler would be caught here."""
+        from repro.analysis.hoeffding import confidence_radius
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        eps = confidence_radius(golden["n_samples"], 1e-7)
+        assert golden["forall"]["o1"] == pytest.approx(0.75, abs=eps)
+        assert golden["exists"]["o2"] == pytest.approx(0.25, abs=eps)
