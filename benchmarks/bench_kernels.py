@@ -172,6 +172,88 @@ def test_bench_refine_narrow_full_span(benchmark, long_lifetime_workload):
     benchmark(_refinement_kernel(long_lifetime_workload, window_restrict=False))
 
 
+@pytest.fixture(scope="module")
+def tracking_workload():
+    """A query tracking one object's certain ground-truth trajectory — the
+    regime where a non-trivial candidate set exists and the Lemma 2 bounds
+    have something to decide (an untracked random query point usually has
+    an empty C∀(q): every object's P∀NN is exactly zero)."""
+    config = SyntheticWorkloadConfig(
+        n_states=500, n_objects=6, lifetime=40, horizon=50, obs_interval=6
+    )
+    wl = generate_workload(config, np.random.default_rng(2))
+    for obj in wl.db:
+        _ = obj.adapted.compiled  # pre-adapt; the kernels time query cost
+    return wl
+
+
+def _tracking_request(workload, tau, estimator):
+    anchor = next(iter(workload.db))
+    q = Query.from_trajectory(anchor.ground_truth, workload.db.space)
+    return QueryRequest(
+        q, tuple(range(18, 22)), "forall", tau, estimator=estimator
+    )
+
+
+def _estimator_kernel(workload, tau, estimator):
+    """One P∀NN evaluation per round on a fresh epoch (so the sampled path
+    really redraws worlds each time; the hybrid path pays the PTIME bound
+    computations instead and samples only undecided candidates)."""
+    engine = QueryEngine(workload.db, n_samples=2000, seed=9)
+    _ = engine.ust_tree
+    request = _tracking_request(workload, tau, estimator)
+    return engine, (lambda: engine.evaluate(request))
+
+
+def test_bench_evaluate_sampled_high_tau(benchmark, tracking_workload):
+    """Pure Monte-Carlo refinement at τ=0.9: every influence object drawn."""
+    engine, run = _estimator_kernel(tracking_workload, 0.9, "sampled")
+    result = benchmark(run)
+    assert result.report.sampled_objects == result.report.n_influencers > 0
+
+
+def test_bench_evaluate_hybrid_high_tau(benchmark, tracking_workload):
+    """Hybrid at τ=0.9: upper bounds reject candidates without sampling.
+
+    The acceptance target of the pipeline redesign: at high τ the hybrid
+    estimator samples measurably fewer objects than ``sampled`` (here it
+    samples none — every candidate is decided by bounds alone)."""
+    engine, run = _estimator_kernel(tracking_workload, 0.9, "hybrid")
+    result = benchmark(run)
+    assert result.report.sampled_objects < result.report.n_influencers
+    assert result.report.bounds_decided + len(result.report.undecided) == (
+        result.report.n_candidates
+    )
+
+
+def test_bench_evaluate_sampled_low_tau(benchmark, tracking_workload):
+    """Pure Monte-Carlo refinement at τ=0.2 (the bounds-friendly low end)."""
+    engine, run = _estimator_kernel(tracking_workload, 0.2, "sampled")
+    benchmark(run)
+
+
+def test_bench_evaluate_hybrid_low_tau(benchmark, tracking_workload):
+    """Hybrid at τ=0.2: lower bounds accept without sampling.
+
+    Hybrid refinement is all-or-nothing — one undecided candidate forces a
+    world draw over *all* influence objects — so assert the invariant
+    rather than a strict reduction (which only holds when the bounds
+    decide every candidate, as they do at the decisive τ=0.9 above)."""
+    engine, run = _estimator_kernel(tracking_workload, 0.2, "hybrid")
+    result = benchmark(run)
+    assert result.report.sampled_objects in (0, result.report.n_influencers)
+    if not result.report.undecided:
+        assert result.report.sampled_objects == 0
+
+
+def test_bench_explain(benchmark, tracking_workload):
+    """Stage 1-2 observability: plan + filter without executing."""
+    engine = QueryEngine(tracking_workload.db, n_samples=2000, seed=9)
+    _ = engine.ust_tree
+    request = _tracking_request(tracking_workload, 0.5, "hybrid")
+    benchmark(lambda: engine.explain(request))
+
+
 def test_bench_world_statistics(benchmark):
     """∀NN counting over a 1000-world tensor."""
     rng = np.random.default_rng(2)

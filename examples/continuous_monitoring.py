@@ -76,7 +76,7 @@ def main() -> None:
     for r in convoy.results:
         print(f"  {r.object_id:6s} P∀2NN ≈ {r.probability:.3f}")
 
-    print("\n=== Sliding-window monitoring: batch_query over one draw epoch ===")
+    print("\n=== Sliding-window monitoring: evaluate_many over one draw epoch ===")
     # Re-ask "who shadows the patrol?" for every 5-tic sub-window.  A batch
     # shares sampled worlds across all windows: each influence object is
     # sampled at most once per epoch, and overlapping windows are answered
@@ -87,7 +87,7 @@ def main() -> None:
         for t in range(int(window[0]), int(window[-1]) - span + 2)
     ]
     calls_before = engine.sampler_calls
-    answers = engine.batch_query(requests)
+    answers = engine.evaluate_many(requests)
     for req, res in zip(requests, answers):
         if res.results:
             top = res.results[0]

@@ -5,7 +5,13 @@ semantics both exactly (possible-world enumeration) and with the
 sampling engine, and prints the probabilities the paper reports:
 P∀NN(o1) = 0.75 and P∃NN(o2) = 0.25.
 
-Run:  python examples/quickstart.py
+Then tours the staged ``evaluate()`` pipeline: ``explain()`` (the plan
+without execution), adaptive Hoeffding-sized precision, and the hybrid
+bounds-then-sample estimator that answers this example without sampling
+at all.
+
+Run:  python examples/quickstart.py        (after ``pip install -e .``,
+or with PYTHONPATH=src; the sys.path fallback below covers both)
 """
 
 import sys
@@ -16,7 +22,14 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 import numpy as np
 from scipy import sparse
 
-from repro import MarkovChain, Query, QueryEngine, StateSpace, TrajectoryDatabase
+from repro import (
+    MarkovChain,
+    Query,
+    QueryEngine,
+    QueryRequest,
+    StateSpace,
+    TrajectoryDatabase,
+)
 from repro.core.exact import exact_nn_probabilities
 
 S1, S2, S3, S4 = 0, 1, 2, 3
@@ -93,6 +106,27 @@ def main() -> None:
             f"with P∀NN ≈ {entry.probability:.3f}"
         )
     print("  (paper: o1 with {1,2,3}, o2 with {2,3})")
+
+    print("\n=== The staged pipeline: explain() before evaluate() ===")
+    request = QueryRequest(q, tuple(times), mode="forall", tau=0.5,
+                           estimator="hybrid")
+    print(engine.explain(request).summary())       # plan + filter, no sampling
+
+    result = engine.evaluate(request)
+    report = result.report
+    print(f"  -> {[r.object_id for r in result.results]} decided by bounds "
+          f"alone: sampled {report.sampled_objects} object(s), "
+          f"{report.bounds_decided} candidate(s) certified")
+
+    print("\n=== Adaptive precision: ±0.01 at 99.9% confidence ===")
+    adaptive = engine.evaluate(
+        QueryRequest(q, tuple(times), mode="raw",
+                     estimator="adaptive", precision=(0.01, 1e-3))
+    )
+    print(f"  Hoeffding-sized draw: n = {adaptive.report.n_samples} worlds "
+          f"(radius {adaptive.report.epsilon:.4f})")
+    for oid, (p_forall, p_exists) in sorted(adaptive.as_dict().items()):
+        print(f"  {oid}:  P∀NN ≈ {p_forall:.4f}   P∃NN ≈ {p_exists:.4f}")
 
 
 if __name__ == "__main__":

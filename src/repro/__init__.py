@@ -12,15 +12,36 @@ Public API tour
 * Store uncertain objects: :class:`TrajectoryDatabase`,
   :class:`ObservationSet`, :class:`Trajectory`.
 * Query: :class:`QueryEngine` with :class:`Query` references —
-  ``forall_nn`` (P∀NNQ), ``exists_nn`` (P∃NNQ), ``continuous_nn`` (PCNNQ),
-  each with optional ``k`` (Section 8).
+  ``evaluate(request)`` runs the staged pipeline (plan → filter →
+  estimate → threshold) with pluggable estimators
+  (``sampled``/``exact``/``bounds``/``hybrid``/``adaptive``);
+  ``evaluate_many`` batches requests over shared worlds; ``explain``
+  returns the plan without executing.  The classic entry points —
+  ``forall_nn`` (P∀NNQ), ``exists_nn`` (P∃NNQ), ``continuous_nn``
+  (PCNNQ), ``nn_probabilities`` — remain as shims, each with optional
+  ``k`` (Section 8).
 * Inspect the machinery: :func:`adapt_model` (Algorithm 2),
-  :class:`USTTree` (Section 6 pruning), :mod:`repro.core.exact` oracles.
+  :class:`USTTree` (Section 6 pruning), :mod:`repro.core.exact` oracles,
+  :class:`EvaluationReport` on every pipeline result.
 """
 
 from .core.evaluator import QueryEngine
-from .core.queries import Query, QueryRequest, normalize_times
-from .core.results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .core.planner import Explanation, QueryPlan
+from .core.queries import (
+    ESTIMATOR_NAMES,
+    QUERY_MODES,
+    Query,
+    QueryRequest,
+    normalize_times,
+)
+from .core.results import (
+    EvaluationReport,
+    ObjectProbability,
+    PCNNEntry,
+    PCNNResult,
+    QueryResult,
+    RawProbabilities,
+)
 from .core.worlds import WorldCache
 from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
 from .markov.chain import InhomogeneousMarkovChain, MarkovChain, uniformized
@@ -37,11 +58,14 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptedModel",
     "CompiledModel",
+    "ESTIMATOR_NAMES",
+    "EvaluationReport",
+    "Explanation",
     "InhomogeneousMarkovChain",
     "MarkovChain",
     "Observation",
@@ -50,10 +74,13 @@ __all__ = [
     "ObjectProbability",
     "PCNNEntry",
     "PCNNResult",
+    "QUERY_MODES",
     "Query",
     "QueryEngine",
+    "QueryPlan",
     "QueryRequest",
     "QueryResult",
+    "RawProbabilities",
     "Rect",
     "RStarTree",
     "SparseDistribution",

@@ -3,13 +3,23 @@
 The event "object o is the ∀NN (∃NN) of q" is Bernoulli per sampled world,
 so Hoeffding's inequality bounds the estimation error of the empirical
 mean: ``P(|p̂ - p| >= eps) <= 2 exp(-2 n eps²)``.
+
+The query pipeline consumes these bounds through
+``QueryRequest(precision=(epsilon, delta))``: the planner
+(:mod:`repro.core.planner`) sizes ``estimator="adaptive"`` draws with
+:func:`samples_needed` and reports the achieved radius of any fixed-size
+draw with :func:`confidence_radius`.
 """
 
 from __future__ import annotations
 
 import math
 
-__all__ = ["samples_needed", "confidence_radius", "error_probability"]
+__all__ = [
+    "samples_needed",
+    "confidence_radius",
+    "error_probability",
+]
 
 
 def samples_needed(epsilon: float, delta: float) -> int:

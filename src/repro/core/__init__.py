@@ -1,7 +1,24 @@
 """Query semantics, engines and oracles (the paper's primary contribution)."""
 
 from .apriori import AprioriBudgetExceeded, MiningStats, mine_timestamp_sets
-from .bounds import ForallBounds, decide_with_bounds, forall_nn_bounds
+from .bounds import (
+    ForallBounds,
+    bounds_partition,
+    decide_with_bounds,
+    forall_nn_bounds,
+)
+from .estimators import (
+    ESTIMATORS,
+    AdaptiveEstimator,
+    BoundsEstimator,
+    EstimateOutcome,
+    EstimationContext,
+    Estimator,
+    ExactEstimator,
+    HybridEstimator,
+    SampledEstimator,
+    make_estimator,
+)
 from .evaluator import QueryEngine
 from .exact import (
     PossibleTrajectory,
@@ -11,32 +28,65 @@ from .exact import (
     exact_forall_nn_over_times,
     exact_nn_probabilities,
 )
-from .queries import Query, QueryRequest, normalize_times, union_window
-from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .planner import Explanation, QueryPlan, build_plan
+from .queries import (
+    ESTIMATOR_NAMES,
+    QUERY_MODES,
+    Query,
+    QueryRequest,
+    normalize_times,
+    union_window,
+)
+from .results import (
+    EvaluationReport,
+    ObjectProbability,
+    PCNNEntry,
+    PCNNResult,
+    QueryResult,
+    RawProbabilities,
+)
 from .snapshot import snapshot_nn_probability_at, snapshot_probabilities
 from .worlds import WorldCache, WorldSegment
 
 __all__ = [
+    "AdaptiveEstimator",
     "AprioriBudgetExceeded",
+    "BoundsEstimator",
+    "ESTIMATORS",
+    "ESTIMATOR_NAMES",
+    "EstimateOutcome",
+    "EstimationContext",
+    "Estimator",
+    "EvaluationReport",
+    "ExactEstimator",
+    "Explanation",
     "ForallBounds",
+    "HybridEstimator",
     "MiningStats",
     "ObjectProbability",
     "PCNNEntry",
     "PCNNResult",
     "PossibleTrajectory",
+    "QUERY_MODES",
     "Query",
     "QueryEngine",
+    "QueryPlan",
     "QueryRequest",
     "QueryResult",
+    "RawProbabilities",
+    "SampledEstimator",
     "WorldBudgetExceeded",
     "WorldCache",
     "WorldSegment",
+    "bounds_partition",
+    "build_plan",
     "decide_with_bounds",
     "domination_probability",
     "enumerate_consistent_trajectories",
     "exact_forall_nn_over_times",
     "exact_nn_probabilities",
     "forall_nn_bounds",
+    "make_estimator",
     "mine_timestamp_sets",
     "normalize_times",
     "snapshot_nn_probability_at",

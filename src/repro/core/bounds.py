@@ -23,7 +23,12 @@ from ..trajectory.database import TrajectoryDatabase
 from .exact import domination_probability
 from .queries import Query, normalize_times
 
-__all__ = ["ForallBounds", "forall_nn_bounds", "decide_with_bounds"]
+__all__ = [
+    "ForallBounds",
+    "forall_nn_bounds",
+    "bounds_partition",
+    "decide_with_bounds",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,48 @@ def forall_nn_bounds(
     )
 
 
+def bounds_partition(
+    db: TrajectoryDatabase,
+    q: Query,
+    times,
+    tau: float,
+    candidate_ids: list[str],
+    competitor_ids: list[str] | None = None,
+) -> tuple[dict[str, ForallBounds], list[str], list[str], list[str]]:
+    """Per-candidate bounds plus the (accepted, rejected, undecided) split.
+
+    The single implementation behind both :func:`decide_with_bounds` and
+    the pipeline's ``bounds``/``hybrid`` estimators.  ``competitor_ids``
+    restricts the domination set (a candidate itself is always excluded);
+    ``None`` uses every object overlapping ``times``.  Restricting to the
+    filter step's influence set is sound: any object ever strictly closer
+    than a candidate at a query time is itself an influence object.
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+    times = normalize_times(times)
+    bounds: dict[str, ForallBounds] = {}
+    accepted: list[str] = []
+    rejected: list[str] = []
+    undecided: list[str] = []
+    for oid in candidate_ids:
+        competitors = (
+            None
+            if competitor_ids is None
+            else [other for other in competitor_ids if other != oid]
+        )
+        b = forall_nn_bounds(db, oid, q, times, competitors)
+        bounds[oid] = b
+        verdict = b.decides(tau)
+        if verdict is True:
+            accepted.append(oid)
+        elif verdict is False:
+            rejected.append(oid)
+        else:
+            undecided.append(oid)
+    return bounds, accepted, rejected, undecided
+
+
 def decide_with_bounds(
     db: TrajectoryDatabase,
     q: Query,
@@ -113,18 +160,7 @@ def decide_with_bounds(
     Conclusive candidates never need sampling; only the undecided rest
     goes through the Monte-Carlo refinement.
     """
-    if not 0.0 <= tau <= 1.0:
-        raise ValueError("tau must be in [0, 1]")
-    times = normalize_times(times)
-    accepted: list[str] = []
-    rejected: list[str] = []
-    undecided: list[str] = []
-    for oid in candidate_ids:
-        verdict = forall_nn_bounds(db, oid, q, times).decides(tau)
-        if verdict is True:
-            accepted.append(oid)
-        elif verdict is False:
-            rejected.append(oid)
-        else:
-            undecided.append(oid)
+    _, accepted, rejected, undecided = bounds_partition(
+        db, q, times, tau, candidate_ids
+    )
     return accepted, rejected, undecided

@@ -1,10 +1,25 @@
-"""The sampling-based PNN query engine (Sections 5 and 6).
+"""The staged PNN query engine (Sections 4-6).
 
-Pipeline per query: (1) filter — the UST-tree's dmin/dmax pruning yields
-candidates ``C(q)`` and influence objects ``I(q)``; (2) refinement — the
-a-posteriori models of all influence objects are sampled into possible
-worlds; (3) counting — world statistics estimate the requested probability
-per candidate, compared against the threshold τ.
+One pipeline serves every query: :meth:`QueryEngine.evaluate` runs four
+explicit, inspectable stages —
+
+1. **plan** — resolve the request's estimator, world budget and precision
+   into a :class:`~repro.core.planner.QueryPlan` (no randomness consumed);
+2. **filter** — the UST-tree's dmin/dmax pruning yields candidates ``C(q)``
+   and influence objects ``I(q)`` (Section 6);
+3. **estimate** — a pluggable strategy (:mod:`repro.core.estimators`)
+   produces per-object probabilities: Monte-Carlo world sampling
+   (Section 5), exact enumeration, PTIME Lemma 2 bounds, or the hybrid
+   bounds-then-sample fast path;
+4. **threshold** — compare against τ and assemble the result, attaching an
+   :class:`~repro.core.results.EvaluationReport` (stage timings, pruning
+   and cache accounting, per-object estimator provenance).
+
+:meth:`QueryEngine.explain` runs stages 1-2 only and returns the plan plus
+a report skeleton — the observability hook for serving layers.  The
+classic entry points (``forall_nn``, ``exists_nn``, ``continuous_nn``,
+``nn_probabilities``) are thin shims over ``evaluate()`` with unchanged
+signatures and bit-identical seeded results.
 
 Refinement draws worlds through a per-object :class:`~repro.core.worlds.
 WorldCache`: each object is sampled at most once per *draw epoch* (with a
@@ -26,22 +41,24 @@ monitoring re-samples each object at most once instead of once per query.
 from __future__ import annotations
 
 import hashlib
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..spatial.ust_tree import PruningResult, USTTree
 from ..trajectory.database import TrajectoryDatabase
-from ..trajectory.nn import (
-    exists_knn_prob,
-    forall_knn_prob,
-    knn_indicator,
-    nn_indicator,
-)
 from ..trajectory.trajectory import UncertainObject
-from .apriori import mine_timestamp_sets
+from .estimators import EstimationContext, EstimateOutcome, make_estimator
+from .planner import Explanation, QueryPlan, build_plan
 from .queries import Query, QueryRequest, normalize_times, union_window
-from .results import ObjectProbability, PCNNEntry, PCNNResult, QueryResult
+from .results import (
+    EvaluationReport,
+    ObjectProbability,
+    PCNNResult,
+    QueryResult,
+    RawProbabilities,
+)
 from .worlds import WorldCache
 
 __all__ = ["QueryEngine"]
@@ -349,40 +366,154 @@ class QueryEngine:
         return dist
 
     # ------------------------------------------------------------------
-    # P∀NNQ / P∃NNQ (Definitions 1, 2; k-extension of Section 8)
+    # the staged pipeline: plan -> filter -> estimate -> threshold
     # ------------------------------------------------------------------
-    def forall_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
-        """``P∀kNNQ(q, D, T, τ)`` — NN at *every* time of ``T``."""
-        return self._threshold_query(q, times, tau, k, mode="forall")
+    @staticmethod
+    def _coerce_request(request: QueryRequest | tuple) -> QueryRequest:
+        """Accept bare ``(query, times[, mode[, tau[, k]]])`` tuples."""
+        if isinstance(request, QueryRequest):
+            return request
+        return QueryRequest(*request)
 
-    def exists_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
-        """``P∃kNNQ(q, D, T, τ)`` — NN at *some* time of ``T``."""
-        return self._threshold_query(q, times, tau, k, mode="exists")
+    def plan(self, request: QueryRequest | tuple) -> QueryPlan:
+        """Stage 1 only: the resolved execution plan (consumes no RNG)."""
+        return build_plan(self._coerce_request(request), self.n_samples)
 
-    def _threshold_query(
-        self, q: Query, times, tau: float, k: int, mode: str
-    ) -> QueryResult:
-        if not 0.0 <= tau <= 1.0:
-            raise ValueError("tau must be in [0, 1]")
-        times = normalize_times(times)
+    def explain(self, request: QueryRequest | tuple) -> Explanation:
+        """Plan + filter a request *without executing* the estimate stage.
+
+        Runs stages 1-2 of the pipeline — estimator/sample-size resolution
+        and the deterministic § 6 pruning — and returns the plan, the
+        candidate/influence sets and a skeleton
+        :class:`~repro.core.results.EvaluationReport` (``executed=False``,
+        zero timings).  No worlds are sampled, no draw epoch is consumed
+        and the world cache is untouched, so explaining is cheap enough
+        for a serving layer to call on every request.
+        """
+        request = self._coerce_request(request)
+        plan = build_plan(request, self.n_samples)
+        times = np.asarray(plan.times, dtype=np.intp)
+        pruning = self.filter_objects(
+            request.query, times, k=request.k, normalized=True
+        )
+        report = EvaluationReport(
+            **self._report_base(plan, pruning),
+            n_samples=plan.n_samples,
+            epsilon=plan.epsilon,
+            notes=plan.notes,
+            executed=False,
+        )
+        return Explanation(
+            plan=plan,
+            candidates=tuple(pruning.candidates),
+            influencers=tuple(pruning.influencers),
+            examined_entries=pruning.examined_entries,
+            report=report,
+        )
+
+    def evaluate(
+        self, request: QueryRequest | tuple
+    ) -> QueryResult | PCNNResult | RawProbabilities:
+        """Run one request through the full staged pipeline.
+
+        Stages: **plan** (estimator + world-budget resolution) →
+        **filter** (§ 6 pruning) → **estimate** (the plan's strategy; see
+        :mod:`repro.core.estimators`) → **threshold** (τ comparison and
+        result assembly).  The returned result carries an
+        :class:`~repro.core.results.EvaluationReport` with stage timings,
+        pruning counts, world-cache deltas and per-object estimator
+        provenance.
+
+        With the default ``estimator="sampled"`` this is exactly the
+        classic engine: the legacy entry points are shims over this method
+        and return bit-identical seeded results.
+        """
+        request = self._coerce_request(request)
+        t0 = perf_counter()
+        plan = build_plan(request, self.n_samples)
+        times = np.asarray(plan.times, dtype=np.intp)
         self._begin_query()
-        pruning = self.filter_objects(q, times, k=k, normalized=True)
-        # For ∃ semantics every influence object is a potential result
-        # (Section 6, "Pruning for the P∃NNQ query").
-        result_ids = pruning.candidates if mode == "forall" else pruning.influencers
-        refine_ids = pruning.influencers
-        if not refine_ids:
-            return QueryResult([], {}, pruning.candidates, pruning.influencers, 0, times)
+        t1 = perf_counter()
+        pruning = self.filter_objects(
+            request.query, times, k=request.k, normalized=True
+        )
+        # For ∃/PCNN/raw semantics every influence object is a potential
+        # result (Section 6, "Pruning for the P∃NNQ query").
+        result_ids = (
+            pruning.candidates if request.mode == "forall" else pruning.influencers
+        )
+        t2 = perf_counter()
+        cache_before = (
+            self.worlds.hits, self.worlds.partial_hits, self.worlds.misses
+        )
+        ctx = EstimationContext(
+            engine=self,
+            request=request,
+            plan=plan,
+            times=times,
+            pruning=pruning,
+            result_ids=list(result_ids),
+            refine_ids=list(pruning.influencers),
+        )
+        outcome = make_estimator(plan.resolved_estimator).estimate(ctx)
+        t3 = perf_counter()
+        result = self._assemble(request, plan, pruning, outcome, times, result_ids)
+        t4 = perf_counter()
+        result.report = self._build_report(
+            plan,
+            pruning,
+            outcome,
+            cache_before,
+            {
+                "plan": t1 - t0,
+                "filter": t2 - t1,
+                "estimate": t3 - t2,
+                "threshold": t4 - t3,
+            },
+        )
+        return result
 
-        dist = self.distance_tensor(refine_ids, q, times, normalized=True)
-        if mode == "forall":
-            probs = forall_knn_prob(dist, k)
-        else:
-            probs = exists_knn_prob(dist, k)
-        by_id = {oid: float(p) for oid, p in zip(refine_ids, probs)}
-        estimates = {oid: by_id[oid] for oid in result_ids}
+    def _assemble(
+        self,
+        request: QueryRequest,
+        plan: QueryPlan,
+        pruning: PruningResult,
+        outcome: EstimateOutcome,
+        times: np.ndarray,
+        result_ids: list[str],
+    ) -> QueryResult | PCNNResult | RawProbabilities:
+        """Threshold stage: τ-filter the estimates into the result object."""
+        if request.mode == "pcnn":
+            # The classic engine reports the engine-wide sample count even
+            # when nothing needed refinement; preserved for bit-identity.
+            result = PCNNResult(
+                entries=list(outcome.entries or []),
+                candidates=pruning.candidates,
+                influencers=pruning.influencers,
+                n_samples=plan.n_samples,
+                sets_evaluated=outcome.sets_evaluated,
+            )
+            if request.maximal_only:
+                result.entries = result.maximal_entries()
+            return result
+        if request.mode == "raw":
+            return RawProbabilities(
+                forall=dict(outcome.probabilities),
+                exists=dict(outcome.exists_probabilities or {}),
+                candidates=pruning.candidates,
+                influencers=pruning.influencers,
+                n_samples=outcome.n_samples_used,
+                times=times,
+            )
+        estimates = {
+            oid: outcome.probabilities[oid]
+            for oid in result_ids
+            if oid in outcome.probabilities
+        }
         results = [
-            ObjectProbability(oid, p) for oid, p in estimates.items() if p >= tau
+            ObjectProbability(oid, p)
+            for oid, p in estimates.items()
+            if p >= request.tau
         ]
         results.sort(key=lambda r: (-r.probability, r.object_id))
         return QueryResult(
@@ -390,13 +521,78 @@ class QueryEngine:
             probabilities=estimates,
             candidates=pruning.candidates,
             influencers=pruning.influencers,
-            n_samples=self.n_samples,
+            n_samples=outcome.n_samples_used,
             times=times,
         )
 
+    @staticmethod
+    def _report_base(plan: QueryPlan, pruning: PruningResult) -> dict:
+        """Plan- and filter-derived report fields, shared by explain()
+        skeletons and executed reports so the two cannot drift apart."""
+        return {
+            "estimator": plan.estimator,
+            "resolved_estimator": plan.resolved_estimator,
+            "mode": plan.mode,
+            "delta": plan.delta,
+            "n_candidates": len(pruning.candidates),
+            "n_influencers": len(pruning.influencers),
+            "examined_entries": pruning.examined_entries,
+        }
+
+    def _build_report(
+        self,
+        plan: QueryPlan,
+        pruning: PruningResult,
+        outcome: EstimateOutcome,
+        cache_before: tuple[int, int, int],
+        stage_seconds: dict[str, float],
+    ) -> EvaluationReport:
+        """Accounting for one executed evaluation (cache counters as deltas)."""
+        epsilon = plan.epsilon
+        if outcome.n_samples_used == 0 and plan.n_samples > 0:
+            # The planned radius describes a draw that never happened (the
+            # bounds decided every candidate, or nothing needed refinement);
+            # reporting it would attach sampling error to certified values.
+            epsilon = None
+        return EvaluationReport(
+            **self._report_base(plan, pruning),
+            n_samples=outcome.n_samples_used,
+            epsilon=epsilon,
+            stage_seconds=stage_seconds,
+            sampled_objects=outcome.sampled_objects,
+            bounds_decided=sum(
+                1
+                for tag in outcome.estimator_by_object.values()
+                if tag.startswith("bounds:")
+            ),
+            undecided=outcome.undecided,
+            estimator_by_object=dict(outcome.estimator_by_object),
+            cache_hits=self.worlds.hits - cache_before[0],
+            cache_partial_hits=self.worlds.partial_hits - cache_before[1],
+            cache_misses=self.worlds.misses - cache_before[2],
+            notes=plan.notes + outcome.notes,
+            executed=True,
+        )
+
     # ------------------------------------------------------------------
-    # PCNNQ (Definition 3, Algorithm 1)
+    # classic entry points (shims over the pipeline)
     # ------------------------------------------------------------------
+    def forall_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
+        """``P∀kNNQ(q, D, T, τ)`` — NN at *every* time of ``T``.
+
+        Shim over :meth:`evaluate` (``mode="forall"``, sampled estimator);
+        seeded results are bit-identical to the pre-pipeline engine.
+        """
+        return self.evaluate(QueryRequest(q, times, "forall", tau, k))
+
+    def exists_nn(self, q: Query, times, tau: float = 0.0, k: int = 1) -> QueryResult:
+        """``P∃kNNQ(q, D, T, τ)`` — NN at *some* time of ``T``.
+
+        Shim over :meth:`evaluate` (``mode="exists"``, sampled estimator);
+        seeded results are bit-identical to the pre-pipeline engine.
+        """
+        return self.evaluate(QueryRequest(q, times, "exists", tau, k))
+
     def continuous_nn(
         self,
         q: Query,
@@ -410,50 +606,48 @@ class QueryEngine:
         """``PCkNNQ(q, D, T, τ)`` — per-object qualifying timestamp sets.
 
         Any object alive during part of ``T`` can qualify on sub-intervals,
-        so the refinement set is ``I(q)``, not ``C(q)``.
+        so the refinement set is ``I(q)``, not ``C(q)``.  Shim over
+        :meth:`evaluate` (``mode="pcnn"``); seeded results are
+        bit-identical to the pre-pipeline engine.
         """
-        times = normalize_times(times)
-        self._begin_query()
-        pruning = self.filter_objects(q, times, k=k, normalized=True)
-        refine_ids = pruning.influencers
-        entries: list[PCNNEntry] = []
-        sets_evaluated = 0
-        if refine_ids:
-            dist = self.distance_tensor(refine_ids, q, times, normalized=True)
-            is_nn = knn_indicator(dist, k) if k > 1 else nn_indicator(dist)
-            for col, object_id in enumerate(refine_ids):
-                indicator = is_nn[:, col, :]
-                mined, stats = mine_timestamp_sets(
-                    indicator,
-                    times,
-                    tau,
-                    max_candidates=max_candidates,
-                    use_certain_shortcut=use_certain_shortcut,
-                )
-                sets_evaluated += stats.sets_evaluated
-                for timeset, p in mined:
-                    entries.append(PCNNEntry(object_id, timeset, p))
-        result = PCNNResult(
-            entries=entries,
-            candidates=pruning.candidates,
-            influencers=pruning.influencers,
-            n_samples=self.n_samples,
-            sets_evaluated=sets_evaluated,
+        return self.evaluate(
+            QueryRequest(
+                q,
+                times,
+                "pcnn",
+                tau,
+                k,
+                max_candidates=max_candidates,
+                use_certain_shortcut=use_certain_shortcut,
+                maximal_only=maximal_only,
+            )
         )
-        if maximal_only:
-            result.entries = result.maximal_entries()
-        return result
+
+    def nn_probabilities(
+        self, q: Query, times, k: int = 1, n_samples: int | None = None
+    ) -> dict[str, tuple[float, float]]:
+        """Per influence object: ``(P∀kNN, P∃kNN)`` estimates.
+
+        Bypasses thresholding — the calibration experiments (Fig. 11) use
+        this to compare estimators on the same object set.  Shim over
+        :meth:`evaluate` (``mode="raw"``); seeded results are bit-identical
+        to the pre-pipeline engine.
+        """
+        result = self.evaluate(
+            QueryRequest(q, times, "raw", k=k, n_samples=n_samples)
+        )
+        return result.as_dict()
 
     # ------------------------------------------------------------------
     # batched queries (continuous monitoring)
     # ------------------------------------------------------------------
-    def batch_query(
+    def evaluate_many(
         self,
         requests: Sequence[QueryRequest | tuple],
         *,
         refresh_worlds: bool | None = None,
-    ) -> list[QueryResult | PCNNResult]:
-        """Evaluate many queries against one shared set of sampled worlds.
+    ) -> list[QueryResult | PCNNResult | RawProbabilities]:
+        """Evaluate many requests against one shared set of sampled worlds.
 
         All requests run in a single draw epoch: every influence object is
         sampled at most once per ``(n_samples, backend)`` no matter how many
@@ -494,12 +688,12 @@ class QueryEngine:
         Returns
         -------
         list
-            One :class:`QueryResult` (``forall``/``exists``) or
-            :class:`PCNNResult` (``pcnn``) per request, in order.
+            One :class:`QueryResult` (``forall``/``exists``),
+            :class:`PCNNResult` (``pcnn``) or
+            :class:`~repro.core.results.RawProbabilities` (``raw``) per
+            request, in order.
         """
-        reqs = [
-            r if isinstance(r, QueryRequest) else QueryRequest(*r) for r in requests
-        ]
+        reqs = [self._coerce_request(r) for r in requests]
         if not reqs:
             return []
         explicit_hold = refresh_worlds is False
@@ -522,45 +716,17 @@ class QueryEngine:
         self._batch_window = (lo, hi)
         self._batch_depth += 1
         try:
-            out: list[QueryResult | PCNNResult] = []
-            for req in reqs:
-                if req.mode == "forall":
-                    out.append(self.forall_nn(req.query, req.times, req.tau, req.k))
-                elif req.mode == "exists":
-                    out.append(self.exists_nn(req.query, req.times, req.tau, req.k))
-                else:
-                    out.append(
-                        self.continuous_nn(req.query, req.times, req.tau, req.k)
-                    )
-            return out
+            return [self.evaluate(req) for req in reqs]
         finally:
             self._batch_depth -= 1
             if self._batch_depth == 0:
                 self._batch_window = None
 
-    # ------------------------------------------------------------------
-    # raw probability access (calibration experiments)
-    # ------------------------------------------------------------------
-    def nn_probabilities(
-        self, q: Query, times, k: int = 1, n_samples: int | None = None
-    ) -> dict[str, tuple[float, float]]:
-        """Per influence object: ``(P∀kNN, P∃kNN)`` estimates.
-
-        Bypasses thresholding — the calibration experiments (Fig. 11) use
-        this to compare estimators on the same object set.
-        """
-        times = normalize_times(times)
-        self._begin_query()
-        pruning = self.filter_objects(q, times, k=k, normalized=True)
-        refine_ids = pruning.influencers
-        if not refine_ids:
-            return {}
-        dist = self.distance_tensor(
-            refine_ids, q, times, n_samples=n_samples, normalized=True
-        )
-        p_all = forall_knn_prob(dist, k)
-        p_any = exists_knn_prob(dist, k)
-        return {
-            oid: (float(a), float(e))
-            for oid, a, e in zip(refine_ids, p_all, p_any)
-        }
+    def batch_query(
+        self,
+        requests: Sequence[QueryRequest | tuple],
+        *,
+        refresh_worlds: bool | None = None,
+    ) -> list[QueryResult | PCNNResult | RawProbabilities]:
+        """Alias of :meth:`evaluate_many` (the pre-pipeline batch API)."""
+        return self.evaluate_many(requests, refresh_worlds=refresh_worlds)

@@ -179,14 +179,20 @@ def exact_forall_nn_over_times(
     times,
     max_worlds: int = 1_000_000,
     max_paths: int = 100_000,
+    *,
+    k: int = 1,
 ) -> dict[str, dict[tuple[int, ...], float]]:
-    """Exact ``P∀NN(o, q, D, T_i)`` for *every* subset ``T_i ⊆ T``.
+    """Exact ``P∀kNN(o, q, D, T_i)`` for *every* subset ``T_i ⊆ T``.
 
     The exact counterpart of PCNN mining; exponential in ``|T|`` on top of
-    world enumeration, so strictly a validation tool.
+    world enumeration, so strictly a validation tool.  ``k`` is
+    keyword-only, appended after the original signature so existing
+    positional ``max_worlds``/``max_paths`` callers keep their meaning.
     """
     times = normalize_times(times)
-    base = exact_nn_probabilities(db, q, times, max_worlds=max_worlds, max_paths=max_paths)
+    base = exact_nn_probabilities(
+        db, q, times, k=k, max_worlds=max_worlds, max_paths=max_paths
+    )
     ids = list(base)
 
     out: dict[str, dict[tuple[int, ...], float]] = {oid: {} for oid in ids}
@@ -194,7 +200,7 @@ def exact_forall_nn_over_times(
     for mask in range(1, 2**n):
         subset = tuple(int(times[i]) for i in range(n) if mask >> i & 1)
         sub = exact_nn_probabilities(
-            db, q, subset, max_worlds=max_worlds, max_paths=max_paths
+            db, q, subset, k=k, max_worlds=max_worlds, max_paths=max_paths
         )
         for oid in ids:
             if oid in sub:

@@ -1,0 +1,243 @@
+"""Query planning: resolve a request into an explicit execution plan.
+
+The ``evaluate()`` pipeline runs four inspectable stages — **plan** →
+**filter** → **estimate** → **threshold**.  This module implements the
+first: :func:`build_plan` turns a :class:`~repro.core.queries.QueryRequest`
+into a :class:`QueryPlan` that fixes, *before anything runs*,
+
+* which estimation strategy the estimate stage will execute (the request's
+  ``estimator``, possibly downgraded — e.g. ``"hybrid"`` falls back to pure
+  sampling for semantics the Lemma 2 bounds do not cover, with a note);
+* how many possible worlds it may draw (the engine default, a per-request
+  override, or — for ``estimator="adaptive"`` — the Hoeffding sample size
+  ``n ≥ ln(2/δ) / (2 ε²)`` implied by the request's ``precision``);
+* the confidence radius that world count achieves (Section 5.2.3).
+
+Planning consumes no randomness and never touches sampled worlds, so
+:meth:`QueryEngine.explain` can expose plans as a pure observability hook:
+an :class:`Explanation` bundles the plan with the filter stage's pruning
+outcome and a skeleton report — everything a serving layer needs to predict
+query cost without paying the refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.hoeffding import confidence_radius, samples_needed
+from .queries import QueryRequest, normalize_times
+from .results import EvaluationReport
+
+__all__ = ["QueryPlan", "Explanation", "build_plan"]
+
+#: Semantics the Lemma 2 domination bounds can decide: P∀NN with k=1.
+_BOUNDABLE = ("forall",)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The resolved, immutable execution plan for one request.
+
+    ``estimator`` is the strategy the request asked for; ``resolved_estimator``
+    the one the estimate stage will actually run (they differ only when the
+    planner had to fall back, which ``notes`` explains).  ``n_samples`` is
+    the world budget of the estimate stage — 0 when the plan never samples
+    (``"exact"``, and ``"bounds"`` by construction).  ``epsilon`` is the
+    two-sided Hoeffding radius achieved by ``n_samples`` at ``delta`` (None
+    when the request states no precision target).
+    """
+
+    mode: str
+    estimator: str
+    resolved_estimator: str
+    n_samples: int
+    epsilon: float | None
+    delta: float | None
+    times: tuple[int, ...]
+    window: tuple[int, int]
+    tau: float
+    k: int
+    stages: tuple[str, ...]
+    notes: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (golden-file friendly: fully deterministic)."""
+        return {
+            "mode": self.mode,
+            "estimator": self.estimator,
+            "resolved_estimator": self.resolved_estimator,
+            "n_samples": self.n_samples,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "times": list(self.times),
+            "window": list(self.window),
+            "tau": self.tau,
+            "k": self.k,
+            "stages": list(self.stages),
+            "notes": list(self.notes),
+        }
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """``explain()`` output: the plan, the filter outcome, a report skeleton.
+
+    Produced without executing the estimate stage — no worlds are sampled,
+    no draw epoch is consumed — so explaining a request is cheap enough to
+    run on every request of a serving loop.  ``candidates``/``influencers``
+    come from actually running the (deterministic) § 6 filter step, which is
+    what makes the projected refinement cost concrete.
+    """
+
+    plan: QueryPlan
+    candidates: tuple[str, ...]
+    influencers: tuple[str, ...]
+    examined_entries: int
+    report: EvaluationReport
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (golden-file friendly: fully deterministic)."""
+        return {
+            "plan": self.plan.as_dict(),
+            "candidates": list(self.candidates),
+            "influencers": list(self.influencers),
+            "examined_entries": self.examined_entries,
+        }
+
+    def summary(self) -> str:
+        """Human-readable digest, one line per stage."""
+        plan = self.plan
+        lines = [
+            f"{plan.mode} query over T={list(plan.times)} "
+            f"(tau={plan.tau}, k={plan.k})",
+            f"  plan      estimator={plan.estimator}"
+            + (
+                f" -> {plan.resolved_estimator}"
+                if plan.resolved_estimator != plan.estimator
+                else ""
+            )
+            + f", n_samples={plan.n_samples}"
+            + (
+                f", radius {plan.epsilon:.4g} @ delta={plan.delta:g}"
+                if plan.epsilon is not None
+                else ""
+            ),
+            f"  filter    |C(q)|={len(self.candidates)} "
+            f"|I(q)|={len(self.influencers)} "
+            f"entries={self.examined_entries}",
+            f"  estimate  strategy={plan.resolved_estimator}, "
+            f"world budget {plan.n_samples}",
+            "  threshold tau-filter + result assembly",
+        ]
+        for note in plan.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def build_plan(request: QueryRequest, default_n_samples: int) -> QueryPlan:
+    """Resolve estimator, world budget and precision for one request.
+
+    Raises ``ValueError`` when the request asks for an estimator that
+    cannot serve its semantics at all (``"bounds"`` outside P∀NN/k=1);
+    recoverable mismatches (``"hybrid"`` on the same semantics) fall back
+    to pure sampling with an explanatory note instead.
+    """
+    notes: list[str] = []
+    resolved = request.estimator
+    boundable = request.mode in _BOUNDABLE and request.k == 1
+    if request.estimator == "bounds" and not boundable:
+        raise ValueError(
+            "estimator='bounds' decides P∀NN thresholds only (mode='forall', "
+            f"k=1); got mode={request.mode!r}, k={request.k}"
+        )
+    if request.estimator == "hybrid" and not boundable:
+        resolved = "sampled"
+        notes.append(
+            "Lemma 2 bounds cover mode='forall' with k=1 only; "
+            f"mode={request.mode!r}, k={request.k} falls back to pure sampling"
+        )
+    if (
+        request.estimator == "exact"
+        and request.mode == "pcnn"
+        and not request.tau > 0.0
+    ):
+        # Fail at plan time (before any epoch is consumed): tau=0 would
+        # qualify all 2^|T| subsets — the Section 4.3 blow-up.
+        raise ValueError("tau must be in (0, 1]; see Section 4.3 on tau -> 0")
+    if (
+        request.estimator in ("bounds", "hybrid")
+        and boundable
+        and request.tau == 0.0
+    ):
+        notes.append(
+            "tau=0 accepts every candidate trivially (any lower bound >= 0); "
+            "reported values are loose certified bounds, not estimates — "
+            "use estimator='sampled' for real probabilities at tau=0"
+        )
+
+    n = default_n_samples if request.n_samples is None else request.n_samples
+    epsilon: float | None = None
+    delta: float | None = None
+    if resolved in ("exact", "bounds"):
+        # These strategies never sample: no world budget, and a Hoeffding
+        # radius computed from the (unused) sampling default would mislead.
+        # Exact answers carry zero estimation error by construction.
+        n = 0
+        if request.n_samples is not None:
+            notes.append(
+                f"n_samples={request.n_samples} override is ignored: "
+                f"estimator '{resolved}' never samples"
+            )
+        if resolved == "exact" and request.precision is not None:
+            _, delta = request.precision
+            epsilon = 0.0
+        elif resolved == "bounds" and request.precision is not None:
+            notes.append(
+                "precision target is ignored: estimator 'bounds' reports "
+                "certified intervals, not Hoeffding estimates"
+            )
+    elif request.estimator == "adaptive":
+        target_eps, delta = request.precision  # validated non-None
+        n_needed = samples_needed(target_eps, delta)
+        if request.n_samples is not None and request.n_samples >= n_needed:
+            n = request.n_samples
+            if n > n_needed:
+                notes.append(
+                    f"n_samples={n} override exceeds the Hoeffding "
+                    f"requirement ({n_needed}); keeping the larger count"
+                )
+        else:
+            n = n_needed
+            if request.n_samples is not None:
+                notes.append(
+                    f"n_samples={request.n_samples} override is below the "
+                    f"Hoeffding requirement ({n_needed}) for the requested "
+                    "precision; drawing the required count"
+                )
+        epsilon = confidence_radius(n, delta)
+    elif request.precision is not None:
+        target_eps, delta = request.precision
+        epsilon = confidence_radius(n, delta)
+        if epsilon > target_eps:
+            notes.append(
+                f"fixed n_samples={n} achieves radius {epsilon:.4g} > "
+                f"requested epsilon={target_eps:g}; use estimator='adaptive' "
+                "to size the draw from the precision target"
+            )
+
+    times = tuple(int(t) for t in normalize_times(request.times))
+    stages = ("plan", "filter", f"estimate[{resolved}]", "threshold")
+    return QueryPlan(
+        mode=request.mode,
+        estimator=request.estimator,
+        resolved_estimator=resolved,
+        n_samples=n,
+        epsilon=epsilon,
+        delta=delta,
+        times=times,
+        window=(times[0], times[-1]),
+        tau=request.tau,
+        k=request.k,
+        stages=stages,
+        notes=tuple(notes),
+    )

@@ -16,7 +16,23 @@ import numpy as np
 from ..statespace.base import StateSpace
 from ..trajectory.trajectory import Trajectory
 
-__all__ = ["Query", "QueryRequest", "normalize_times", "union_window"]
+__all__ = [
+    "ESTIMATOR_NAMES",
+    "QUERY_MODES",
+    "Query",
+    "QueryRequest",
+    "normalize_times",
+    "union_window",
+]
+
+#: Query semantics the engine evaluates: P∀kNNQ, P∃kNNQ, PCkNNQ, and the
+#: threshold-free ``"raw"`` form returning per-object (P∀kNN, P∃kNN) pairs
+#: (the calibration access path of ``nn_probabilities``).
+QUERY_MODES = ("forall", "exists", "pcnn", "raw")
+
+#: Estimation strategies the planner accepts (the strategy classes live in
+#: :mod:`repro.core.estimators`; ``tests`` assert the registry matches).
+ESTIMATOR_NAMES = ("sampled", "exact", "bounds", "hybrid", "adaptive")
 
 
 def normalize_times(times) -> np.ndarray:
@@ -37,8 +53,6 @@ def union_window(requests) -> tuple[int, int]:
     t_lo: int | None = None
     t_hi: int | None = None
     for req in requests:
-        if not req.times:
-            continue
         lo, hi = req.window
         t_lo = lo if t_lo is None else min(t_lo, lo)
         t_hi = hi if t_hi is None else max(t_hi, hi)
@@ -109,11 +123,23 @@ class Query:
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One element of a ``QueryEngine.batch_query`` call.
+    """One self-contained query for ``QueryEngine.evaluate`` (and batches).
 
     ``mode`` selects the semantics: ``"forall"`` (P∀kNNQ), ``"exists"``
-    (P∃kNNQ) or ``"pcnn"`` (PCkNNQ — where ``tau`` is required to be
-    meaningful, exactly as in :meth:`QueryEngine.continuous_nn`).
+    (P∃kNNQ), ``"pcnn"`` (PCkNNQ — where ``tau`` is required to be
+    meaningful, exactly as in :meth:`QueryEngine.continuous_nn`) or
+    ``"raw"`` (threshold-free per-object (P∀kNN, P∃kNN) estimates, the
+    :meth:`QueryEngine.nn_probabilities` access path).
+
+    ``estimator`` picks the estimation strategy of the refinement stage
+    (see :mod:`repro.core.estimators`); ``precision=(epsilon, delta)``
+    states the Hoeffding target — required by ``estimator="adaptive"``
+    (which sizes ``n_samples`` from it) and otherwise used to report the
+    achieved confidence radius.  ``n_samples`` overrides the engine's
+    per-query world count.  The trailing fields carry the PCNN mining
+    options of :meth:`QueryEngine.continuous_nn` and the enumeration
+    budgets of the ``"exact"`` estimator, so a request serializes the
+    *complete* query.
     """
 
     query: Query
@@ -121,19 +147,56 @@ class QueryRequest:
     mode: str = "forall"
     tau: float = 0.0
     k: int = 1
+    estimator: str = "sampled"
+    precision: tuple[float, float] | None = None
+    n_samples: int | None = None
+    max_candidates: int = 100_000
+    use_certain_shortcut: bool = False
+    maximal_only: bool = False
+    max_worlds: int = 1_000_000
+    max_paths: int = 100_000
 
     def __post_init__(self) -> None:
-        if self.mode not in ("forall", "exists", "pcnn"):
+        if self.mode not in QUERY_MODES:
             raise ValueError(f"unknown query mode {self.mode!r}")
         if not 0.0 <= self.tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
         if self.k < 1:
             raise ValueError("k must be >= 1")
-        object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        times = tuple(int(t) for t in self.times)
+        if not times:
+            raise ValueError("query time set T must be non-empty")
+        object.__setattr__(self, "times", times)
+        if self.estimator not in ESTIMATOR_NAMES:
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; "
+                f"expected one of {ESTIMATOR_NAMES}"
+            )
+        if self.precision is not None:
+            try:
+                epsilon, delta = self.precision
+                epsilon, delta = float(epsilon), float(delta)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "precision must be a numeric (epsilon, delta) pair"
+                ) from None
+            if not 0.0 < epsilon < 1.0:
+                raise ValueError("precision epsilon must be in (0, 1)")
+            if not 0.0 < delta < 1.0:
+                raise ValueError("precision delta must be in (0, 1)")
+            object.__setattr__(self, "precision", (epsilon, delta))
+        elif self.estimator == "adaptive":
+            raise ValueError(
+                "estimator='adaptive' requires precision=(epsilon, delta)"
+            )
+        if self.n_samples is not None and self.n_samples < 1:
+            raise ValueError("n_samples override must be positive")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be positive")
+        if self.max_worlds < 1 or self.max_paths < 1:
+            raise ValueError("enumeration budgets must be positive")
 
     @property
     def window(self) -> tuple[int, int]:
-        """``[t_lo, t_hi]`` hull of this request's time set."""
-        if not self.times:
-            raise ValueError("request has no query times")
+        """``[t_lo, t_hi]`` hull of this request's (non-empty) time set."""
         return min(self.times), max(self.times)

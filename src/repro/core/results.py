@@ -6,7 +6,95 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ObjectProbability", "PCNNEntry", "QueryResult", "PCNNResult"]
+__all__ = [
+    "EvaluationReport",
+    "ObjectProbability",
+    "PCNNEntry",
+    "QueryResult",
+    "PCNNResult",
+    "RawProbabilities",
+]
+
+
+@dataclass
+class EvaluationReport:
+    """Observability record of one ``QueryEngine.evaluate`` run.
+
+    Every result of the staged pipeline carries one; ``explain()`` returns
+    the same structure as a *skeleton* (``executed=False``, zero timings,
+    empty per-object assignments) so a serving layer can inspect what a
+    request would cost before running it.
+
+    ``estimator_by_object`` records how each *reported value* was
+    obtained: ``"sampled"``/``"adaptive"`` (Monte-Carlo refinement),
+    ``"exact"`` (world enumeration), ``"bounds:accepted"`` /
+    ``"bounds:rejected"`` (conclusive Lemma 2 bounds — the stored value is
+    then a *certified* lower/upper bound, not an estimate, so result
+    ordering among bound-decided objects is by bound value, not true
+    probability).  ``undecided`` lists objects a pure-``bounds`` run could
+    not settle (the hybrid estimator estimates exactly these).
+    ``sampled_objects`` counts influence objects drawn into worlds — the
+    refinement *cost* — which on a hybrid run exceeds the number of
+    ``"sampled"``-tagged candidates (every competitor must be drawn to
+    estimate one undecided candidate).  Cache counters are deltas over
+    this evaluation, matching the engine's
+    :class:`~repro.core.worlds.WorldCache` accounting.
+    """
+
+    estimator: str
+    resolved_estimator: str
+    mode: str
+    n_samples: int
+    epsilon: float | None
+    delta: float | None
+    n_candidates: int
+    n_influencers: int
+    examined_entries: int
+    # Execution-only fields default to skeleton values so explain() only
+    # fills in what planning and filtering actually determine.
+    stage_seconds: dict[str, float] = field(
+        default_factory=lambda: {
+            "plan": 0.0, "filter": 0.0, "estimate": 0.0, "threshold": 0.0
+        }
+    )
+    sampled_objects: int = 0
+    bounds_decided: int = 0
+    undecided: tuple[str, ...] = ()
+    estimator_by_object: dict[str, str] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_partial_hits: int = 0
+    cache_misses: int = 0
+    notes: tuple[str, ...] = ()
+    executed: bool = True
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total across the recorded stages."""
+        return float(sum(self.stage_seconds.values()))
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (stage timings included; they are floats)."""
+        return {
+            "estimator": self.estimator,
+            "resolved_estimator": self.resolved_estimator,
+            "mode": self.mode,
+            "n_samples": self.n_samples,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "stage_seconds": dict(self.stage_seconds),
+            "n_candidates": self.n_candidates,
+            "n_influencers": self.n_influencers,
+            "examined_entries": self.examined_entries,
+            "sampled_objects": self.sampled_objects,
+            "bounds_decided": self.bounds_decided,
+            "undecided": list(self.undecided),
+            "estimator_by_object": dict(self.estimator_by_object),
+            "cache_hits": self.cache_hits,
+            "cache_partial_hits": self.cache_partial_hits,
+            "cache_misses": self.cache_misses,
+            "notes": list(self.notes),
+            "executed": self.executed,
+        }
 
 
 @dataclass(frozen=True)
@@ -73,6 +161,8 @@ class QueryResult:
     influencers: list[str]
     n_samples: int
     times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    #: Pipeline observability record (None for hand-built results).
+    report: EvaluationReport | None = None
 
     @property
     def n_candidates(self) -> int:
@@ -103,6 +193,8 @@ class PCNNResult:
     #: Total candidate timestamp sets evaluated across all objects — the
     #: "#Timestamp Sets" series of Figs. 13-14.
     sets_evaluated: int = 0
+    #: Pipeline observability record (None for hand-built results).
+    report: EvaluationReport | None = None
 
     def entries_for(self, object_id: str) -> list[PCNNEntry]:
         return [e for e in self.entries if e.object_id == str(object_id)]
@@ -124,3 +216,29 @@ class PCNNResult:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+@dataclass
+class RawProbabilities:
+    """Outcome of a ``mode="raw"`` evaluation: threshold-free estimates.
+
+    Per refined object, the (P∀kNN, P∃kNN) pair — the calibration access
+    path (Fig. 11) that :meth:`QueryEngine.nn_probabilities` exposes as a
+    plain dict via :meth:`as_dict`.
+    """
+
+    forall: dict[str, float]
+    exists: dict[str, float]
+    candidates: list[str]
+    influencers: list[str]
+    n_samples: int
+    times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    #: Pipeline observability record (None for hand-built results).
+    report: EvaluationReport | None = None
+
+    def as_dict(self) -> dict[str, tuple[float, float]]:
+        """The legacy ``nn_probabilities`` shape: ``oid -> (P∀, P∃)``."""
+        return {oid: (self.forall[oid], self.exists[oid]) for oid in self.forall}
+
+    def __len__(self) -> int:
+        return len(self.forall)

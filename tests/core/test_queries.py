@@ -1,9 +1,9 @@
-"""Tests for query references and time-set normalization."""
+"""Tests for query references, requests and time-set normalization."""
 
 import numpy as np
 import pytest
 
-from repro.core.queries import Query, normalize_times
+from repro.core.queries import Query, QueryRequest, normalize_times, union_window
 from repro.statespace.base import StateSpace
 from repro.trajectory.trajectory import Trajectory
 
@@ -64,3 +64,58 @@ class TestQueryKinds:
         assert Query.from_point([0.0, 0.0]).kind == "point"
         traj = Trajectory(0, np.array([0]))
         assert Query.from_trajectory(traj, space).kind == "trajectory"
+
+
+class TestQueryRequestValidation:
+    @pytest.fixture
+    def q(self):
+        return Query.from_point([0.0, 0.0])
+
+    def test_empty_times_rejected_at_construction(self, q):
+        with pytest.raises(ValueError, match="non-empty"):
+            QueryRequest(q, ())
+
+    def test_times_coerced_to_ints(self, q):
+        req = QueryRequest(q, np.array([3, 1, 1]))
+        assert req.times == (3, 1, 1)
+        assert all(isinstance(t, int) for t in req.times)
+        assert req.window == (1, 3)
+
+    def test_unknown_mode_rejected(self, q):
+        with pytest.raises(ValueError, match="mode"):
+            QueryRequest(q, (1,), "sometimes")
+
+    def test_raw_mode_accepted(self, q):
+        assert QueryRequest(q, (1,), "raw").mode == "raw"
+
+    def test_unknown_estimator_rejected(self, q):
+        with pytest.raises(ValueError, match="estimator"):
+            QueryRequest(q, (1,), estimator="psychic")
+
+    def test_adaptive_requires_precision(self, q):
+        with pytest.raises(ValueError, match="precision"):
+            QueryRequest(q, (1,), estimator="adaptive")
+
+    @pytest.mark.parametrize(
+        "precision",
+        [(0.0, 0.1), (0.1, 1.0), (1.5, 0.1), ("a",), 0.3, (None, 0.1), (0.05, "x")],
+    )
+    def test_bad_precision_rejected(self, q, precision):
+        with pytest.raises(ValueError):
+            QueryRequest(q, (1,), precision=precision)
+
+    def test_precision_coerced_to_floats(self, q):
+        req = QueryRequest(q, (1,), precision=(0.05, 0.01))
+        assert req.precision == (0.05, 0.01)
+
+    def test_nonpositive_n_samples_rejected(self, q):
+        with pytest.raises(ValueError, match="n_samples"):
+            QueryRequest(q, (1,), n_samples=0)
+
+    def test_union_window_spans_all_requests(self, q):
+        reqs = [QueryRequest(q, (3, 4)), QueryRequest(q, (1, 2))]
+        assert union_window(reqs) == (1, 4)
+
+    def test_union_window_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="no query times"):
+            union_window([])
