@@ -1,8 +1,85 @@
-"""Benchmark bootstrap: src-layout import path (mirrors the root conftest)."""
+"""Benchmark bootstrap: src-layout import path + machine-readable results.
 
+Besides mirroring the root conftest's ``sys.path`` setup, this conftest
+persists every benchmark session's results to ``BENCH_kernels.json`` at the
+repo root so the performance trajectory is tracked across PRs (CI uploads
+the file as an artifact).  Two sources feed it:
+
+* pytest-benchmark statistics for every timed kernel (absent under
+  ``--benchmark-disable``, where kernels run once without timing);
+* custom records pushed through the :func:`bench_record` fixture — e.g.
+  the fused-vs-loop speedup table, which times itself and therefore
+  reports even in disabled/smoke mode.
+"""
+
+import json
 import sys
 from pathlib import Path
 
-_SRC = str(Path(__file__).parent.parent / "src")
+import pytest
+
+_ROOT = Path(__file__).parent.parent
+_SRC = str(_ROOT / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+BENCH_JSON = _ROOT / "BENCH_kernels.json"
+
+_custom_records: dict = {}
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record a named payload into ``BENCH_kernels.json``.
+
+    Usage: ``bench_record("fused_speedup", {...})``.  Records are merged
+    into the session's output file at exit; re-recording a name within one
+    session overwrites it.
+    """
+
+    def record(name: str, payload) -> None:
+        _custom_records[str(name)] = payload
+
+    return record
+
+
+def _harvest_benchmark_stats(config) -> dict:
+    """pytest-benchmark per-kernel statistics (empty when disabled)."""
+    session = getattr(config, "_benchmarksession", None)
+    out: dict = {}
+    if session is None:
+        return out
+    for bench in getattr(session, "benchmarks", []):
+        try:
+            stats = bench.stats
+            out[bench.name] = {
+                "mean_s": float(stats.mean),
+                "stddev_s": float(stats.stddev),
+                "min_s": float(stats.min),
+                "median_s": float(stats.median),
+                "rounds": int(stats.rounds),
+                "ops_per_s": float(stats.ops),
+            }
+        except Exception:  # pragma: no cover - defensive against API drift
+            continue
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    kernels = _harvest_benchmark_stats(session.config)
+    if not kernels and not _custom_records:
+        return  # nothing measured (e.g. a collect-only run); keep the file
+    # Merge into the existing file so a partial run (one kernel, one -k
+    # selection) refreshes only what it measured instead of erasing the
+    # last complete session's results.
+    payload = {"schema": 1, "kernels": {}}
+    try:
+        previous = json.loads(BENCH_JSON.read_text())
+        if isinstance(previous, dict) and previous.get("schema") == 1:
+            payload.update(previous)
+    except (OSError, ValueError):
+        pass
+    payload["pytest_exit_status"] = int(exitstatus)
+    payload["kernels"] = {**payload.get("kernels", {}), **kernels}
+    payload.update(_custom_records)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -29,6 +29,12 @@ timestamp sets).  Five strategies ship, selected per request via
 Strategies report *how* each probability was obtained
 (``estimator_by_object``) so the :class:`~repro.core.results.
 EvaluationReport` can distinguish certified bounds from estimates.
+
+Every sampling strategy reaches refinement through
+:meth:`EstimationContext.refinement_distances`, which hands the *whole*
+candidate set to the engine as one columnar batch — on a ``fused`` engine
+that is a single :mod:`~repro.markov.arena` pass plus one fused distance
+kernel, never a per-object loop.
 """
 
 from __future__ import annotations
@@ -87,6 +93,23 @@ class EstimationContext:
     result_ids: list[str]
     refine_ids: list[str]
 
+    def refinement_distances(self, n_samples: int | None = None) -> np.ndarray:
+        """One shared world draw over the whole refine set.
+
+        The single entry point every sampling strategy uses to reach the
+        engine's refinement kernel: the candidate set goes down as one
+        columnar batch (one fused arena pass + one gather/einsum distance
+        kernel on a ``fused`` engine) rather than per-object calls, so
+        strategies cannot accidentally fall off the bulk path.
+        """
+        return self.engine.distance_tensor(
+            self.refine_ids,
+            self.request.query,
+            self.times,
+            n_samples=self.plan.n_samples if n_samples is None else n_samples,
+            normalized=True,
+        )
+
 
 @dataclass
 class EstimateOutcome:
@@ -144,10 +167,7 @@ class SampledEstimator(Estimator):
                 sampled_objects=len(ctx.refine_ids),
                 estimator_by_object=tagged,
             )
-        dist = ctx.engine.distance_tensor(
-            ctx.refine_ids, ctx.request.query, ctx.times, n_samples=n,
-            normalized=True,
-        )
+        dist = ctx.refinement_distances(n)
         if ctx.request.mode == "pcnn":
             entries, sets_evaluated = _mine_entries(ctx, dist)
             return EstimateOutcome(
@@ -253,11 +273,7 @@ def _forall_refinement(ctx: EstimationContext) -> dict[str, float]:
     """One shared world draw over all influence objects, counted with the
     ∀ semantics — the single refinement path behind both the sampled and
     hybrid estimators, so their estimates cannot drift apart."""
-    dist = ctx.engine.distance_tensor(
-        ctx.refine_ids, ctx.request.query, ctx.times,
-        n_samples=ctx.plan.n_samples, normalized=True,
-    )
-    probs = forall_knn_prob(dist, ctx.request.k)
+    probs = forall_knn_prob(ctx.refinement_distances(), ctx.request.k)
     return {oid: float(p) for oid, p in zip(ctx.refine_ids, probs)}
 
 

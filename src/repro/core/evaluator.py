@@ -46,6 +46,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..markov.arena import ArenaRequest, SamplingArena, sample_paths_arena
 from ..spatial.ust_tree import PruningResult, USTTree
 from ..trajectory.database import TrajectoryDatabase
 from ..trajectory.trajectory import UncertainObject
@@ -105,6 +106,16 @@ class QueryEngine:
         the full-adapted-span sampling of the pre-windowed engine (kept as
         an ablation and for workloads whose windows jump backwards so
         often that union redraws would dominate).
+    fused:
+        When ``True`` (default) refinement draws the worlds of *all* of a
+        query's candidate objects in one columnar pass through the
+        :class:`~repro.markov.arena.SamplingArena`, and the distance
+        tensor is computed by a single gather + einsum over the fused
+        block — no per-object Python loop.  ``False`` keeps the classic
+        object-major loop (the ablation the fused-parity tests and the
+        ``bench_kernels`` fused-vs-loop kernels compare against).  Both
+        paths are bit-identical per seed; fusion only applies to the
+        compiled backend (``backend="reference"`` always loops).
     """
 
     def __init__(
@@ -119,6 +130,7 @@ class QueryEngine:
         backend: str = "compiled",
         reuse_worlds: bool = False,
         window_restrict: bool = True,
+        fused: bool = True,
     ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
@@ -134,6 +146,7 @@ class QueryEngine:
         self.backend = backend
         self.reuse_worlds = reuse_worlds
         self.window_restrict = window_restrict
+        self.fused = bool(fused)
         self._ust = ust_tree
         self._ust_version = db.version if ust_tree is not None else None
         #: Cached per-object sampled worlds; see :mod:`repro.core.worlds`.
@@ -145,6 +158,11 @@ class QueryEngine:
         self._direct_draws = 0
         self._direct_round = 0
         self._last_batch_epoch: int | None = None
+        # Columnar sampling arena (fused refinement); rebuilt lazily when
+        # the database mutates, populated on first touch per object.
+        self._arena = SamplingArena()
+        self._arena_version: int | None = None
+        self._rng_tags: dict[str, list[int]] = {}
         # Root entropy for per-object world RNGs: drawn once from the main
         # stream so two engines with the same seed sample identical worlds.
         self._world_entropy = int(self.rng.integers(2**63))
@@ -215,8 +233,11 @@ class QueryEngine:
         distinguishes successive direct ``distance_tensor`` calls within
         one epoch, so repeated calls still yield fresh, averageable worlds.
         """
-        digest = hashlib.sha256(object_id.encode("utf-8")).digest()
-        tags = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+        tags = self._rng_tags.get(object_id)
+        if tags is None:
+            digest = hashlib.sha256(object_id.encode("utf-8")).digest()
+            tags = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+            self._rng_tags[object_id] = tags
         return np.random.default_rng(
             np.random.SeedSequence(
                 [self._world_entropy, self._draw_epoch, round_, *tags]
@@ -319,8 +340,31 @@ class QueryEngine:
             candidates=candidates,
             influencers=influencers,
             prune_distances=np.full(times.size, np.inf),
-            examined_entries=0,
+            # The fallback scans every overlapping object; reporting 0 here
+            # would make pruning-on/off EvaluationReport comparisons claim
+            # the unpruned path examined nothing.
+            examined_entries=len(overlapping),
         )
+
+    def _arena_for(self, objects: list[UncertainObject]) -> SamplingArena:
+        """The fused sampling arena, packed with the given objects.
+
+        One arena per database version: mutations drop it wholesale (stale
+        inverse-CDF tables must never answer queries), and objects join on
+        first refinement at their stable database order so the packed
+        layout is independent of candidate-list order.
+        """
+        if self._arena_version != self.db.version:
+            self._arena = SamplingArena()
+            self._arena_version = self.db.version
+        for obj in objects:
+            if obj.object_id not in self._arena:
+                self._arena.ensure(
+                    obj.object_id,
+                    obj.compiled,
+                    order=self.db.object_index(obj.object_id),
+                )
+        return self._arena
 
     # ------------------------------------------------------------------
     # refinement: possible worlds
@@ -342,6 +386,12 @@ class QueryEngine:
         come from the epoch's shared cache; on a default engine each direct
         call draws fresh window-scoped worlds (deterministic per epoch).
         Pass ``normalized=True`` when ``times`` is already canonical.
+
+        On a ``fused`` engine (the default, compiled backend) all objects
+        are drawn in one columnar arena pass and the distances come from a
+        single gather + einsum over the fused ``(n, O, T)`` block;
+        ``fused=False`` keeps the classic per-object loop.  Both are
+        bit-identical per seed.
         """
         if not normalized:
             times = normalize_times(times)
@@ -351,6 +401,22 @@ class QueryEngine:
             # fresh (yet seed-deterministic) worlds, so averaging over calls
             # adds information exactly as it did before the world cache.
             self._direct_round += 1
+        if (
+            self.fused
+            and self.backend == "compiled"
+            # Duplicate ids (legal, if unusual) would collide in the bulk
+            # cache lookup; the loop path handles them naturally.
+            and len(set(object_ids)) == len(object_ids)
+        ):
+            return self._distance_tensor_fused(object_ids, q, times, n)
+        return self._distance_tensor_loop(object_ids, q, times, n)
+
+    def _distance_tensor_loop(
+        self, object_ids: list[str], q: Query, times: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Object-major refinement: one sampler call and one distance
+        broadcast per object (the ``fused=False`` ablation, and the only
+        path for the reference backend)."""
         q_coords = q.coords_at(times)
         dist = np.full((n, len(object_ids), times.size), np.inf)
         for col, object_id in enumerate(object_ids):
@@ -364,6 +430,127 @@ class QueryEngine:
             diff = coords - q_coords[alive][None, :, :]
             dist[:, col, alive] = np.sqrt(np.sum(diff * diff, axis=-1))
         return dist
+
+    def _distance_tensor_fused(
+        self, object_ids: list[str], q: Query, times: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Columnar refinement: one arena pass draws every object's worlds,
+        then one gather + einsum computes all distances at once.
+
+        Per-object RNG streams, cache windows and hit/partial/miss
+        accounting are exactly those of the per-object path — only the
+        execution shape changes (object count becomes a vectorized axis).
+        """
+        q_coords = q.coords_at(times)
+        shape = (n, len(object_ids), times.size)
+        if not object_ids:
+            return np.full(shape, np.inf)
+        alive = self.db.alive_matrix(object_ids, times)
+        live_cols = np.flatnonzero(alive.any(axis=1))
+        if live_cols.size == 0:
+            return np.full(shape, np.inf)
+        objects = [self.db.get(object_ids[c]) for c in live_cols]
+        alive_times = [times[alive[c]] for c in live_cols]
+        arena = self._arena_for(objects)
+        share = self.reuse_worlds or self._batch_depth > 0
+        if share:
+            items = []
+            for obj, at in zip(objects, alive_times):
+                t_lo, t_hi = self._cache_window(obj, at)
+                items.append(((obj.object_id, n, self.backend), t_lo, t_hi))
+            segments = self.worlds.states_for_many(
+                items,
+                stamp=(self.db.version, self._draw_epoch),
+                bulk_sampler=self._bulk_sampler(arena, objects, n),
+            )
+            states = [seg.slice(at) for seg, at in zip(segments, alive_times)]
+        else:
+            requests = [
+                ArenaRequest(
+                    obj.object_id,
+                    int(at[0]),
+                    int(at[-1]),
+                    self._object_rng(obj.object_id, self._direct_round),
+                )
+                for obj, at in zip(objects, alive_times)
+            ]
+            drawn = sample_paths_arena(arena, requests, n)
+            self._direct_draws += len(requests)
+            states = [
+                paths[:, at - at[0]] for paths, at in zip(drawn, alive_times)
+            ]
+        # Fused distance kernel: pack every (object, alive tic) column and
+        # scatter all norms back in one assignment.
+        full_grid = live_cols.size == len(object_ids) and bool(alive.all())
+        if full_grid:
+            col_index = time_index = None
+        else:
+            dist = np.full(shape, np.inf)
+            flat_alive = np.flatnonzero(alive[live_cols].ravel())
+            col_index = live_cols[flat_alive // times.size]
+            time_index = flat_alive % times.size
+        packed = np.concatenate(states, axis=1)  # (n, total columns)
+        space = self.db.space
+        if times.size * space.n_states <= max(1_000_000, 4 * packed.size):
+            # Distances depend only on (tic, state): tabulate them once per
+            # query — the same subtract/square/sum/sqrt the per-object path
+            # applies, so values stay bit-identical — then one 2-d gather
+            # replaces materializing an (n, columns, d) coordinate block.
+            diff = space.coords[None, :, :] - q_coords[:, None, :]
+            per_state = np.sqrt(np.sum(diff * diff, axis=-1))  # (T, S)
+            if full_grid:
+                # Every object alive at every tic: the packed columns *are*
+                # the (object, tic) grid in row-major order.
+                tiled = np.tile(np.arange(times.size, dtype=np.intp), len(object_ids))
+                return per_state[tiled, packed].reshape(shape)
+            dist[:, col_index, time_index] = per_state[time_index, packed]
+        else:
+            # Huge state spaces: gather coordinates for the sampled states
+            # only and einsum the norms.
+            if full_grid:
+                time_index = np.tile(
+                    np.arange(times.size, dtype=np.intp), len(object_ids)
+                )
+            coords = space.coords_of(packed)  # (n, total columns, d)
+            diff = coords - q_coords[time_index][None, :, :]
+            norms = np.sqrt(np.einsum("wcd,wcd->wc", diff, diff))
+            if full_grid:
+                return norms.reshape(shape)
+            dist[:, col_index, time_index] = norms
+        return dist
+
+    def _bulk_sampler(
+        self, arena: SamplingArena, objects: list[UncertainObject], n: int
+    ):
+        """The :meth:`WorldCache.states_for_many` callback: fuses every
+        cache miss (fresh window draw) and partial hit (resumed forward
+        extension) of one lookup into a single arena pass."""
+
+        def bulk(fresh: list, extend: list):
+            requests = [
+                ArenaRequest(
+                    objects[pos].object_id, t_lo, t_hi,
+                    self._object_rng(objects[pos].object_id),
+                )
+                for pos, t_lo, t_hi in fresh
+            ]
+            requests += [
+                ArenaRequest(
+                    objects[pos].object_id, t_from, t_hi, rng, start_states=last
+                )
+                for pos, rng, last, t_from, t_hi in extend
+            ]
+            results = sample_paths_arena(arena, requests, n)
+            fresh_results = [
+                (states, req.rng)
+                for states, req in zip(results[: len(fresh)], requests[: len(fresh)])
+            ]
+            # Resumed draws echo the anchor column; the cache appends only
+            # the newly grown tics.
+            extend_results = [grown[:, 1:] for grown in results[len(fresh) :]]
+            return fresh_results, extend_results
+
+        return bulk
 
     # ------------------------------------------------------------------
     # the staged pipeline: plan -> filter -> estimate -> threshold

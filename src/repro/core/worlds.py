@@ -81,6 +81,11 @@ class WorldSegment:
 
     def slice(self, times: np.ndarray) -> np.ndarray:
         """State columns at the requested (covered) times."""
+        lo = times[0] - self.t_first
+        if times[-1] - times[0] + 1 == times.size:
+            # Contiguous request: a view, not a fancy-index copy (the
+            # common batched shape slices whole windows).
+            return self.states[:, lo : lo + times.size]
         return self.states[:, times - self.t_first]
 
 
@@ -184,3 +189,78 @@ class WorldCache:
         else:
             self.hits += 1
         return seg
+
+    def states_for_many(
+        self,
+        items: list[tuple[tuple, int, int]],
+        stamp: tuple,
+        bulk_sampler: Callable[[list, list], tuple[list, list]],
+    ) -> list[WorldSegment]:
+        """Bulk :meth:`states_for`: one fused draw serves many members.
+
+        ``items`` is a list of ``(key, t_lo, t_hi)`` lookups (keys must be
+        distinct — one entry per object).  Every member is classified
+        exactly as :meth:`states_for` would (hit / partial hit / miss, with
+        the same backward-request union fallback and the same counter
+        accounting), but instead of invoking one sampler per member, all
+        the work is handed to ``bulk_sampler(fresh, extend)`` in a single
+        call so the engine can fuse it into one arena pass:
+
+        * ``fresh`` — ``(position, t_lo, t_hi)`` triples needing a full
+          draw; the sampler returns a matching list of ``(states, rng)``.
+        * ``extend`` — ``(position, rng, last_states, t_from, t_hi)``
+          tuples resuming a cached segment's stream; the sampler returns a
+          matching list of new-column arrays for ``(t_from, t_hi]``.
+
+        Because each member's draw consumes only its own per-object RNG
+        stream, the bulk path is bit-identical to issuing the member
+        lookups through :meth:`states_for` one at a time.
+        """
+        self._sync(stamp)
+        if len({key for key, _, _ in items}) != len(items):
+            raise ValueError("states_for_many requires distinct keys per call")
+        segments: list[WorldSegment | None] = [None] * len(items)
+        fresh: list[tuple[int, int, int]] = []
+        extend: list[tuple[int, np.random.Generator, np.ndarray, int, int]] = []
+        # Classification replays the *sequential* cache evolution exactly:
+        # a miss inserts a placeholder segment immediately (evicting the
+        # oldest entry at capacity, just as the sequential insert would),
+        # so later members classify against the same cache state they
+        # would have seen one lookup at a time — bit-identity holds even
+        # when a batch pushes the cache over capacity.
+        placeholders: dict[tuple, WorldSegment] = {}
+        for pos, (key, t_lo, t_hi) in enumerate(items):
+            seg = self._entries.get(key)
+            if seg is not None and t_lo < seg.t_first:
+                t_hi = max(t_hi, seg.t_last)
+                del self._entries[key]
+                seg = None
+            if seg is None:
+                self.misses += 1
+                fresh.append((pos, t_lo, t_hi))
+                placeholder = WorldSegment(t_lo, np.empty((0, 0), dtype=np.intp), None)
+                placeholders[key] = placeholder
+                if len(self._entries) >= self.capacity:
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = placeholder
+            elif t_hi > seg.t_last:
+                self.partial_hits += 1
+                extend.append((pos, seg.rng, seg.states[:, -1], seg.t_last, t_hi))
+                segments[pos] = seg
+            else:
+                self.hits += 1
+                segments[pos] = seg
+        if fresh or extend:
+            fresh_results, extend_results = bulk_sampler(fresh, extend)
+            for (pos, t_lo, _), (states, rng) in zip(fresh, fresh_results):
+                key = items[pos][0]
+                seg = placeholders[key]
+                seg.states, seg.rng = states, rng
+                segments[pos] = seg
+                # An evicted placeholder stays out of the cache — exactly
+                # the sequential outcome (drawn, returned, then evicted).
+            for (pos, *_), new_cols in zip(extend, extend_results):
+                seg = segments[pos]
+                assert seg is not None
+                seg.states = np.concatenate([seg.states, new_cols], axis=1)
+        return segments  # type: ignore[return-value]

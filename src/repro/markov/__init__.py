@@ -1,6 +1,7 @@
 """Markov chain substrate: models, adaptation (Algorithm 2), samplers."""
 
 from .adaptation import AdaptedModel, ObservationContradictionError, adapt_model
+from .arena import ArenaRequest, SamplingArena, sample_paths_arena
 from .chain import (
     InhomogeneousMarkovChain,
     MarkovChain,
@@ -23,8 +24,10 @@ from .stationary import mixing_profile, spectral_gap, stationary_distribution
 
 __all__ = [
     "AdaptedModel",
+    "ArenaRequest",
     "CompiledMatrix",
     "CompiledModel",
+    "SamplingArena",
     "Evidence",
     "InhomogeneousMarkovChain",
     "MarkovChain",
@@ -40,6 +43,7 @@ __all__ = [
     "mixing_profile",
     "posterior_sample",
     "rejection_sample",
+    "sample_paths_arena",
     "segment_rejection_sample",
     "spectral_gap",
     "stationary_distribution",

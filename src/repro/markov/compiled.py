@@ -74,6 +74,9 @@ class CompiledLayer:
         "next_flat",
         "_width",
         "_ones",
+        "_cdfs",
+        "_cdf_flat",
+        "_entry_rows",
     )
 
     def __init__(
@@ -86,6 +89,11 @@ class CompiledLayer:
         self.support = support
         self.indptr = indptr
         self.local_next = local_next
+        # Lazy raw-CDF views for the sampling arena (see cdf_flat); built
+        # on first arena packing so non-fused engines pay nothing.
+        self._cdf_flat: np.ndarray | None = None
+        self._entry_rows: np.ndarray | None = None
+        self._cdfs: list[np.ndarray] | None = None
         row_sizes = np.diff(indptr)
         width = int(row_sizes.max()) if row_sizes.size else 0
         if 0 < width <= _DENSE_WIDTH_LIMIT:
@@ -115,6 +123,39 @@ class CompiledLayer:
                 if cdfs
                 else np.empty(0)
             )
+            # Wide rows: the augmented CDF is lossy (aug - r re-rounds), so
+            # keep the raw row arrays for exact lazy reconstruction.
+            self._cdfs = cdfs
+
+    @property
+    def entry_rows(self) -> np.ndarray:
+        """Local row index of every CSR entry (lazy; arena packing only)."""
+        if self._entry_rows is None:
+            row_sizes = np.diff(self.indptr)
+            self._entry_rows = np.repeat(
+                np.arange(row_sizes.size, dtype=np.intp), row_sizes
+            )
+        return self._entry_rows
+
+    @property
+    def cdf_flat(self) -> np.ndarray:
+        """Raw per-row CDFs in CSR form (lazy; arena packing only).
+
+        The sampling arena packs many objects' layers into one haystack
+        with *global* row offsets, which it can only build from the
+        un-augmented values.  Dense layers reconstruct them exactly from
+        the padded matrix; wide layers keep the raw row arrays around.
+        """
+        if self._cdf_flat is None:
+            if self.cdf_dense is not None:
+                rows = self.entry_rows
+                offsets = np.arange(rows.size, dtype=np.intp) - self.indptr[rows]
+                self._cdf_flat = self.cdf_dense[rows, offsets]
+            else:
+                self._cdf_flat = (
+                    np.concatenate(self._cdfs) if self._cdfs else np.empty(0)
+                )
+        return self._cdf_flat
 
     def draw(self, rows: np.ndarray, u: np.ndarray) -> np.ndarray:
         """Inverse-CDF draw of one successor *row of the next layer* per sample.
@@ -162,6 +203,23 @@ class CompiledModel:
     def layer(self, t: int) -> CompiledLayer:
         """The compiled transition ``F(t)`` (from ``t`` to ``t+1``)."""
         return self._layers[t]
+
+    def initial_table(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(support_states, cdf)`` of the posterior marginal at ``t``.
+
+        The inverse-CDF table a window-anchored draw starts from; the
+        sampling arena concatenates these across objects to fuse the
+        initial draws of a whole candidate set.
+        """
+        return self._initials[t]
+
+    def support_at(self, t: int) -> np.ndarray:
+        """Global state ids of the posterior support at ``t`` (sorted)."""
+        return self._initials[t][0]
+
+    def rows_of_states(self, t: int, states: np.ndarray) -> np.ndarray:
+        """Map global state ids to local support rows at ``t`` (validated)."""
+        return self._rows_of_states(t, states)
 
     def _draw_initial_rows(
         self, rng: np.random.Generator, n: int, t: int

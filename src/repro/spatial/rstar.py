@@ -482,29 +482,42 @@ def _rstar_split(items: list, rect_of, min_entries: int):
     return list(best.first), list(best.second)
 
 
+def _even_chunks(items: list, n_parts: int) -> Iterator[list]:
+    """Split into ``n_parts`` contiguous chunks whose sizes differ by ≤ 1."""
+    n_parts = max(1, min(n_parts, len(items)))
+    base, extra = divmod(len(items), n_parts)
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        yield items[start : start + size]
+        start += size
+
+
 def _str_partition(items: list, capacity: int) -> Iterator[list]:
-    """Partition items into chunks of ``capacity`` via Sort-Tile-Recursive.
+    """Partition items into ≤ ``capacity`` chunks via Sort-Tile-Recursive.
 
     Items are ``(Rect, payload)`` pairs or ``(Rect, node)`` pairs; sorting
-    uses rect centers.
+    uses rect centers.  Chunk sizes are distributed evenly (all within one
+    of ``len / n_chunks``) instead of packing full chunks with a small
+    tail: a tail chunk below the R* minimum fill would violate the tree's
+    node-underfull invariant the moment it became a node.  Even splits
+    keep every chunk ≥ ``capacity / 2``, which dominates ``min_fill``
+    (capped at 0.5).
     """
     if len(items) <= capacity:
         yield items
         return
     ndim = items[0][0].ndim
-    n_chunks = int(np.ceil(len(items) / capacity))
 
     def tile(chunk: list, axis: int) -> Iterator[list]:
-        if axis == ndim - 1 or len(chunk) <= capacity:
-            chunk.sort(key=lambda it: it[0].center[axis])
-            for i in range(0, len(chunk), capacity):
-                yield chunk[i : i + capacity]
-            return
         chunk.sort(key=lambda it: it[0].center[axis])
+        n_target = int(np.ceil(len(chunk) / capacity))
+        if axis == ndim - 1 or len(chunk) <= capacity:
+            yield from _even_chunks(chunk, n_target)
+            return
         remaining_dims = ndim - axis
-        n_slabs = int(np.ceil(n_chunks ** (1.0 / remaining_dims)))
-        slab_size = int(np.ceil(len(chunk) / n_slabs))
-        for i in range(0, len(chunk), slab_size):
-            yield from tile(chunk[i : i + slab_size], axis + 1)
+        n_slabs = int(np.ceil(n_target ** (1.0 / remaining_dims)))
+        for slab in _even_chunks(chunk, n_slabs):
+            yield from tile(slab, axis + 1)
 
     yield from tile(list(items), 0)

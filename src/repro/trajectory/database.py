@@ -43,6 +43,8 @@ class TrajectoryDatabase:
         self._objects: dict[str, UncertainObject] = {}
         self._diamonds: dict[str, list[Diamond]] = {}
         self._version = 0
+        self._order: dict[str, int] = {}
+        self._order_counter = 0
 
     @property
     def version(self) -> int:
@@ -83,12 +85,15 @@ class TrajectoryDatabase:
             object_id, observations, own_chain, ground_truth, extend_to=extend_to
         )
         self._objects[object_id] = obj
+        self._order[object_id] = self._order_counter
+        self._order_counter += 1
         self._bump_version()
         return obj
 
     def remove_object(self, object_id: str) -> None:
         del self._objects[object_id]
         self._diamonds.pop(object_id, None)
+        self._order.pop(object_id, None)
         self._bump_version()
 
     def add_observation(self, object_id: str, time: int, state: int) -> UncertainObject:
@@ -147,6 +152,49 @@ class TrajectoryDatabase:
     def objects_overlapping(self, times: np.ndarray) -> list[UncertainObject]:
         """Objects alive at at least one of the given times."""
         return [o for o in self._objects.values() if o.covers_any(times)]
+
+    def object_index(self, object_id: str) -> int:
+        """Stable insertion-order index of an object.
+
+        Monotonically assigned when the object is added and unchanged by
+        observation ingestion; removals leave gaps and a re-added id gets a
+        fresh (higher) index.  The sampling arena orders its packed blocks
+        by this index so the fused layout does not depend on the order a
+        query happens to list its candidates in.
+        """
+        try:
+            return self._order[str(object_id)]
+        except KeyError:
+            raise KeyError(f"unknown object {object_id!r}") from None
+
+    def lifespans(
+        self, object_ids: Sequence[str] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(t_first, t_last)`` arrays for the given ids (default: all).
+
+        The columnar form of :attr:`UncertainObject.t_first` /
+        :attr:`~UncertainObject.t_last` — the fused refinement path derives
+        its per-object aliveness masks from these instead of looping.
+        """
+        objs = (
+            list(self._objects.values())
+            if object_ids is None
+            else [self.get(oid) for oid in object_ids]
+        )
+        t_first = np.asarray([o.t_first for o in objs], dtype=np.intp)
+        t_last = np.asarray([o.t_last for o in objs], dtype=np.intp)
+        return t_first, t_last
+
+    def alive_matrix(self, object_ids: Sequence[str], times: np.ndarray) -> np.ndarray:
+        """Boolean ``(n_objects, n_times)`` lifespan mask.
+
+        ``mask[i, j]`` is true when ``object_ids[i]`` covers ``times[j]``;
+        one vectorized comparison instead of per-object
+        :meth:`UncertainObject.alive_during` calls.
+        """
+        times = np.asarray(times, dtype=np.intp)
+        t_first, t_last = self.lifespans(object_ids)
+        return (times[None, :] >= t_first[:, None]) & (times[None, :] <= t_last[:, None])
 
     def time_horizon(self) -> tuple[int, int]:
         """Smallest interval covering every object's span."""

@@ -1,0 +1,335 @@
+"""Fused vs per-object engine lockstep: seeded results must be bit-equal.
+
+The fused arena path (``QueryEngine(fused=True)``, the default) and the
+classic object-major loop (``fused=False``) must produce **identical**
+seeded results — probabilities, PCNN entries, cache accounting — across
+both window modes and every sampling estimator.  These tests run the two
+engines in lockstep on the same databases; any drift means the arena's
+draw arithmetic or RNG-stream consumption diverged from the per-object
+sampler (see :mod:`repro.markov.arena` for the contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.core.queries import Query, QueryRequest
+from tests.conftest import make_paper_example_db, make_random_world
+
+pytestmark = pytest.mark.fused_parity
+
+WINDOW_MODES = [True, False]
+SAMPLING_ESTIMATORS = ["sampled", "hybrid", "adaptive"]
+
+
+def _world(seed, n_objects=5):
+    db, _ = make_random_world(
+        seed=seed, n_states=12, n_objects=n_objects, span=12, obs_every=4
+    )
+    return db
+
+
+def _engine_pair(db, *, seed=17, n_samples=250, **kwargs):
+    return (
+        QueryEngine(db, n_samples=n_samples, seed=seed, fused=True, **kwargs),
+        QueryEngine(db, n_samples=n_samples, seed=seed, fused=False, **kwargs),
+    )
+
+
+def _assert_same_result(a, b):
+    assert a.probabilities == b.probabilities
+    assert a.candidates == b.candidates
+    assert a.influencers == b.influencers
+    assert [(r.object_id, r.probability) for r in a.results] == [
+        (r.object_id, r.probability) for r in b.results
+    ]
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+    @pytest.mark.parametrize("estimator", SAMPLING_ESTIMATORS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_forall_and_exists(self, window_restrict, estimator, seed):
+        db = _world(seed)
+        q = Query.from_point([5.0, 5.0])
+        precision = (0.05, 0.05) if estimator == "adaptive" else None
+        for mode in ("forall", "exists"):
+            fused, loop = _engine_pair(
+                db, window_restrict=window_restrict, use_pruning=False
+            )
+            req = QueryRequest(
+                q, tuple(range(2, 10)), mode, 0.1,
+                estimator=estimator, precision=precision,
+            )
+            _assert_same_result(fused.evaluate(req), loop.evaluate(req))
+
+    @pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+    def test_pcnn_entries(self, window_restrict):
+        db = _world(2)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, window_restrict=window_restrict)
+        req = QueryRequest(q, tuple(range(1, 9)), "pcnn", 0.3)
+        ra, rb = fused.evaluate(req), loop.evaluate(req)
+        assert [(e.object_id, e.times, e.probability) for e in ra.entries] == [
+            (e.object_id, e.times, e.probability) for e in rb.entries
+        ]
+
+    @pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+    def test_raw_probabilities(self, window_restrict):
+        db = _world(3)
+        q = Query.from_point([4.0, 6.0])
+        fused, loop = _engine_pair(db, window_restrict=window_restrict)
+        ra = fused.nn_probabilities(q, range(2, 8), k=2)
+        rb = loop.nn_probabilities(q, range(2, 8), k=2)
+        assert ra == rb
+
+    def test_paper_example_all_modes(self):
+        db = make_paper_example_db()
+        q = Query.from_point([0.0, 0.0])
+        fused, loop = _engine_pair(db, n_samples=2000)
+        _assert_same_result(fused.forall_nn(q, [1, 2, 3]), loop.forall_nn(q, [1, 2, 3]))
+        _assert_same_result(fused.exists_nn(q, [1, 2, 3]), loop.exists_nn(q, [1, 2, 3]))
+        ra = fused.continuous_nn(q, [1, 2, 3], tau=0.2)
+        rb = loop.continuous_nn(q, [1, 2, 3], tau=0.2)
+        assert [(e.object_id, e.times, e.probability) for e in ra.entries] == [
+            (e.object_id, e.times, e.probability) for e in rb.entries
+        ]
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_sliding_batches_and_cache_accounting(self, window_restrict, seed):
+        """Batched evaluation shares one epoch's worlds on both paths; the
+        fused bulk lookup must match the per-object cache walk *including*
+        hit / partial-hit / miss accounting."""
+        db = _world(seed, n_objects=4)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(
+            db, window_restrict=window_restrict, use_pruning=False
+        )
+        requests = [QueryRequest(q, tuple(range(t, t + 4))) for t in range(0, 8, 2)]
+        for ra, rb in zip(fused.evaluate_many(requests), loop.evaluate_many(requests)):
+            _assert_same_result(ra, rb)
+        for attr in ("hits", "partial_hits", "misses"):
+            assert getattr(fused.worlds, attr) == getattr(loop.worlds, attr), attr
+
+    @pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+    def test_held_epoch_forward_growth(self, window_restrict):
+        """Forward-growing batches on a held epoch extend cached worlds;
+        fused extension (resumed arena draws) must match the per-object
+        extension stream bit for bit."""
+        db = _world(6, n_objects=4)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(
+            db, window_restrict=window_restrict, use_pruning=False
+        )
+        first = [QueryRequest(q, (1, 2, 3))]
+        later = [QueryRequest(q, (2, 3, 4, 5, 6)), QueryRequest(q, (5, 6, 7, 8))]
+        for engine in (fused, loop):
+            engine.evaluate_many(first)
+        for ra, rb in zip(
+            fused.evaluate_many(later, refresh_worlds=False),
+            loop.evaluate_many(later, refresh_worlds=False),
+        ):
+            _assert_same_result(ra, rb)
+        assert fused.worlds.partial_hits == loop.worlds.partial_hits
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    def test_parity_under_cache_capacity_pressure(self, capacity):
+        """A batch whose refine set exceeds the world-cache capacity evicts
+        mid-lookup; the bulk classification must replay the sequential
+        evolution exactly (same evictions, counters and worlds)."""
+        from repro.core.worlds import WorldCache
+
+        db = _world(16, n_objects=5)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, use_pruning=False)
+        fused.worlds = WorldCache(capacity=capacity)
+        loop.worlds = WorldCache(capacity=capacity)
+        requests = [QueryRequest(q, tuple(range(t, t + 4))) for t in (0, 2, 4)]
+        for ra, rb in zip(fused.evaluate_many(requests), loop.evaluate_many(requests)):
+            _assert_same_result(ra, rb)
+        for attr in ("hits", "partial_hits", "misses"):
+            assert getattr(fused.worlds, attr) == getattr(loop.worlds, attr), attr
+        assert len(fused.worlds) == len(loop.worlds) <= capacity
+
+    def test_reuse_worlds_direct_distance_tensor(self):
+        db = _world(7)
+        q = Query.from_point([3.0, 3.0])
+        ids = [o.object_id for o in db]
+        times = np.arange(0, 12)
+        fused, loop = _engine_pair(db, reuse_worlds=True)
+        da = fused.distance_tensor(ids, q, times)
+        db_ = loop.distance_tensor(ids, q, times)
+        assert np.array_equal(da, db_)
+
+    def test_default_engine_direct_rounds_stay_fresh(self):
+        """Repeated direct calls on a default engine draw fresh worlds per
+        round on both paths — and the same fresh worlds."""
+        db = _world(8)
+        q = Query.from_point([3.0, 3.0])
+        ids = [o.object_id for o in db]
+        times = np.arange(2, 9)
+        fused, loop = _engine_pair(db)
+        first = (fused.distance_tensor(ids, q, times), loop.distance_tensor(ids, q, times))
+        second = (fused.distance_tensor(ids, q, times), loop.distance_tensor(ids, q, times))
+        assert np.array_equal(first[0], first[1])
+        assert np.array_equal(second[0], second[1])
+        assert not np.array_equal(first[0], second[0])
+        assert fused.sampler_calls == loop.sampler_calls
+
+
+class TestFusedBookkeeping:
+    def test_reference_backend_ignores_fused(self):
+        """The arena packs compiled models only; the reference backend must
+        transparently fall back to the per-object loop."""
+        db = _world(9)
+        q = Query.from_point([5.0, 5.0])
+        compiled = QueryEngine(db, n_samples=150, seed=3, backend="compiled")
+        reference = QueryEngine(db, n_samples=150, seed=3, backend="reference", fused=True)
+        ra = compiled.forall_nn(q, range(2, 8))
+        rb = reference.forall_nn(q, range(2, 8))
+        assert ra.probabilities == rb.probabilities  # backends are lockstepped
+
+    def test_arena_rebuilt_on_database_mutation(self):
+        db = _world(10, n_objects=3)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, use_pruning=False)
+        _assert_same_result(fused.forall_nn(q, range(2, 8)), loop.forall_nn(q, range(2, 8)))
+        db.add_object("late", [(0, 0), (6, 0)])
+        _assert_same_result(fused.forall_nn(q, range(2, 8)), loop.forall_nn(q, range(2, 8)))
+
+    def test_report_counters_match(self):
+        db = _world(11)
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, use_pruning=False)
+        req = QueryRequest(q, tuple(range(2, 8)), "forall", 0.1)
+        ra, rb = fused.evaluate(req), loop.evaluate(req)
+        for field in (
+            "sampled_objects",
+            "n_samples",
+            "n_candidates",
+            "n_influencers",
+            "cache_hits",
+            "cache_partial_hits",
+            "cache_misses",
+        ):
+            assert getattr(ra.report, field) == getattr(rb.report, field), field
+
+
+class TestFallbackBranchParity:
+    """The non-default fused branches must stay lockstepped too: the
+    wide-row per-object fallback and the huge-state-space einsum distance
+    kernel."""
+
+    def test_wide_row_per_object_fallback(self):
+        """> _DENSE_WIDTH_LIMIT successors per row routes those objects
+        through their own layer's draw inside the fused sweep; results
+        must still match the loop path exactly."""
+        from repro.markov.compiled import _DENSE_WIDTH_LIMIT
+
+        n_states = _DENSE_WIDTH_LIMIT + 16  # fully dense chain: wide rows
+        db, _ = make_random_world(
+            seed=13, n_states=n_states, n_objects=3, span=8, obs_every=4,
+            density=1.0,
+        )
+        # Sanity: the workload really exercises the flat branch.
+        obj = next(iter(db))
+        widths = [
+            int(np.diff(obj.compiled.layer(t).indptr).max())
+            for t in range(obj.t_first, obj.t_last)
+        ]
+        assert max(widths) > _DENSE_WIDTH_LIMIT
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, n_samples=200, use_pruning=False)
+        _assert_same_result(
+            fused.forall_nn(q, range(1, 8)), loop.forall_nn(q, range(1, 8))
+        )
+
+    def test_mixed_narrow_and_wide_objects_in_one_sweep(self):
+        """A sparse-chain world plus one dense-chain hub: narrow objects
+        take the fused dense tables while the hub draws per-object, in the
+        same timestep sweep."""
+        from scipy import sparse
+
+        from repro.markov.chain import MarkovChain
+        from repro.markov.compiled import _DENSE_WIDTH_LIMIT
+
+        db, rng = make_random_world(
+            seed=15, n_states=_DENSE_WIDTH_LIMIT + 16, n_objects=3, span=8,
+            obs_every=4, density=0.1,
+        )
+        n_states = db.space.n_states
+        dense = rng.uniform(0.1, 1.0, size=(n_states, n_states))
+        dense /= dense.sum(axis=1, keepdims=True)
+        hub_chain = MarkovChain(sparse.csr_matrix(dense))
+        walk = [0]
+        for _ in range(8):
+            nxt, probs = hub_chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        db.add_object("hub", [(0, walk[0]), (4, walk[4]), (8, walk[8])], chain=hub_chain)
+        hub = db.get("hub")
+        widths = [
+            int(np.diff(hub.compiled.layer(t).indptr).max())
+            for t in range(hub.t_first, hub.t_last)
+        ]
+        assert max(widths) > _DENSE_WIDTH_LIMIT
+        q = Query.from_point([5.0, 5.0])
+        fused, loop = _engine_pair(db, n_samples=150, use_pruning=False)
+        _assert_same_result(
+            fused.forall_nn(q, range(1, 8)), loop.forall_nn(q, range(1, 8))
+        )
+        reqs = [QueryRequest(q, tuple(range(t, t + 4))) for t in (0, 2, 4)]
+        for a, b in zip(fused.evaluate_many(reqs), loop.evaluate_many(reqs)):
+            _assert_same_result(a, b)
+
+    def test_huge_state_space_einsum_path(self):
+        """A state space large enough that tabulating per-state distances
+        would dwarf the draw takes the gather+einsum branch instead."""
+        from scipy import sparse
+
+        from repro.markov.chain import MarkovChain
+        from repro.statespace.base import StateSpace
+        from repro.trajectory.database import TrajectoryDatabase
+
+        n_states = 600_000  # times.size * n_states >> 1e6 and >> 4*packed
+        rng = np.random.default_rng(0)
+        space = StateSpace(rng.uniform(0, 100, size=(n_states, 2)))
+        # Identity chain keeps adaptation trivial at this scale.
+        chain = MarkovChain(sparse.identity(n_states, format="csr"))
+        db = TrajectoryDatabase(space, chain)
+        db.add_object("a", [(0, 7), (4, 7)])
+        db.add_object("b", [(0, 91), (4, 91)])
+        q = Query.from_point([50.0, 50.0])
+        ids = ["a", "b"]
+        times = np.arange(0, 5)
+        fused, loop = _engine_pair(db, n_samples=40, use_pruning=False)
+        assert np.array_equal(
+            fused.distance_tensor(ids, q, times), loop.distance_tensor(ids, q, times)
+        )
+
+    def test_duplicate_object_ids_fall_back_to_loop(self):
+        """Duplicate candidate ids are legal on the public method; the
+        fused engine must not crash on them (it reroutes to the loop)."""
+        db = _world(14, n_objects=3)
+        ids = [o.object_id for o in db]
+        doubled = ids + ids[:1]
+        q = Query.from_point([5.0, 5.0])
+        times = np.arange(2, 8)
+        fused, loop = _engine_pair(db, reuse_worlds=True)
+        da = fused.distance_tensor(doubled, q, times)
+        db_ = loop.distance_tensor(doubled, q, times)
+        assert np.array_equal(da, db_)
+        assert np.array_equal(da[:, 0], da[:, -1])  # duplicate columns agree
+
+
+class TestNoPruningExaminedEntries:
+    def test_fallback_reports_scanned_objects(self):
+        """The no-pruning fallback scans every overlapping object; the
+        report must say so instead of claiming zero examined entries."""
+        db = _world(12, n_objects=4)
+        q = Query.from_point([5.0, 5.0])
+        engine = QueryEngine(db, n_samples=50, seed=1, use_pruning=False)
+        result = engine.forall_nn(q, range(2, 8))
+        assert result.report.examined_entries == len(result.influencers) > 0
