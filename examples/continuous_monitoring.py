@@ -1,10 +1,16 @@
-"""Continuous monitoring with a *moving* query and principled sample sizing.
+"""Continuous monitoring over a live observation stream.
 
-A patrol vehicle (certain trajectory q) moves through a synthetic road
-network of uncertain objects.  For every tic of its patrol we ask which
-object is probably nearest (PCNNQ with a trajectory query), and use
-Hoeffding's inequality to choose the sample count for a target accuracy —
-the paper's Section 5.2.3 guarantee.
+A dispatch center watches a synthetic road network: every object keeps
+producing GPS fixes while three standing questions stay open — who shadows
+the patrol route (P∀NNQ), who is near the depot *right now* (a sliding
+window following the stream clock), and the handover schedule (PCNNQ).
+
+Instead of re-running batch queries after every fix, the streaming
+subsystem does the minimum: each ``tick`` ingests the fixes that arrived,
+invalidates exactly the touched objects (their UST-tree segments, cached
+worlds and arena tables — everything else is reused bit-identically), and
+re-evaluates only the subscriptions whose influence sets the fixes could
+touch, emitting per-subscription delta notifications.
 
 Run:  python examples/continuous_monitoring.py
 """
@@ -16,9 +22,18 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 import numpy as np
 
-from repro import Query, QueryEngine, QueryRequest, Trajectory
-from repro.analysis.hoeffding import confidence_radius, samples_needed
+from repro import (
+    ContinuousMonitor,
+    Query,
+    QueryEngine,
+    QueryRequest,
+    SlidingWindow,
+    Trajectory,
+    TrajectoryDatabase,
+)
+from repro.analysis.hoeffding import samples_needed
 from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+from repro.stream import AddObservation
 
 
 def main() -> None:
@@ -32,76 +47,128 @@ def main() -> None:
         obs_interval=8,
     )
     workload = generate_workload(config, rng)
-    db = workload.db
-    print(f"network: {db.space.n_states} states; {len(db)} uncertain objects")
 
-    # Sample sizing: ±0.02 with 99% confidence per estimated probability.
-    epsilon, delta = 0.02, 0.01
-    n = samples_needed(epsilon, delta)
+    # Re-stage the workload as a stream: each object is registered with
+    # the observations it has produced up to the cutover tic; everything
+    # later arrives live, one tick per tic.
+    cutover = 20
+    full = workload.db
+    db = TrajectoryDatabase(full.space, full.chain)
+    pending: dict[int, list[AddObservation]] = {}
+    for obj in full:
+        initial = [o for o in obj.observations if o.time <= cutover]
+        if not initial:
+            initial = [obj.observations.first]
+        db.add_object(
+            obj.object_id, initial, chain=obj.chain, ground_truth=obj.ground_truth
+        )
+        for o in obj.observations:
+            if o.time > initial[-1].time:
+                pending.setdefault(o.time, []).append(
+                    AddObservation(obj.object_id, o.time, o.state)
+                )
     print(
-        f"Hoeffding: {n} samples give |p̂ - p| < {epsilon} with "
-        f"probability {1 - delta:.0%} (radius check: "
-        f"{confidence_radius(n, delta):.4f})"
+        f"network: {db.space.n_states} states; {len(db)} objects registered "
+        f"with fixes up to t={cutover}; "
+        f"{sum(len(v) for v in pending.values())} fixes still in flight"
     )
 
-    # The patrol: ride along one object's ground-truth route (certain).
-    host = db.get(db.object_ids[0])
-    patrol_states = host.ground_truth.states[5:25]
-    patrol = Query.from_trajectory(Trajectory(5, patrol_states), db.space)
-    window = np.arange(5, 25)
-
+    n = samples_needed(0.02, 0.01)  # ±0.02 at 99% per estimate
     engine = QueryEngine(db, n_samples=n, seed=2)
-    print(f"\npatrol window: tics {window[0]}-{window[-1]} (moving query)")
+    monitor = ContinuousMonitor(engine)
 
-    print("\n=== Escort detection: P∀NNQ along the whole patrol ===")
-    escort = engine.forall_nn(patrol, window, tau=0.3)
-    for r in escort.results:
-        print(f"  {r.object_id:6s} stayed nearest with P ≈ {r.probability:.3f}")
-    if not escort.results:
-        print("  nobody shadowed the patrol the whole time")
+    # The patrol: ride along one object's ground-truth route (certain).
+    host = full.get(full.object_ids[0])
+    t0 = host.ground_truth.t_start
+    patrol_states = host.ground_truth.states[5:25]
+    patrol = Query.from_trajectory(Trajectory(t0 + 5, patrol_states), db.space)
+    patrol_window = tuple(range(t0 + 5, t0 + 25))
+    depot = Query.from_state(db.space, workload.sample_query_state())
 
-    print("\n=== Handover schedule: PCNNQ(τ=0.6), maximal intervals ===")
-    pcnn = engine.continuous_nn(patrol, window, tau=0.6, maximal_only=True)
-    schedule = sorted(pcnn.entries, key=lambda e: (e.times[0], e.object_id))
-    for entry in schedule[:12]:
-        print(
-            f"  {entry.object_id:6s} tics {entry.format_times():14s} "
-            f"(P ≈ {entry.probability:.3f})"
+    monitor.subscribe(
+        QueryRequest(patrol, patrol_window, "forall", tau=0.3), name="escort"
+    )
+    monitor.subscribe(
+        QueryRequest(patrol, patrol_window, "pcnn", tau=0.6, maximal_only=True),
+        name="handover",
+    )
+    monitor.subscribe(
+        QueryRequest(depot, (0,), "exists", tau=0.4),
+        window=SlidingWindow(width=4, lag=1),
+        name="depot",
+    )
+
+    print("\n=== tick 0: initial evaluation of all standing queries ===")
+    report = monitor.tick(now=cutover)
+    for note in report.notifications:
+        print(f"  {note.subscription:9s} {_summary(note)}")
+    print(f"  reuse: {_reuse(report)}")
+
+    print("\n=== live ticks: one per tic, ingesting that tic's fixes ===")
+    for t in range(cutover + 1, config.horizon + 1):
+        events = pending.get(t, [])
+        report = monitor.tick(events, now=t)
+        deltas = [n_ for n_ in report.notifications if n_.changed]
+        line = (
+            f"  t={t:2d}: {len(events):2d} fixes, dirty={len(report.dirty):2d}, "
+            f"re-evaluated {len(report.reevaluated)}/{len(report.notifications)}"
         )
-    if len(schedule) > 12:
-        print(f"  ... and {len(schedule) - 12} more intervals")
-
-    print("\n=== Convoy view: P∀2NNQ (among two nearest the whole time) ===")
-    convoy = engine.forall_nn(patrol, window, tau=0.3, k=2)
-    for r in convoy.results:
-        print(f"  {r.object_id:6s} P∀2NN ≈ {r.probability:.3f}")
-
-    print("\n=== Sliding-window monitoring: evaluate_many over one draw epoch ===")
-    # Re-ask "who shadows the patrol?" for every 5-tic sub-window.  A batch
-    # shares sampled worlds across all windows: each influence object is
-    # sampled at most once per epoch, and overlapping windows are answered
-    # from the *same* possible worlds (mutually consistent estimates).
-    span = 5
-    requests = [
-        QueryRequest(patrol, tuple(range(t, t + span)), mode="forall", tau=0.5)
-        for t in range(int(window[0]), int(window[-1]) - span + 2)
-    ]
-    calls_before = engine.sampler_calls
-    answers = engine.evaluate_many(requests)
-    for req, res in zip(requests, answers):
-        if res.results:
-            top = res.results[0]
-            print(
-                f"  tics {req.times[0]:2d}-{req.times[-1]:2d}: "
-                f"{top.object_id:6s} P ≈ {top.probability:.3f}"
-                + (f"  (+{len(res.results) - 1} more)" if len(res.results) > 1 else "")
+        if deltas:
+            line += " | " + "; ".join(
+                f"{n_.subscription} CHANGED ({n_.reason}): {_summary(n_)}"
+                for n_ in deltas
             )
+        print(line)
+        print(f"        reuse: {_reuse(report)}")
+
+    print("\n=== totals ===")
+    sched = monitor.scheduler
     print(
-        f"  {len(requests)} windows refined with "
-        f"{engine.sampler_calls - calls_before} full sampler calls "
-        f"({engine.worlds.hits} world-cache hits, "
-        f"{engine.worlds.partial_hits} forward extensions) — each object "
-        "sampled only over the batch's time-union, not its full span"
+        f"  {monitor.stream.events_applied} events in {monitor.stream.batches} "
+        f"batches over {monitor.ticks} ticks"
+    )
+    print(
+        f"  scheduler: {sched.decided} decisions, {sched.skipped} skipped "
+        "(provably unchanged — served from cache)"
+    )
+    print(
+        f"  worlds: {engine.worlds.hits} hits, {engine.worlds.partial_hits} "
+        f"forward extensions, {engine.worlds.misses} redraws "
+        f"({engine.worlds_invalidated} segments selectively invalidated)"
+    )
+    print(
+        f"  index: {engine.index_updates} per-object updates, "
+        f"{engine.index_rebuilds} full rebuild(s)"
+    )
+
+
+def _summary(note) -> str:
+    """One-line gist of a notification's result."""
+    result = note.result
+    if note.subscription == "handover":
+        entries = sorted(result.entries, key=lambda e: (e.times[0], e.object_id))
+        parts = [
+            f"{e.object_id}@{e.format_times()}(P≈{e.probability:.2f})"
+            for e in entries[:3]
+        ]
+        more = f" +{len(entries) - 3}" if len(entries) > 3 else ""
+        return f"{len(entries)} intervals: " + ", ".join(parts) + more
+    if not result.results:
+        return f"no object above tau (window {note.times[0]}-{note.times[-1]})"
+    top = result.results[0]
+    return (
+        f"top {top.object_id} P≈{top.probability:.3f} "
+        f"(window {note.times[0]}-{note.times[-1]}, "
+        f"{len(result.results)} above tau)"
+    )
+
+
+def _reuse(report) -> str:
+    r = report.reuse
+    return (
+        f"{r['cache_hits']} world hits, {r['cache_partial_hits']} extensions, "
+        f"{r['cache_misses']} redraws, {r['index_updates']} index updates, "
+        f"{r['index_rebuilds']} rebuilds"
     )
 
 

@@ -23,6 +23,11 @@ Public API tour
 * Inspect the machinery: :func:`adapt_model` (Algorithm 2),
   :class:`USTTree` (Section 6 pruning), :mod:`repro.core.exact` oracles,
   :class:`EvaluationReport` on every pipeline result.
+* Stream: :class:`ObservationStream` ingests event batches
+  (:class:`AddObject` / :class:`AddObservation` / :class:`RemoveObject`)
+  with per-object invalidation underneath, and :class:`ContinuousMonitor`
+  keeps standing subscriptions (fixed or :class:`SlidingWindow` time
+  sets) refreshed with delta notifications per tick.
 """
 
 from .core.evaluator import QueryEngine
@@ -51,6 +56,15 @@ from .spatial.geometry import Rect
 from .spatial.rstar import RStarTree
 from .spatial.ust_tree import USTTree
 from .statespace.base import StateSpace
+from .stream.ingest import (
+    AddObject,
+    AddObservation,
+    IngestResult,
+    ObservationStream,
+    RemoveObject,
+)
+from .stream.monitor import ContinuousMonitor, Notification, TickReport
+from .stream.scheduler import SlidingWindow, Subscription
 from .statespace.generator import build_synthetic_space
 from .statespace.grid import build_grid_space
 from .statespace.network import build_city_network
@@ -58,19 +72,25 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptedModel",
+    "AddObject",
+    "AddObservation",
     "CompiledModel",
+    "ContinuousMonitor",
     "ESTIMATOR_NAMES",
     "EvaluationReport",
     "Explanation",
+    "IngestResult",
     "InhomogeneousMarkovChain",
     "MarkovChain",
+    "Notification",
     "Observation",
     "ObservationContradictionError",
     "ObservationSet",
+    "ObservationStream",
     "ObjectProbability",
     "PCNNEntry",
     "PCNNResult",
@@ -82,9 +102,13 @@ __all__ = [
     "QueryResult",
     "RawProbabilities",
     "Rect",
+    "RemoveObject",
     "RStarTree",
+    "SlidingWindow",
     "SparseDistribution",
     "StateSpace",
+    "Subscription",
+    "TickReport",
     "Trajectory",
     "TrajectoryDatabase",
     "USTTree",

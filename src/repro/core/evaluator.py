@@ -116,6 +116,18 @@ class QueryEngine:
         ``bench_kernels`` fused-vs-loop kernels compare against).  Both
         paths are bit-identical per seed; fusion only applies to the
         compiled backend (``backend="reference"`` always loops).
+    incremental:
+        When ``True`` (default) database mutations invalidate the derived
+        structures *selectively*: the UST-tree removes and reinserts only
+        the mutated objects' segments, the world cache drops only their
+        segments (:meth:`WorldCache.invalidate_objects`) and the sampling
+        arena evicts only their packed tables — the streaming-ingest fast
+        path.  ``False`` restores wholesale invalidation (full index
+        rebuild, full cache flush, fresh arena on every mutation), kept as
+        the lockstep oracle the incremental path is tested against.  The
+        engine also falls back to wholesale invalidation whenever the
+        database cannot say which objects changed
+        (:meth:`TrajectoryDatabase.changed_since` returning ``None``).
     """
 
     def __init__(
@@ -131,6 +143,7 @@ class QueryEngine:
         reuse_worlds: bool = False,
         window_restrict: bool = True,
         fused: bool = True,
+        incremental: bool = True,
     ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
@@ -147,8 +160,8 @@ class QueryEngine:
         self.reuse_worlds = reuse_worlds
         self.window_restrict = window_restrict
         self.fused = bool(fused)
+        self.incremental = bool(incremental)
         self._ust = ust_tree
-        self._ust_version = db.version if ust_tree is not None else None
         #: Cached per-object sampled worlds; see :mod:`repro.core.worlds`.
         self.worlds = WorldCache()
         self._draw_epoch = 0
@@ -158,11 +171,23 @@ class QueryEngine:
         self._direct_draws = 0
         self._direct_round = 0
         self._last_batch_epoch: int | None = None
-        # Columnar sampling arena (fused refinement); rebuilt lazily when
-        # the database mutates, populated on first touch per object.
+        # Columnar sampling arena (fused refinement); mutated objects are
+        # evicted selectively, populated on first touch per object.
         self._arena = SamplingArena()
-        self._arena_version: int | None = None
         self._rng_tags: dict[str, list[int]] = {}
+        # Mutation sync state: the database version the derived structures
+        # (index, arena, world cache) currently reflect, plus the world
+        # cache's wholesale-invalidation token (bumped only when a
+        # non-selective flush is required; selective ingests keep it).
+        self._mut_seen = db.version
+        self._worlds_token = 0
+        #: Cumulative invalidation accounting (the streaming monitor
+        #: reports per-tick deltas of these): full index rebuilds,
+        #: per-object incremental index updates, and world-cache segments
+        #: dropped by selective invalidation.
+        self.index_rebuilds = 0
+        self.index_updates = 0
+        self.worlds_invalidated = 0
         # Root entropy for per-object world RNGs: drawn once from the main
         # stream so two engines with the same seed sample identical worlds.
         self._world_entropy = int(self.rng.integers(2**63))
@@ -172,21 +197,62 @@ class QueryEngine:
     # ------------------------------------------------------------------
     @property
     def ust_tree(self) -> USTTree:
-        """The UST-tree over the database (built lazily, rebuilt on change).
+        """The UST-tree over the database (built lazily, maintained on change).
 
         The database's mutation counter detects added/removed objects and
         newly ingested observations, so queries never run against a stale
-        index.
+        index.  On an ``incremental`` engine (the default) a mutation
+        re-indexes only the touched objects' segments in place; otherwise
+        — or when the mutation log cannot name the touched objects — the
+        tree is rebuilt from scratch.
         """
-        if self._ust is None or self._ust_version != self.db.version:
+        self._sync_mutations()
+        if self._ust is None:
             self._ust = USTTree(self.db)
-            self._ust_version = self.db.version
+            self.index_rebuilds += 1
         return self._ust
 
     def invalidate_index(self) -> None:
         """Drop the index explicitly (mutations are detected automatically)."""
         self._ust = None
-        self._ust_version = None
+
+    def _sync_mutations(self) -> None:
+        """Bring every derived structure in line with the database.
+
+        Called on entry of each query path.  When the database can name
+        the objects a version delta touched (and the engine is
+        ``incremental``), exactly those objects are invalidated: their
+        index segments re-indexed, their packed arena tables evicted and
+        their cached worlds dropped — everything else stays bit-identical.
+        Otherwise the classic wholesale invalidation runs: index dropped,
+        arena reset, world-cache token bumped (flushing all worlds at the
+        next stamped access).
+        """
+        version = self.db.version
+        if version == self._mut_seen:
+            return
+        changed = (
+            self.db.changed_since(self._mut_seen) if self.incremental else None
+        )
+        if changed is None:
+            self._ust = None
+            self._arena = SamplingArena()
+            self._worlds_token += 1
+        else:
+            if self._ust is not None:
+                for oid in sorted(changed):
+                    self._ust.update_object(oid)
+                    self.index_updates += 1
+            for oid in changed:
+                self._arena.discard(oid)
+                if oid not in self.db:
+                    # Removed ids free their cached RNG tags too (re-added
+                    # ids recompute the identical digest, so eviction is
+                    # semantically free) — a forever-stream cycling object
+                    # ids must not leak per-id state.
+                    self._rng_tags.pop(oid, None)
+            self.worlds_invalidated += self.worlds.invalidate_objects(changed)
+        self._mut_seen = version
 
     # ------------------------------------------------------------------
     # world management
@@ -195,6 +261,18 @@ class QueryEngine:
     def draw_epoch(self) -> int:
         """Current draw epoch; worlds are deterministic within one epoch."""
         return self._draw_epoch
+
+    @property
+    def worlds_token(self) -> int:
+        """The world cache's wholesale-invalidation token.
+
+        Part of the cache stamp ``(token, epoch)``: it advances only when
+        a mutation forces a *full* flush (``incremental=False``, or a
+        mutation log too old to name the touched objects).  Selective
+        streaming invalidation keeps it — untouched objects' worlds
+        survive the ingest bit-identically.
+        """
+        return self._worlds_token
 
     @property
     def sampler_calls(self) -> int:
@@ -288,6 +366,25 @@ class QueryEngine:
             return obj.sample_states(times, n, rng, backend=self.backend)
 
         t_lo, t_hi = self._cache_window(obj, times)
+        draw, extend = self._object_sampler(obj, n)
+        seg = self.worlds.states_for(
+            key=(obj.object_id, n, self.backend),
+            stamp=(self._worlds_token, self._draw_epoch),
+            t_lo=t_lo,
+            t_hi=t_hi,
+            sampler=draw,
+            extender=extend,
+        )
+        return seg.slice(times)
+
+    def _object_sampler(self, obj: UncertainObject, n: int):
+        """The per-object ``(draw, extend)`` pair the world cache consumes.
+
+        One definition for every non-fused lookup path (query refinement
+        and :meth:`prefetch_worlds`), so the RNG derivation and the
+        resumed draw's anchor-echo convention (``[:, 1:]``) cannot drift
+        between them.
+        """
 
         def draw(lo: int, hi: int) -> tuple[np.ndarray, np.random.Generator]:
             rng = self._object_rng(obj.object_id)
@@ -305,15 +402,7 @@ class QueryEngine:
             )
             return grown[:, 1:]
 
-        seg = self.worlds.states_for(
-            key=(obj.object_id, n, self.backend),
-            stamp=(self.db.version, self._draw_epoch),
-            t_lo=t_lo,
-            t_hi=t_hi,
-            sampler=draw,
-            extender=extend,
-        )
-        return seg.slice(times)
+        return draw, extend
 
     # ------------------------------------------------------------------
     # filter step
@@ -349,14 +438,13 @@ class QueryEngine:
     def _arena_for(self, objects: list[UncertainObject]) -> SamplingArena:
         """The fused sampling arena, packed with the given objects.
 
-        One arena per database version: mutations drop it wholesale (stale
-        inverse-CDF tables must never answer queries), and objects join on
-        first refinement at their stable database order so the packed
-        layout is independent of candidate-list order.
+        Mutation staleness is handled by :meth:`_sync_mutations` before
+        any query path reaches here: an incremental engine evicts only the
+        mutated objects' packed tables, a wholesale invalidation replaces
+        the arena.  Objects join on first refinement at their stable
+        database order so the packed layout is independent of
+        candidate-list order.
         """
-        if self._arena_version != self.db.version:
-            self._arena = SamplingArena()
-            self._arena_version = self.db.version
         for obj in objects:
             if obj.object_id not in self._arena:
                 self._arena.ensure(
@@ -395,6 +483,7 @@ class QueryEngine:
         """
         if not normalized:
             times = normalize_times(times)
+        self._sync_mutations()
         n = self.n_samples if n_samples is None else int(n_samples)
         if not (self.reuse_worlds or self._batch_depth):
             # One round per direct call: repeated calls within an epoch draw
@@ -451,7 +540,6 @@ class QueryEngine:
             return np.full(shape, np.inf)
         objects = [self.db.get(object_ids[c]) for c in live_cols]
         alive_times = [times[alive[c]] for c in live_cols]
-        arena = self._arena_for(objects)
         share = self.reuse_worlds or self._batch_depth > 0
         if share:
             items = []
@@ -460,11 +548,12 @@ class QueryEngine:
                 items.append(((obj.object_id, n, self.backend), t_lo, t_hi))
             segments = self.worlds.states_for_many(
                 items,
-                stamp=(self.db.version, self._draw_epoch),
-                bulk_sampler=self._bulk_sampler(arena, objects, n),
+                stamp=(self._worlds_token, self._draw_epoch),
+                bulk_sampler=self._bulk_sampler(objects, n),
             )
             states = [seg.slice(at) for seg, at in zip(segments, alive_times)]
         else:
+            arena = self._arena_for(objects)
             requests = [
                 ArenaRequest(
                     obj.object_id,
@@ -519,14 +608,42 @@ class QueryEngine:
             dist[:, col_index, time_index] = norms
         return dist
 
-    def _bulk_sampler(
-        self, arena: SamplingArena, objects: list[UncertainObject], n: int
-    ):
+    #: Below this many outstanding draws a bulk lookup skips the fused
+    #: arena pass: a per-object compiled draw is bit-identical and avoids
+    #: rebuilding fused step tables (which pack *every* arena object) —
+    #: the streaming shape, where an ingest leaves a couple of dirty
+    #: objects to redraw while the rest of the working set stays cached.
+    FUSED_DRAW_THRESHOLD = 4
+
+    def _bulk_sampler(self, objects: list[UncertainObject], n: int):
         """The :meth:`WorldCache.states_for_many` callback: fuses every
         cache miss (fresh window draw) and partial hit (resumed forward
-        extension) of one lookup into a single arena pass."""
+        extension) of one lookup into a single arena pass — unless only a
+        handful of draws are outstanding, where the per-object compiled
+        path (bit-identical per seed) is cheaper than touching the fused
+        tables.  The arena is packed lazily, only when the fused branch
+        actually runs: a streaming tick that redraws one dirty object must
+        not pay a repack it never draws from."""
 
         def bulk(fresh: list, extend: list):
+            if len(fresh) + len(extend) <= self.FUSED_DRAW_THRESHOLD:
+                fresh_results = []
+                for pos, t_lo, t_hi in fresh:
+                    obj = objects[pos]
+                    rng = self._object_rng(obj.object_id)
+                    states = obj.adapted.sample_paths(
+                        rng, n, t_lo, t_hi, backend=self.backend
+                    )
+                    fresh_results.append((states, rng))
+                extend_results = [
+                    objects[pos].adapted.sample_paths(
+                        rng, n, t_from, t_hi,
+                        backend=self.backend, start_states=last,
+                    )[:, 1:]
+                    for pos, rng, last, t_from, t_hi in extend
+                ]
+                return fresh_results, extend_results
+            arena = self._arena_for(objects)
             requests = [
                 ArenaRequest(
                     objects[pos].object_id, t_lo, t_hi,
@@ -551,6 +668,66 @@ class QueryEngine:
             return fresh_results, extend_results
 
         return bulk
+
+    def prefetch_worlds(
+        self,
+        object_ids: Sequence[str] | None = None,
+        window: tuple[int, int] | None = None,
+        n_samples: int | None = None,
+    ) -> dict[str, int]:
+        """Warm the world cache for a working set — no distances computed.
+
+        Draws (or forward-extends) each object's cached worlds over
+        ``window`` clamped to its span, exactly as a held-epoch query
+        touching those objects would, and returns the lookup accounting
+        (``{"objects", "hits", "partial_hits", "misses"}``).  This is the
+        ingest-to-ready path of a serving deployment: after an event
+        batch, one call restores query-ready state (index synced via
+        :attr:`ust_tree`, worlds current) — on an ``incremental`` engine
+        at the cost of the *dirty* objects only.  Worlds enter the cache
+        at the current draw epoch, so the call is meaningful on engines
+        that share worlds (``reuse_worlds=True``, or between held-epoch
+        batches); a default standalone query afterwards would advance the
+        epoch and redraw regardless.
+        """
+        self._sync_mutations()
+        ids = list(object_ids) if object_ids is not None else self.db.object_ids
+        n = self.n_samples if n_samples is None else int(n_samples)
+        before = (self.worlds.hits, self.worlds.partial_hits, self.worlds.misses)
+        items: list[tuple[tuple, int, int]] = []
+        objects: list[UncertainObject] = []
+        for object_id in ids:
+            obj = self.db.get(object_id)
+            t_lo, t_hi = (
+                obj.t_first, obj.t_last
+            ) if window is None else (
+                max(obj.t_first, int(window[0])),
+                min(obj.t_last, int(window[1])),
+            )
+            if t_lo > t_hi:
+                continue  # object entirely outside the window
+            objects.append(obj)
+            items.append(((obj.object_id, n, self.backend), t_lo, t_hi))
+        if items:
+            stamp = (self._worlds_token, self._draw_epoch)
+            if self.fused and self.backend == "compiled":
+                self.worlds.states_for_many(
+                    items, stamp=stamp,
+                    bulk_sampler=self._bulk_sampler(objects, n),
+                )
+            else:
+                for obj, (key, t_lo, t_hi) in zip(objects, items):
+                    draw, extend = self._object_sampler(obj, n)
+                    self.worlds.states_for(
+                        key=key, stamp=stamp, t_lo=t_lo, t_hi=t_hi,
+                        sampler=draw, extender=extend,
+                    )
+        return {
+            "objects": len(items),
+            "hits": self.worlds.hits - before[0],
+            "partial_hits": self.worlds.partial_hits - before[1],
+            "misses": self.worlds.misses - before[2],
+        }
 
     # ------------------------------------------------------------------
     # the staged pipeline: plan -> filter -> estimate -> threshold
@@ -617,6 +794,7 @@ class QueryEngine:
         """
         request = self._coerce_request(request)
         t0 = perf_counter()
+        self._sync_mutations()
         plan = build_plan(request, self.n_samples)
         times = np.asarray(plan.times, dtype=np.intp)
         self._begin_query()
@@ -833,6 +1011,7 @@ class QueryEngine:
         requests: Sequence[QueryRequest | tuple],
         *,
         refresh_worlds: bool | None = None,
+        window: tuple[int, int] | None = None,
     ) -> list[QueryResult | PCNNResult | RawProbabilities]:
         """Evaluate many requests against one shared set of sampled worlds.
 
@@ -871,6 +1050,15 @@ class QueryEngine:
             that batch's epoch even if standalone queries ran in between
             (per-object RNGs are epoch-derived, so the same worlds are
             reproduced exactly, at worst at resampling cost).
+        window:
+            Optional ``(t_lo, t_hi)`` the batch's sampling window is
+            *widened* to (it always covers at least the union of the
+            requests' time sets).  A standing-query monitor passes the
+            union over **all** of its subscriptions here so that the
+            per-object cache anchors do not depend on which subset of
+            subscriptions a tick happens to re-evaluate — held-epoch
+            worlds then stay bit-identical across ticks whatever the
+            dirty sets were.
 
         Returns
         -------
@@ -895,6 +1083,9 @@ class QueryEngine:
             self._draw_epoch = self._last_batch_epoch
         self._last_batch_epoch = self._draw_epoch
         lo, hi = union_window(reqs)
+        if window is not None:
+            lo = min(lo, int(window[0]))
+            hi = max(hi, int(window[1]))
         if self._batch_window is not None:
             # A nested batch widens the live window instead of replacing it,
             # so outer requests keep slicing covered segments.
@@ -914,6 +1105,9 @@ class QueryEngine:
         requests: Sequence[QueryRequest | tuple],
         *,
         refresh_worlds: bool | None = None,
+        window: tuple[int, int] | None = None,
     ) -> list[QueryResult | PCNNResult | RawProbabilities]:
         """Alias of :meth:`evaluate_many` (the pre-pipeline batch API)."""
-        return self.evaluate_many(requests, refresh_worlds=refresh_worlds)
+        return self.evaluate_many(
+            requests, refresh_worlds=refresh_worlds, window=window
+        )

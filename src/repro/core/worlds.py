@@ -33,11 +33,14 @@ per-object RNG stream that produced it.  Lookups pass the window
   first, keeping replay determinism intact.
 
 Entries are keyed by ``(object_id, n_samples, backend)`` and stamped with
-an opaque ``stamp`` (the engine uses ``(db.version, draw_epoch)``):
+an opaque ``stamp`` (the engine uses ``(invalidation token, draw_epoch)``):
 
-* the **database version** invalidates worlds when observations are
-  ingested or objects added/removed (stale worlds would silently answer
-  queries against a database that no longer exists);
+* the **invalidation token** flushes every world at once when the engine
+  cannot tell which objects a database mutation touched (stale worlds
+  would silently answer queries against a database that no longer
+  exists); when it *can* tell — the streaming ingest path — it keeps the
+  token and calls :meth:`WorldCache.invalidate_objects` instead, dropping
+  only the mutated objects' segments;
 * the **draw epoch** is the engine's statistical refresh knob — worlds are
   deterministic within an epoch (queries against the same epoch see the
   same worlds, making results across a batch exactly consistent) and
@@ -93,9 +96,19 @@ class WorldCache:
     """Maps ``(object_id, n_samples, backend)`` to growable world segments.
 
     The cache is stamped with an opaque ``stamp`` (the engine uses
-    ``(db.version, draw_epoch)``); storing or reading with a different stamp
-    drops every entry first, so stale worlds can never leak across database
-    mutations or epoch advances.
+    ``(invalidation token, draw_epoch)``); storing or reading with a
+    different stamp drops every entry first, so stale worlds can never leak
+    across wholesale invalidations or epoch advances.
+
+    **Per-object invalidation contract** (the streaming ingest path):
+    :meth:`invalidate_objects` drops exactly the named objects' segments —
+    every other entry stays **bit-identical**, byte for byte, including its
+    parked RNG stream, so unchanged objects' worlds (and any forward
+    extension of them) are exactly what they would have been had the
+    invalidation never happened.  An ingest that mutates objects ``M``
+    therefore flushes only ``M``; the engine keeps its stamp unchanged and
+    the next lookup redraws only ``M`` (fresh per-object streams, new
+    posterior models) while the rest of the epoch's worlds are reused.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -132,6 +145,22 @@ class WorldCache:
     def clear(self) -> None:
         """Drop all cached worlds (counters are kept)."""
         self._entries.clear()
+
+    def invalidate_objects(self, object_ids) -> int:
+        """Drop exactly the named objects' segments; returns the count.
+
+        Every key whose object id is in ``object_ids`` is removed — across
+        all ``(n_samples, backend)`` variants — and *nothing else is
+        touched*: surviving segments keep their arrays and parked RNG
+        streams bit-identical (the per-object invalidation contract the
+        streaming ingest path relies on; see the class docstring).  The
+        stamp and the cumulative counters are unchanged.
+        """
+        ids = {str(oid) for oid in object_ids}
+        doomed = [key for key in self._entries if key[0] in ids]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def peek(self, key: tuple) -> WorldSegment | None:
         """The live segment for ``key`` (no counters touched; tests/metrics)."""

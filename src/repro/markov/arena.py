@@ -243,6 +243,10 @@ class SamplingArena:
         self._tables: dict[int, _StepTable] = {}
         self._version = 0
         self._states_dtype = np.dtype(np.int32)
+        # Arena positions are allocated monotonically and never reused:
+        # a discarded object leaves a hole (dense per-table arrays are
+        # indexed by position, so reusing one would alias a live block).
+        self._pos_counter = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -262,7 +266,10 @@ class SamplingArena:
             return
         if order is None:
             order = len(self._blocks)
-        self._blocks[object_id] = _Block(object_id, int(order), len(self._blocks), model)
+        self._blocks[object_id] = _Block(
+            object_id, int(order), self._pos_counter, model
+        )
+        self._pos_counter += 1
         was_dtype = self._states_dtype
         if self._states_dtype == np.int32:
             top = max(
@@ -286,6 +293,44 @@ class SamplingArena:
                 del self._tables[t]
         self._version += 1
 
+    def discard(self, object_id: str) -> bool:
+        """Evict one object's packed tables (no-op when not packed).
+
+        The streaming-ingest invalidation hook: a mutated object's stale
+        inverse-CDF tables must never answer draws, but evicting it must
+        not disturb anyone else — only the fused per-timestep tables its
+        span participates in are dropped (they rebuild lazily, exactly as
+        after :meth:`ensure`), every other table and block stays intact,
+        and its arena position is retired rather than reused.  A
+        subsequent :meth:`ensure` re-packs the object's new model at a
+        fresh position; draws stay bit-identical either way because each
+        request consumes only its own RNG stream.
+        """
+        block = self._blocks.pop(object_id, None)
+        if block is None:
+            return False
+        model = block.model
+        for t in [
+            t for t in self._tables if model.covers(t) or model.covers(t + 1)
+        ]:
+            del self._tables[t]
+        self._version += 1
+        # Retired positions accumulate as holes in the dense per-table
+        # arrays; a long-running stream (discard + re-ensure per ingested
+        # observation, forever) must not grow them without bound.  Once
+        # holes outnumber the live blocks, renumber densely and drop the
+        # cached tables (they are indexed by the old positions).  Draws
+        # are position-independent — each request consumes only its own
+        # RNG stream — so compaction never changes sampled worlds.
+        if self._pos_counter - len(self._blocks) > max(8, len(self._blocks)):
+            for pos, live in enumerate(
+                sorted(self._blocks.values(), key=lambda b: b.pos)
+            ):
+                live.pos = pos
+            self._pos_counter = len(self._blocks)
+            self._tables.clear()
+        return True
+
     def block(self, object_id: str) -> _Block:
         try:
             return self._blocks[object_id]
@@ -306,7 +351,7 @@ class SamplingArena:
             ordered = sorted(self._blocks.values(), key=lambda b: b.order)
             members = [b for b in ordered if b.model.covers(t)]
             table = _StepTable(
-                members, ordered, len(self._blocks), t, self._states_dtype
+                members, ordered, self._pos_counter, t, self._states_dtype
             )
             if len(self._tables) >= self.table_capacity:
                 self._tables.pop(next(iter(self._tables)))

@@ -77,23 +77,77 @@ class USTTree:
 
     def __init__(self, db: TrajectoryDatabase, max_entries: int = 16) -> None:
         self.db = db
+        self._by_object: dict[str, list[tuple[Rect, SegmentKey]]] = {}
         items: list[tuple[Rect, SegmentKey]] = []
         for obj in db:
-            for seg_idx, diamond in enumerate(db.diamonds_of(obj.object_id)):
-                rect = diamond.spatio_temporal_mbr(db.space)
-                items.append(
-                    (
-                        rect,
-                        SegmentKey(
-                            object_id=obj.object_id,
-                            segment=seg_idx,
-                            t_start=diamond.t_start,
-                            t_end=diamond.t_end,
-                        ),
-                    )
-                )
+            entries = self._segment_items(obj.object_id)
+            self._by_object[obj.object_id] = entries
+            items.extend(entries)
         self.tree = RStarTree.bulk_load(items, max_entries=max_entries)
         self._n_segments = len(items)
+
+    def _segment_items(self, object_id: str) -> list[tuple[Rect, SegmentKey]]:
+        """Index entries for one object's current reachability diamonds."""
+        return [
+            (
+                diamond.spatio_temporal_mbr(self.db.space),
+                SegmentKey(
+                    object_id=object_id,
+                    segment=seg_idx,
+                    t_start=diamond.t_start,
+                    t_end=diamond.t_end,
+                ),
+            )
+            for seg_idx, diamond in enumerate(self.db.diamonds_of(object_id))
+        ]
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (streaming ingest)
+    # ------------------------------------------------------------------
+    def insert_object(self, object_id: str) -> int:
+        """Index one (new) object's segments in place; returns the count.
+
+        Pruning over the updated tree is exactly what a freshly rebuilt
+        tree would compute: dmin/dmax bounds are accumulated per entry and
+        :meth:`RStarTree.search` returns every intersecting entry whatever
+        the tree's internal shape, so only the R*-tree's node layout —
+        never a query answer — depends on the insertion history (the
+        equivalence-oracle tests assert this).
+        """
+        object_id = str(object_id)
+        if object_id in self._by_object:
+            raise KeyError(f"object {object_id!r} is already indexed")
+        entries = self._segment_items(object_id)
+        self.tree.insert_many(entries)
+        self._by_object[object_id] = entries
+        self._n_segments += len(entries)
+        return len(entries)
+
+    def remove_object(self, object_id: str) -> int:
+        """Drop one object's segments from the index; returns the count
+        removed (0 when the object was not indexed)."""
+        entries = self._by_object.pop(str(object_id), None)
+        if entries is None:
+            return 0
+        removed = self.tree.delete_many(entries)
+        self._n_segments -= removed
+        return removed
+
+    def update_object(self, object_id: str) -> None:
+        """Re-index one object after a database mutation.
+
+        Removes the object's stale segment entries and — when the object
+        still exists — reinserts its freshly recomputed diamonds.  This is
+        the streaming path's alternative to rebuilding the whole tree per
+        ingested observation.
+        """
+        object_id = str(object_id)
+        self.remove_object(object_id)
+        if object_id in self.db:
+            self.insert_object(object_id)
+
+    def __contains__(self, object_id: str) -> bool:
+        return str(object_id) in self._by_object
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,233 @@
+"""Incremental observation ingestion: typed event batches over a database.
+
+The paper's data model is inherently streaming — objects keep producing
+observations (GPS fixes, check-ins) while queries stay open — but a raw
+:class:`~repro.trajectory.database.TrajectoryDatabase` only exposes one
+mutation at a time.  :class:`ObservationStream` is the ingestion front of
+the streaming subsystem: it applies a *batch* of typed events
+(:class:`AddObject` / :class:`AddObservation` / :class:`RemoveObject`)
+against the database and reports exactly which objects the batch touched
+(the *dirty set*), so downstream consumers — the query engine's selective
+invalidation, the :class:`~repro.stream.monitor.ContinuousMonitor` — can
+react per object instead of rebuilding per event.
+
+Events are validated *before* anything is applied (unknown ids, duplicate
+ids, duplicate observation times — including conflicts created inside the
+batch itself), so the common error classes cannot leave the database
+half-ingested.  Deep model errors remain lazy by design: an observation
+that contradicts the transition model is only detected when the object's
+posterior is next adapted, exactly as with direct
+:meth:`~repro.trajectory.database.TrajectoryDatabase.add_observation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..markov.chain import TransitionModel
+from ..trajectory.database import TrajectoryDatabase
+from ..trajectory.observation import Observation, ObservationSet
+from ..trajectory.trajectory import Trajectory
+
+__all__ = [
+    "AddObject",
+    "AddObservation",
+    "RemoveObject",
+    "StreamEvent",
+    "IngestResult",
+    "ObservationStream",
+]
+
+
+@dataclass(frozen=True)
+class AddObject:
+    """A new object enters the stream with its initial observations."""
+
+    object_id: str
+    observations: ObservationSet | Sequence[Observation | tuple[int, int]]
+    chain: TransitionModel | None = None
+    ground_truth: Trajectory | None = None
+    extend_to: int | None = None
+
+
+@dataclass(frozen=True)
+class AddObservation:
+    """An existing object is sighted: certain ``state`` at ``time``."""
+
+    object_id: str
+    time: int
+    state: int
+
+
+@dataclass(frozen=True)
+class RemoveObject:
+    """An object leaves the stream (fleet vehicle retired, user opted out)."""
+
+    object_id: str
+
+
+#: Any event :meth:`ObservationStream.apply` accepts.
+StreamEvent = Union[AddObject, AddObservation, RemoveObject]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one applied event batch.
+
+    ``dirty`` names every object the batch touched — the per-object
+    invalidation unit consumers key off; the counters split the batch by
+    event kind.  ``version_before``/``version_after`` bracket the global
+    database versions, so ``db.changed_since(version_before)`` reproduces
+    ``dirty`` for as long as the mutation log covers the delta.
+    """
+
+    applied: int
+    added: int
+    observed: int
+    removed: int
+    dirty: frozenset[str]
+    version_before: int
+    version_after: int
+    #: Largest observation time the batch ingested (``None`` for batches
+    #: without observations) — the monitor's event-time clock source.
+    latest_time: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.applied > 0
+
+
+@dataclass
+class ObservationStream:
+    """Applies event batches to a database, reporting per-object dirt.
+
+    One stream per database; cumulative counters (``events_applied``,
+    ``batches``) track ingestion volume across the stream's lifetime.
+    """
+
+    db: TrajectoryDatabase
+    events_applied: int = 0
+    batches: int = 0
+    _known_events = (AddObject, AddObservation, RemoveObject)
+
+    def apply(self, events: Iterable[StreamEvent]) -> IngestResult:
+        """Validate, then apply a batch of events in order.
+
+        Validation simulates the batch against the database's current
+        membership (so an ``AddObservation`` may target an object the same
+        batch adds, and a removed id may be re-added) and rejects the
+        whole batch — database untouched — on unknown ids, duplicate ids
+        or duplicate observation times.
+        """
+        events = list(events)
+        self._validate(events)
+        version_before = self.db.version
+        added = observed = removed = 0
+        dirty: set[str] = set()
+        latest: int | None = None
+        for event in events:
+            if isinstance(event, AddObject):
+                obj = self.db.add_object(
+                    event.object_id,
+                    event.observations,
+                    chain=event.chain,
+                    ground_truth=event.ground_truth,
+                    extend_to=event.extend_to,
+                )
+                added += 1
+                last = obj.observations.last.time
+                latest = last if latest is None else max(latest, last)
+                dirty.add(obj.object_id)
+            elif isinstance(event, AddObservation):
+                self.db.add_observation(event.object_id, event.time, event.state)
+                observed += 1
+                t = int(event.time)
+                latest = t if latest is None else max(latest, t)
+                dirty.add(str(event.object_id))
+            else:
+                self.db.remove_object(event.object_id)
+                removed += 1
+                dirty.add(str(event.object_id))
+        self.events_applied += len(events)
+        self.batches += 1
+        return IngestResult(
+            applied=len(events),
+            added=added,
+            observed=observed,
+            removed=removed,
+            dirty=frozenset(dirty),
+            version_before=version_before,
+            version_after=self.db.version,
+            latest_time=latest,
+        )
+
+    def _validate(self, events: list[StreamEvent]) -> None:
+        """Reject batches that would fail mid-application.
+
+        Tracks membership and per-object observation times as the batch
+        would evolve them, so intra-batch conflicts (add-then-add, observe
+        a time twice, observe after remove) surface with the event's
+        position before any mutation happens.
+        """
+        present = set(self.db.object_ids)
+        times: dict[str, set[int]] = {}
+
+        def times_of(object_id: str) -> set[int]:
+            if object_id not in times:
+                times[object_id] = {
+                    o.time for o in self.db.get(object_id).observations
+                }
+            return times[object_id]
+
+        for i, event in enumerate(events):
+            if not isinstance(event, self._known_events):
+                raise TypeError(
+                    f"event {i}: expected AddObject/AddObservation/"
+                    f"RemoveObject, got {type(event).__name__}"
+                )
+            object_id = str(event.object_id)
+            if isinstance(event, AddObject):
+                if object_id in present:
+                    raise ValueError(
+                        f"event {i}: object {object_id!r} already exists"
+                    )
+                observations = event.observations
+                if not isinstance(observations, ObservationSet):
+                    observations = ObservationSet(observations)  # validates
+                if (
+                    event.chain is not None
+                    and event.chain.n_states != self.db.space.n_states
+                ):
+                    raise ValueError(
+                        f"event {i}: per-object chain has "
+                        f"{event.chain.n_states} states but the database "
+                        f"space has {self.db.space.n_states}"
+                    )
+                if (
+                    event.extend_to is not None
+                    and event.extend_to < observations.last.time
+                ):
+                    raise ValueError(
+                        f"event {i}: extend_to must not precede the last "
+                        "observation"
+                    )
+                present.add(object_id)
+                times[object_id] = set(observations.times)
+            elif isinstance(event, AddObservation):
+                if object_id not in present:
+                    raise KeyError(f"event {i}: unknown object {object_id!r}")
+                try:
+                    observation = Observation(int(event.time), int(event.state))
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(f"event {i}: {exc}") from None
+                if observation.time in times_of(object_id):
+                    raise ValueError(
+                        f"event {i}: object {object_id!r} already observed "
+                        f"at time {observation.time}"
+                    )
+                times_of(object_id).add(observation.time)
+            else:
+                if object_id not in present:
+                    raise KeyError(f"event {i}: unknown object {object_id!r}")
+                present.discard(object_id)
+                times.pop(object_id, None)

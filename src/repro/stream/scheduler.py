@@ -1,0 +1,190 @@
+"""Standing-query bookkeeping: subscriptions and re-evaluation decisions.
+
+A continuous query (the monitoring reading of the paper's PCNN setting,
+and the probabilistic-Voronoi line of work on moving NN queries) is a
+*standing* request: it stays registered while the database keeps moving.
+This module holds the two pieces the :class:`~repro.stream.monitor.
+ContinuousMonitor` composes:
+
+* :class:`Subscription` — one standing request, either over the fixed time
+  set baked into its :class:`~repro.core.queries.QueryRequest` or over a
+  :class:`SlidingWindow` that follows the stream clock, plus the state of
+  its last evaluation (times, filter sets, result);
+* :class:`SubscriptionScheduler` — decides, per tick, whether a
+  subscription must be re-evaluated, using the UST-tree filter stage
+  (:meth:`QueryEngine.explain`, which samples nothing) to test whether the
+  tick's dirty objects intersect the subscription's influence set.
+
+The skip rule is *provable*, not heuristic, on the monitor's engine
+discipline (held draw epoch + selective invalidation): a P∀/P∃/PCNN
+result is a function of the query, its time set, the filter stage's
+candidate/influence sets and the influence objects' sampled worlds.  If
+the window did not move, the freshly computed (post-ingest) filter sets
+are unchanged and no influence object is dirty, then every input is
+bit-identical to the previous tick — so the cached result *is* the
+result, and the scheduler skips the evaluation outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+from ..core.queries import QueryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.evaluator import QueryEngine
+
+__all__ = ["SlidingWindow", "Subscription", "Decision", "SubscriptionScheduler"]
+
+
+@dataclass(frozen=True)
+class SlidingWindow:
+    """A query window that follows the stream clock.
+
+    At clock ``now`` the subscription asks about the ``width`` most recent
+    tics ending at ``now - lag`` (a positive ``lag`` trades freshness for
+    asking only about tics whose observations have likely arrived).
+    """
+
+    width: int
+    lag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("window width must be >= 1")
+        if self.lag < 0:
+            raise ValueError("window lag must be >= 0")
+
+    def times_at(self, now: int) -> tuple[int, ...]:
+        hi = int(now) - self.lag
+        return tuple(range(hi - self.width + 1, hi + 1))
+
+
+@dataclass
+class Subscription:
+    """One standing query plus the state of its last evaluation.
+
+    ``request`` is the template; for sliding subscriptions its ``times``
+    are re-derived from the clock each tick (:meth:`request_at`).  The
+    ``last_*`` fields are what the scheduler compares against — they are
+    updated by the monitor after each re-evaluation.
+    """
+
+    name: str
+    request: QueryRequest
+    window: SlidingWindow | None = None
+    callback: Callable | None = None
+    last_times: tuple[int, ...] | None = None
+    last_candidates: tuple[str, ...] | None = None
+    last_influencers: tuple[str, ...] | None = None
+    last_result: object | None = field(default=None, repr=False)
+    evaluations: int = 0
+
+    def request_at(self, now: int | None) -> QueryRequest:
+        """The concrete request this tick: fixed times, or clock-derived."""
+        if self.window is None:
+            return self.request
+        if now is None:
+            raise ValueError(
+                f"subscription {self.name!r} slides with the stream clock; "
+                "pass tick(now=...) or ingest timestamped events first"
+            )
+        return replace(self.request, times=self.window.times_at(now))
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One tick's verdict for one subscription."""
+
+    subscription: Subscription
+    request: QueryRequest
+    due: bool
+    #: Why: ``initial`` (never evaluated), ``window-moved`` (sliding times
+    #: changed), ``filter-changed`` (candidate/influence sets differ from
+    #: the last evaluation), ``dirty-influencer`` (a mutated object sits
+    #: in the influence set), ``unknown-mutations`` (the mutation log
+    #: could not name the delta — everything re-evaluates),
+    #: ``epoch-refresh`` (an explicit ``ContinuousMonitor.refresh()``),
+    #: ``window-union-extended`` (the all-subscriptions union reached
+    #: further back than last tick — worlds redraw coherently) or
+    #: ``clean`` (provably unchanged; skipped).
+    reason: str
+    candidates: tuple[str, ...]
+    influencers: tuple[str, ...]
+
+
+class SubscriptionScheduler:
+    """Decides which standing subscriptions a tick must re-evaluate.
+
+    Runs the engine's plan+filter stages only (``explain()`` — no worlds
+    sampled, no RNG consumed), so deciding is cheap enough to do for every
+    subscription on every tick; the expensive estimate stage runs only for
+    subscriptions found due, coalesced by the monitor into one batch.
+    """
+
+    def __init__(self, engine: "QueryEngine") -> None:
+        self.engine = engine
+        #: Cumulative decision counters (monitoring observability).
+        self.decided = 0
+        self.skipped = 0
+
+    def decide(
+        self, subscription: Subscription, dirty: frozenset[str] | set[str],
+        now: int | None, *, force: str | None = None,
+    ) -> Decision:
+        """The re-evaluation verdict for one subscription this tick.
+
+        A non-``None`` ``force`` re-evaluates unconditionally with that
+        reason — the monitor's path for deltas it cannot attribute
+        (``"unknown-mutations"``) and for explicit statistical refreshes
+        (``"epoch-refresh"``).
+        """
+        request = subscription.request_at(now)
+        self.decided += 1
+        if (
+            force is None
+            and subscription.evaluations > 0
+            and not dirty
+            and request.times == subscription.last_times
+        ):
+            # Quiet tick: the database is untouched and the window did not
+            # move, so the filter stage is a pure function of unchanged
+            # inputs — skip without even pruning.
+            self.skipped += 1
+            return Decision(
+                subscription=subscription,
+                request=request,
+                due=False,
+                reason="clean",
+                candidates=subscription.last_candidates or (),
+                influencers=subscription.last_influencers or (),
+            )
+        explanation = self.engine.explain(request)
+        candidates = tuple(explanation.candidates)
+        influencers = tuple(explanation.influencers)
+        if force is not None:
+            due, reason = True, force
+        elif subscription.evaluations == 0:
+            due, reason = True, "initial"
+        elif request.times != subscription.last_times:
+            due, reason = True, "window-moved"
+        elif (candidates, influencers) != (
+            subscription.last_candidates,
+            subscription.last_influencers,
+        ):
+            due, reason = True, "filter-changed"
+        elif dirty and not dirty.isdisjoint(influencers):
+            due, reason = True, "dirty-influencer"
+        else:
+            due, reason = False, "clean"
+        if not due:
+            self.skipped += 1
+        return Decision(
+            subscription=subscription,
+            request=request,
+            due=due,
+            reason=reason,
+            candidates=candidates,
+            influencers=influencers,
+        )

@@ -33,6 +33,11 @@ class TrajectoryDatabase:
         experiments share a single learned chain).
     """
 
+    #: Retained mutation-log length; :meth:`changed_since` answers exactly
+    #: for any version still covered by the log and degrades to ``None``
+    #: (the "rebuild everything" signal) for consumers further behind.
+    MUTATION_LOG_LIMIT = 4096
+
     def __init__(self, space: StateSpace, chain: TransitionModel) -> None:
         if chain.n_states != space.n_states:
             raise ValueError(
@@ -45,6 +50,9 @@ class TrajectoryDatabase:
         self._version = 0
         self._order: dict[str, int] = {}
         self._order_counter = 0
+        self._object_versions: dict[str, int] = {}
+        self._mutation_log: list[tuple[int, str]] = []
+        self._log_floor = 0  # mutations at versions <= floor fell off the log
 
     @property
     def version(self) -> int:
@@ -54,12 +62,61 @@ class TrajectoryDatabase:
         cache key off this value: any mutation (object added or removed,
         observation ingested) invalidates sampled worlds and index pages on
         the next access, so queries never run against a stale view.
+        Consumers that want to invalidate *selectively* instead of
+        wholesale ask :meth:`changed_since` which objects a version delta
+        touched.
         """
         return self._version
 
-    def _bump_version(self) -> None:
-        """Record a mutation, invalidating every version-stamped cache."""
+    def _bump_version(self, object_id: str) -> None:
+        """Record a mutation of one object, advancing the global version.
+
+        The per-object counter and the bounded mutation log let derived
+        structures (UST-tree, world cache, sampling arena) invalidate only
+        the touched object instead of flushing wholesale.
+        """
         self._version += 1
+        if object_id in self._objects:  # removals keep no counter
+            self._object_versions[object_id] = self._version
+        self._mutation_log.append((self._version, object_id))
+        overflow = len(self._mutation_log) - self.MUTATION_LOG_LIMIT
+        if overflow > 0:
+            self._log_floor = self._mutation_log[overflow - 1][0]
+            del self._mutation_log[:overflow]
+
+    def object_version(self, object_id: str) -> int:
+        """The global version at this object's most recent mutation.
+
+        Streaming consumers snapshot these counters to see *which* objects
+        an ingest batch touched; the counter survives observation ingestion
+        (it advances) but not removal (unknown ids raise, exactly like
+        :meth:`get`).
+        """
+        try:
+            return self._object_versions[str(object_id)]
+        except KeyError:
+            raise KeyError(f"unknown object {object_id!r}") from None
+
+    def changed_since(self, version: int) -> set[str] | None:
+        """Object ids mutated after the given global version.
+
+        Returns the exact set of ids touched by any mutation in
+        ``(version, self.version]`` — including ids that were removed (a
+        consumer must drop its derived state for them) and ids added.
+        Returns ``None`` when ``version`` predates the retained mutation
+        log (bounded at :attr:`MUTATION_LOG_LIMIT` entries): the caller
+        cannot invalidate selectively and must rebuild wholesale.
+        """
+        version = int(version)
+        if version > self._version:
+            raise ValueError(
+                f"version {version} is ahead of the database ({self._version})"
+            )
+        if version == self._version:
+            return set()
+        if version < self._log_floor:
+            return None
+        return {oid for v, oid in self._mutation_log if v > version}
 
     # ------------------------------------------------------------------
     # population
@@ -87,14 +144,24 @@ class TrajectoryDatabase:
         self._objects[object_id] = obj
         self._order[object_id] = self._order_counter
         self._order_counter += 1
-        self._bump_version()
+        self._bump_version(object_id)
         return obj
 
     def remove_object(self, object_id: str) -> None:
+        """Drop an object (and its derived caches) from the database.
+
+        Unknown ids raise the same descriptive :class:`KeyError` as
+        :meth:`get`, and a failed removal leaves the version counter
+        untouched — a no-op must not invalidate every derived cache.
+        """
+        object_id = str(object_id)
+        if object_id not in self._objects:
+            raise KeyError(f"unknown object {object_id!r}")
         del self._objects[object_id]
         self._diamonds.pop(object_id, None)
         self._order.pop(object_id, None)
-        self._bump_version()
+        self._object_versions.pop(object_id, None)
+        self._bump_version(object_id)
 
     def add_observation(self, object_id: str, time: int, state: int) -> UncertainObject:
         """Ingest a new observation for an existing object.
@@ -120,7 +187,7 @@ class TrajectoryDatabase:
         )
         self._objects[old.object_id] = replacement
         self._diamonds.pop(old.object_id, None)
-        self._bump_version()
+        self._bump_version(old.object_id)
         return replacement
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ Fig. 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import sparse
@@ -32,6 +32,11 @@ class Diamond:
     t_end: int
     #: ``states_per_tic[k]`` = possible states at time ``t_start + k``.
     states_per_tic: list[np.ndarray]
+    #: Lazy per-tic MBR cache.  A diamond's reachable sets are immutable
+    #: (mutations recompute whole diamonds), so the per-tic rects the
+    #: UST-tree's refinement step asks for — every standing query re-asks
+    #: for the same tics tick after tick — are computed once.
+    _mbr_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def states_at(self, t: int) -> np.ndarray:
         if not self.t_start <= t <= self.t_end:
@@ -56,7 +61,11 @@ class Diamond:
 
     def mbr_at(self, t: int, space: StateSpace) -> Rect:
         """Per-tic bounding rect (the dashed rectangles of Example 2)."""
-        return space.mbr_of(self.states_at(t))
+        rect = self._mbr_cache.get(t)
+        if rect is None:
+            rect = space.mbr_of(self.states_at(t))
+            self._mbr_cache[t] = rect
+        return rect
 
     def width_at(self, t: int) -> int:
         return int(self.states_at(t).size)

@@ -10,16 +10,13 @@ from repro.trajectory.database import TrajectoryDatabase
 from repro.trajectory.trajectory import Trajectory
 
 
-def make_drift_chain():
-    """0 -> {0,1}, 1 -> {1,2}, 2 -> {2,3}, 3 -> {3} with 50/50 splits."""
-    mat = np.array(
-        [
-            [0.5, 0.5, 0.0, 0.0],
-            [0.0, 0.5, 0.5, 0.0],
-            [0.0, 0.0, 0.5, 0.5],
-            [0.0, 0.0, 0.0, 1.0],
-        ]
-    )
+def make_drift_chain(n=4):
+    """``i -> {i, i+1}`` with 50/50 splits, last state absorbing."""
+    mat = np.zeros((n, n))
+    for i in range(n - 1):
+        mat[i, i] = 0.5
+        mat[i, i + 1] = 0.5
+    mat[n - 1, n - 1] = 1.0
     return MarkovChain(sparse.csr_matrix(mat))
 
 

@@ -273,20 +273,38 @@ class TestStaleWorldRegression:
         q = Query.from_point([0.0, 0.0])
         engine.forall_nn(q, [2])
         calls = engine.sampler_calls
-        tree_before = engine.ust_tree
+        updates = engine.index_updates
         v_before = db.version
         # Pin "a" at state 2 at t=2: its worlds *must* be redrawn, even with
         # reuse_worlds=True, or the query would answer from a stale database.
         db.add_observation("a", 2, 2)
         assert db.version == v_before + 1
         res = engine.forall_nn(q, [2])
-        assert engine.sampler_calls > calls  # worlds resampled
-        assert engine.ust_tree is not tree_before  # index rebuilt
+        assert engine.sampler_calls > calls  # the mutated object resampled
+        assert engine.index_updates > updates  # index re-indexed "a" in place
+        assert engine.worlds_invalidated >= 1  # "a"'s segment dropped
         # Every sampled world of "a" now sits at state 2 (posterior is a
         # point mass), so its NN probability against q=(0,0) is exact.
         dist = engine.distance_tensor(["a"], q, np.array([2]))
         assert np.allclose(dist, 2.0)
         assert res.n_samples == 2000
+
+    def test_add_observation_invalidates_worlds_without_incremental(self, db):
+        """incremental=False keeps the classic wholesale semantics: the
+        mutation rebuilds the index and flushes every cached world."""
+        engine = QueryEngine(
+            db, n_samples=500, seed=0, reuse_worlds=True, incremental=False
+        )
+        q = Query.from_point([0.0, 0.0])
+        engine.forall_nn(q, [2])
+        misses = engine.worlds.misses
+        tree_before = engine.ust_tree
+        token = engine.worlds_token
+        db.add_observation("a", 2, 2)
+        engine.forall_nn(q, [2])
+        assert engine.worlds_token > token  # full flush
+        assert engine.worlds.misses >= misses + 2  # every object redrawn
+        assert engine.ust_tree is not tree_before  # index rebuilt
 
     def test_remove_object_invalidates_worlds(self, db):
         engine = QueryEngine(db, n_samples=500, seed=1, reuse_worlds=True)
@@ -300,14 +318,66 @@ class TestStaleWorldRegression:
         assert "b" not in after.probabilities
         assert after.probabilities["a"] == pytest.approx(1.0)
 
-    def test_cache_stamp_tracks_version_and_epoch(self, db):
+    def test_cache_stamp_tracks_token_and_epoch(self, db):
         engine = QueryEngine(db, n_samples=50, seed=2, reuse_worlds=True)
         q = Query.from_point([0.0, 0.0])
         engine.forall_nn(q, [1])
-        assert engine.worlds.stamp == (db.version, engine.draw_epoch)
+        assert engine.worlds.stamp == (engine.worlds_token, engine.draw_epoch)
+        # A selective (incremental) invalidation keeps the token: only the
+        # mutated object's entry is dropped, the stamp stays valid.
         db.add_observation("a", 2, 1)
         engine.forall_nn(q, [1])
-        assert engine.worlds.stamp == (db.version, engine.draw_epoch)
+        assert engine.worlds.stamp == (engine.worlds_token, engine.draw_epoch)
+        assert engine.worlds_token == 0
+        # A wholesale flush (incremental=False) advances the token instead.
+        blunt = QueryEngine(
+            db, n_samples=50, seed=2, reuse_worlds=True, incremental=False
+        )
+        blunt.forall_nn(q, [1])
+        db.add_observation("a", 3, 2)
+        blunt.forall_nn(q, [1])
+        assert blunt.worlds_token == 1
+        assert blunt.worlds.stamp == (blunt.worlds_token, blunt.draw_epoch)
+
+    def test_invalidate_objects_leaves_others_bit_identical(self, world):
+        """The per-object invalidation contract: dropping one object's
+        segments must leave every other entry byte-identical — same array
+        contents *and* the same parked RNG stream — unlike a full flush."""
+        engine = QueryEngine(world, n_samples=80, seed=19)
+        q = Query.from_point([5.0, 5.0])
+        engine.batch_query([QueryRequest(q, (2, 3, 4))])
+        keys = [
+            (o.object_id, 80, "compiled")
+            for o in world
+            if engine.worlds.peek((o.object_id, 80, "compiled")) is not None
+        ]
+        assert len(keys) >= 2
+        victim, survivors = keys[0], keys[1:]
+        snapshots = {
+            key: (
+                engine.worlds.peek(key),
+                engine.worlds.peek(key).states.copy(),
+                engine.worlds.peek(key).rng.bit_generator.state,
+            )
+            for key in survivors
+        }
+        counters = (
+            engine.worlds.hits, engine.worlds.partial_hits, engine.worlds.misses
+        )
+        dropped = engine.worlds.invalidate_objects([victim[0]])
+        assert dropped == 1
+        assert engine.worlds.peek(victim) is None
+        for key, (segment, states, rng_state) in snapshots.items():
+            survivor = engine.worlds.peek(key)
+            assert survivor is segment  # the very same object, untouched
+            np.testing.assert_array_equal(survivor.states, states)
+            assert survivor.rng.bit_generator.state == rng_state
+        assert counters == (
+            engine.worlds.hits, engine.worlds.partial_hits, engine.worlds.misses
+        )
+        # The full-flush ablation drops everything, survivors included.
+        engine.worlds.clear()
+        assert all(engine.worlds.peek(key) is None for key in survivors)
 
     def test_default_standalone_queries_bypass_cache(self, db):
         # Only full-span entries ever enter the cache; a fresh-epoch

@@ -233,3 +233,25 @@ class TestArenaValidation:
     def test_empty_request_list(self):
         arena = _arena(_models(0))
         assert sample_paths_arena(arena, [], 4) == []
+
+    def test_discard_evicts_and_compacts_positions(self):
+        """A long-running churn (discard + re-ensure per ingest, forever)
+        must not grow the dense position space without bound — and draws
+        after compaction stay bit-identical to a fresh arena's."""
+        models = _models(3, n_objects=2)
+        ids = sorted(models)
+        arena = _arena(models)
+        assert arena.discard("nope") is False
+        for _ in range(50):
+            assert arena.discard(ids[0]) is True
+            arena.ensure(ids[0], models[ids[0]], order=0)
+        assert arena._pos_counter <= len(arena) + max(8, len(arena)) + 1
+        model = models[ids[0]]
+        req = lambda: [  # noqa: E731 - tiny local factory
+            ArenaRequest(
+                ids[0], model.t_first, model.t_last, np.random.default_rng(9)
+            )
+        ]
+        churned = sample_paths_arena(arena, req(), 32)[0]
+        fresh = sample_paths_arena(_arena(models), req(), 32)[0]
+        np.testing.assert_array_equal(churned, fresh)

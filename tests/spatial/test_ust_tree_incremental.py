@@ -1,0 +1,115 @@
+"""Incremental UST-tree maintenance vs the rebuilt-from-scratch oracle.
+
+``insert_object``/``remove_object``/``update_object`` mutate the R*-tree
+in place; a freshly constructed ``USTTree`` over the same database is the
+equivalence oracle: both must index the same segment set and answer
+``prune()`` identically (the tree's internal node layout is the only
+thing allowed to differ).
+"""
+
+import numpy as np
+import pytest
+
+from repro.spatial.ust_tree import USTTree
+from tests.conftest import make_random_world
+
+pytestmark = pytest.mark.stream
+
+
+def _entry_keys(tree):
+    return sorted(
+        (e.data.object_id, e.data.segment, e.data.t_start, e.data.t_end)
+        for e in tree.tree.entries()
+    )
+
+
+def _assert_prune_equal(maintained, oracle, q_coords, times, k=1):
+    a = maintained.prune(q_coords, times, k=k)
+    b = oracle.prune(q_coords, times, k=k)
+    assert a.candidates == b.candidates
+    assert a.influencers == b.influencers
+    assert a.examined_entries == b.examined_entries
+    np.testing.assert_array_equal(a.prune_distances, b.prune_distances)
+    assert set(a.dmin_bounds) == set(b.dmin_bounds)
+    for oid in a.dmin_bounds:
+        np.testing.assert_array_equal(a.dmin_bounds[oid], b.dmin_bounds[oid])
+        np.testing.assert_array_equal(a.dmax_bounds[oid], b.dmax_bounds[oid])
+
+
+@pytest.fixture
+def db():
+    db, _ = make_random_world(seed=23, n_objects=8, span=10, obs_every=3)
+    return db
+
+
+@pytest.fixture
+def query(db):
+    times = np.arange(2, 8)
+    q_coords = np.tile(np.array([5.0, 5.0]), (times.size, 1))
+    return q_coords, times
+
+
+class TestIncrementalMaintenance:
+    def test_update_after_observation_matches_rebuild(self, db, query):
+        tree = USTTree(db)
+        for object_id in db.object_ids[:3]:
+            obj = db.get(object_id)
+            db.add_observation(
+                object_id, obj.t_last + 1, int(obj.ground_truth.states[-1])
+            )
+            tree.update_object(object_id)
+        oracle = USTTree(db)
+        assert len(tree) == len(oracle)
+        assert _entry_keys(tree) == _entry_keys(oracle)
+        _assert_prune_equal(tree, oracle, *query)
+        tree.tree.check_invariants()
+
+    def test_insert_and_remove_match_rebuild(self, db, query):
+        tree = USTTree(db)
+        removed = db.object_ids[2]
+        db.remove_object(removed)
+        tree.update_object(removed)
+        assert removed not in tree
+        db.add_object("new", [(1, 0), (4, 0), (7, 0)])
+        tree.update_object("new")
+        assert "new" in tree
+        oracle = USTTree(db)
+        assert _entry_keys(tree) == _entry_keys(oracle)
+        _assert_prune_equal(tree, oracle, *query)
+        _assert_prune_equal(tree, oracle, *query, k=2)
+        tree.tree.check_invariants()
+
+    def test_churn_sequence_matches_rebuild(self, db, query):
+        """A longer mixed mutation sequence stays in lockstep throughout."""
+        tree = USTTree(db)
+        rng = np.random.default_rng(4)
+        ids = list(db.object_ids)
+        for round_ in range(6):
+            object_id = ids[round_ % len(ids)]
+            if object_id not in db:
+                continue
+            if round_ % 3 == 2:
+                db.remove_object(object_id)
+            else:
+                obj = db.get(object_id)
+                db.add_observation(
+                    object_id,
+                    obj.t_last + 1 + int(rng.integers(2)),
+                    int(obj.ground_truth.states[-1]),
+                )
+            tree.update_object(object_id)
+            oracle = USTTree(db)
+            assert _entry_keys(tree) == _entry_keys(oracle)
+            _assert_prune_equal(tree, oracle, *query)
+            tree.tree.check_invariants()
+
+    def test_double_insert_rejected(self, db):
+        tree = USTTree(db)
+        with pytest.raises(KeyError, match="already indexed"):
+            tree.insert_object(db.object_ids[0])
+
+    def test_remove_unknown_is_noop(self, db):
+        tree = USTTree(db)
+        n = len(tree)
+        assert tree.remove_object("ghost") == 0
+        assert len(tree) == n

@@ -9,7 +9,7 @@ import repro
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -60,6 +60,9 @@ class TestPublicAPI:
             "repro.statespace.generator",
             "repro.statespace.grid",
             "repro.statespace.network",
+            "repro.stream.ingest",
+            "repro.stream.monitor",
+            "repro.stream.scheduler",
             "repro.data.io",
             "repro.data.synthetic",
             "repro.data.taxi",

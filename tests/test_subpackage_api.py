@@ -13,6 +13,7 @@ SUBPACKAGES = [
     "repro.satreduction",
     "repro.spatial",
     "repro.statespace",
+    "repro.stream",
     "repro.trajectory",
 ]
 

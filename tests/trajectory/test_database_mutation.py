@@ -66,14 +66,48 @@ class TestAddObservation:
         assert obj.ground_truth is truth
 
 
+class TestRemoveObject:
+    def test_unknown_id_raises_descriptive_keyerror(self, db):
+        with pytest.raises(KeyError, match="unknown object 'ghost'"):
+            db.remove_object("ghost")
+
+    def test_failed_removal_leaves_version_untouched(self, db):
+        v = db.version
+        with pytest.raises(KeyError):
+            db.remove_object("ghost")
+        assert db.version == v
+        assert db.changed_since(v) == set()
+
+    def test_successful_removal(self, db):
+        v = db.version
+        db.remove_object("a")
+        assert "a" not in db and db.version == v + 1
+        assert db.changed_since(v) == {"a"}
+
+
 class TestEngineStalenessDetection:
-    def test_index_rebuilds_after_mutation(self, db):
+    def test_index_updated_in_place_after_mutation(self, db):
+        """An incremental engine (the default) re-indexes only the touched
+        object instead of rebuilding the tree."""
         engine = QueryEngine(db, n_samples=50, seed=0)
+        tree_before = engine.ust_tree
+        rebuilds = engine.index_rebuilds
+        db.add_object("b", [(0, 1), (4, 3)])
+        tree_after = engine.ust_tree
+        assert tree_after is tree_before  # maintained, not rebuilt
+        assert engine.index_rebuilds == rebuilds
+        assert engine.index_updates == 1
+        assert "b" in tree_after and len(tree_after) == 2
+
+    def test_index_rebuilds_after_mutation_without_incremental(self, db):
+        """incremental=False keeps the classic wholesale rebuild."""
+        engine = QueryEngine(db, n_samples=50, seed=0, incremental=False)
         tree_before = engine.ust_tree
         db.add_object("b", [(0, 1), (4, 3)])
         tree_after = engine.ust_tree
         assert tree_after is not tree_before
         assert len(tree_after) == 2
+        assert engine.index_rebuilds == 2 and engine.index_updates == 0
 
     def test_new_observation_affects_results(self, db):
         db.add_object("b", [(0, 1), (4, 3)])
@@ -90,3 +124,103 @@ class TestEngineStalenessDetection:
         t1 = engine.ust_tree
         t2 = engine.ust_tree
         assert t1 is t2
+
+
+ENGINE_VARIANTS = [
+    pytest.param("compiled", True, id="compiled-fused"),
+    pytest.param("compiled", False, id="compiled-loop"),
+    pytest.param("reference", False, id="reference"),
+]
+
+
+@pytest.mark.parametrize("backend,fused", ENGINE_VARIANTS)
+class TestMutationUnderQueryLockstep:
+    """query → mutate → query: selective invalidation must answer exactly
+    like an engine that rebuilds everything per mutation."""
+
+    @staticmethod
+    def _twin_dbs():
+        def build():
+            db = TrajectoryDatabase(make_line_space(6), make_drift_chain(6))
+            db.add_object("a", [(0, 0), (4, 2)])
+            db.add_object("b", [(0, 1), (4, 3)])
+            db.add_object("c", [(1, 2), (5, 4)])
+            return db
+
+        return build(), build()
+
+    @staticmethod
+    def _mutate(db):
+        db.add_observation("a", 2, 1)
+        db.add_object("d", [(0, 3), (4, 5)])
+        db.remove_object("b")
+
+    def test_standalone_queries_bit_identical(self, backend, fused):
+        db_inc, db_full = self._twin_dbs()
+        inc = QueryEngine(db_inc, n_samples=300, seed=5, backend=backend, fused=fused)
+        full = QueryEngine(
+            db_full, n_samples=300, seed=5, backend=backend, fused=fused,
+            incremental=False,
+        )
+        q = Query.from_point([0.0, 0.0])
+        for mode in ("forall", "exists"):
+            r1 = getattr(inc, f"{mode}_nn")(q, [1, 2, 3])
+            r2 = getattr(full, f"{mode}_nn")(q, [1, 2, 3])
+            assert r1.probabilities == r2.probabilities
+        self._mutate(db_inc)
+        self._mutate(db_full)
+        for mode in ("forall", "exists"):
+            r1 = getattr(inc, f"{mode}_nn")(q, [1, 2, 3])
+            r2 = getattr(full, f"{mode}_nn")(q, [1, 2, 3])
+            assert r1.probabilities == r2.probabilities
+            assert r1.candidates == r2.candidates
+            assert r1.influencers == r2.influencers
+
+    def test_held_worlds_bit_identical(self, backend, fused):
+        """reuse_worlds engines: the incremental one keeps unchanged
+        objects' cached worlds across the mutation, the wholesale one
+        redraws everything — results must still agree bit for bit."""
+        db_inc, db_full = self._twin_dbs()
+        inc = QueryEngine(
+            db_inc, n_samples=300, seed=6, backend=backend, fused=fused,
+            reuse_worlds=True,
+        )
+        full = QueryEngine(
+            db_full, n_samples=300, seed=6, backend=backend, fused=fused,
+            reuse_worlds=True, incremental=False,
+        )
+        q = Query.from_point([0.0, 0.0])
+        r1 = inc.forall_nn(q, [1, 2, 3])
+        assert r1.probabilities == full.forall_nn(q, [1, 2, 3]).probabilities
+        self._mutate(db_inc)
+        self._mutate(db_full)
+        r_inc = inc.forall_nn(q, [1, 2, 3])
+        r_full = full.forall_nn(q, [1, 2, 3])
+        assert r_inc.probabilities == r_full.probabilities
+        # The interesting part: they agreed while doing different work.
+        assert inc.worlds.misses < full.worlds.misses
+        assert inc.worlds_invalidated >= 2  # "a" dropped, "b" dropped
+        assert full.worlds_invalidated == 0  # wholesale: token flush instead
+        assert full.worlds_token == 1 and inc.worlds_token == 0
+        # Removed ids free their per-object RNG tags (forever-stream churn
+        # must not leak per-id state); live ids keep theirs.
+        assert "b" not in inc._rng_tags and "a" in inc._rng_tags
+
+    def test_small_dirty_redraw_bypasses_arena_repack(self, backend, fused):
+        """A tick-shaped redraw (1 dirty object, everyone else cached) must
+        not re-pack the dirty object into the fused arena it never draws
+        from — the per-object bypass serves it."""
+        if not (backend == "compiled" and fused):
+            pytest.skip("arena only exists on the fused compiled path")
+        db = TrajectoryDatabase(make_line_space(8), make_drift_chain(8))
+        for i in range(6):  # enough objects that the prime uses the arena
+            db.add_object(f"o{i}", [(0, i), (4, i + 2)])
+        engine = QueryEngine(
+            db, n_samples=100, seed=7, reuse_worlds=True, use_pruning=False
+        )
+        q = Query.from_point([0.0, 0.0])
+        engine.forall_nn(q, [1, 2, 3])  # primes cache + arena (6 > threshold)
+        assert "o0" in engine._arena
+        db.add_observation("o0", 2, 1)
+        engine.forall_nn(q, [1, 2, 3])  # 1 miss -> per-object bypass
+        assert "o0" not in engine._arena  # discarded, never re-packed
