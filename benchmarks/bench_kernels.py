@@ -498,6 +498,193 @@ def test_ingest_throughput_targets(bench_record):
     assert speedup >= target, timings
 
 
+def _monitor_database(n_objects, seed=11):
+    """Fully-observed objects under spatially-local motion, plus a feed of
+    *refinement* observations (interior fixes at t=18 / t=10 that tighten
+    existing diamonds without extending lifespans).
+
+    This is the monitoring steady state the tick-latency kernel measures:
+    every subscription's window is fully populated, filter sets are
+    stable, and each event dirties exactly one object's bounded time
+    range.  Local motion (each state transitions to its spatial
+    neighbors) keeps diamonds compact so the § 6 filter is selective —
+    influence sets of tens, not hundreds, of objects."""
+    n_states, span, obs_every, k_nn = 400, 24, 4, 6
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 100, size=(n_states, 2))
+    d2 = ((coords[:, None, :] - coords[None, :, :]) ** 2).sum(-1)
+    nearest = np.argsort(d2, axis=1)[:, : k_nn + 1]  # self + k nearest
+    mat = np.zeros((n_states, n_states))
+    rows = np.repeat(np.arange(n_states), k_nn + 1)
+    mat[rows, nearest.ravel()] = rng.uniform(0.5, 1.0, size=rows.size)
+    mat /= mat.sum(axis=1, keepdims=True)
+    chain = MarkovChain(sparse.csr_matrix(mat))
+    db = TrajectoryDatabase(StateSpace(coords), chain)
+    refine = {}
+    for i in range(n_objects):
+        walk = [int(rng.integers(n_states))]
+        for _ in range(span):
+            nxt, probs = chain.successors(walk[-1], 0)
+            walk.append(int(rng.choice(nxt, p=probs)))
+        name = f"w{i}"
+        db.add_object(name, [(t, walk[t]) for t in range(0, span + 1, obs_every)])
+        refine[name] = [(18, walk[18]), (10, walk[10])]
+    return db, refine
+
+
+def _monitor_tick_setup(
+    *, prune_vectorized, refine_cache, n_objects=300, n_subs=50, warm=12
+):
+    """A warmed monitor over ``n_subs`` standing queries + its event feed.
+
+    Half the subscriptions watch the late window (14–20), half the early
+    one (6–12); the feed alternates t=18 / t=10 refinements so each tick
+    dirties one object inside exactly one group's windows — the other
+    group is provably clean from the mutation's affected time range
+    alone."""
+    db, refine = _monitor_database(n_objects)
+    engine = QueryEngine(
+        db,
+        n_samples=256,
+        seed=3,
+        prune_vectorized=prune_vectorized,
+        refine_cache_size=64 if refine_cache else 0,
+    )
+    monitor = ContinuousMonitor(engine)
+    rng = np.random.default_rng(5)
+    for s in range(n_subs):
+        q = Query.from_point(rng.uniform(10, 90, size=2))
+        times = tuple(range(14, 21)) if s % 2 == 0 else tuple(range(6, 13))
+        kind = "forall" if s % 4 < 2 else "exists"
+        monitor.subscribe(QueryRequest(q, times, kind, 0.05), name=f"s{s}")
+    names = db.object_ids
+    feed = [[AddObservation(n, *refine[n][i % 2])] for i, n in enumerate(names)]
+    monitor.tick()  # initial evaluation of every subscription
+    for batch in feed[:warm]:
+        monitor.tick(batch)
+    return monitor, feed[warm:]
+
+
+def test_monitor_tick_targets(bench_record):
+    """Steady-state monitor tick: vectorized filter + dirty-column cache
+    vs the prior per-entry/wholesale engine, persisted to the JSON table.
+
+    Both modes drain the same refinement feed (one observation per tick
+    against 300 fully-observed objects, 50 standing subscriptions) from
+    identically warmed monitors.  The optimized engine prunes through the
+    columnar segment arrays and serves each due subscription's refinement
+    tensor from the dirty-column cache; the baseline
+    (``prune_vectorized=False, refine_cache_size=0``) is the prior
+    engine's behavior — per-entry pruning in every ``explain()`` and a
+    wholesale tensor recompute per due evaluation.
+
+    Acceptance targets of this optimization: ≥5× mean tick latency, and
+    the estimate stage no longer the largest stage timing — the tick is
+    bounded by ingest + scheduling bookkeeping, not refinement (CI
+    enforces a relaxed floor on shared runners; run locally or with
+    TICK_SPEEDUP_TARGET=5.0 for the full assertion).
+    """
+    measured = 10
+    table = {}
+    stage_totals = {}
+    for mode, (vectorized, cache) in (
+        ("optimized", (True, True)),
+        ("baseline", (False, False)),
+    ):
+        monitor, feed = _monitor_tick_setup(
+            prune_vectorized=vectorized, refine_cache=cache
+        )
+        tick_s, stages, reuse = [], {}, {}
+        for batch in feed[:measured]:
+            t0 = perf_counter()
+            report = monitor.tick(batch)
+            tick_s.append(perf_counter() - t0)
+            for stage, seconds in report.stage_seconds.items():
+                stages[stage] = stages.get(stage, 0.0) + seconds
+            for key, delta in report.reuse.items():
+                reuse[key] = reuse.get(key, 0) + delta
+        table[mode] = {
+            "mean_tick_s": float(np.mean(tick_s)),
+            "min_tick_s": float(np.min(tick_s)),
+            "stage_seconds": {k: float(v) for k, v in stages.items()},
+            "columns_reused": reuse.get("estimate_columns_reused", 0),
+            "columns_refreshed": reuse.get("estimate_columns_refreshed", 0),
+        }
+        if mode == "optimized":
+            stage_totals = stages
+    speedup = table["baseline"]["mean_tick_s"] / table["optimized"]["mean_tick_s"]
+    bench_record(
+        "monitor_tick",
+        {
+            "n_objects": 300,
+            "n_subscriptions": 50,
+            "n_samples": 256,
+            "measured_ticks": measured,
+            "speedup": speedup,
+            **table,
+        },
+    )
+    target = float(
+        os.environ.get(
+            "TICK_SPEEDUP_TARGET", "1.5" if os.environ.get("CI") else "5.0"
+        )
+    )
+    assert speedup >= target, table
+    # Ingestion-bound: refinement (the estimate stage) must not dominate
+    # the optimized tick.  ``evaluate`` is excluded — it is the superset
+    # containing ``filter`` + ``estimate`` plus batching overhead.
+    others = ("ingest", "schedule", "filter", "notify")
+    assert stage_totals["estimate"] <= max(
+        stage_totals[s] for s in others
+    ), stage_totals
+
+
+def test_prune_filter_targets(bench_record):
+    """Vectorized vs per-entry § 6 filter, persisted to the JSON table.
+
+    One broadcasted mindist/maxdist pass over every (segment, covered
+    tic) pair against the classic entry-at-a-time loop, on the 300-object
+    monitoring database (both paths are bit-identical — guarded by
+    ``tests/spatial/test_prune_vectorized.py``)."""
+    db, _ = _monitor_database(300)
+    engine = QueryEngine(db, n_samples=10, seed=5)
+    tree = engine.ust_tree
+    q = Query.from_point([50.0, 50.0])
+    times = np.arange(14, 21)
+    coords = q.coords_at(times)
+    rounds = 5
+    tree.prune(coords, times, vectorized=True)  # warm-up: columns + tables
+    tree.prune(coords, times, vectorized=False)
+    vec_s, ref_s = [], []
+    for _ in range(rounds):  # interleave to even out machine drift
+        t0 = perf_counter()
+        vec = tree.prune(coords, times, vectorized=True)
+        vec_s.append(perf_counter() - t0)
+        t0 = perf_counter()
+        ref = tree.prune(coords, times, vectorized=False)
+        ref_s.append(perf_counter() - t0)
+    assert vec.candidates == ref.candidates
+    assert vec.influencers == ref.influencers
+    speedup = min(ref_s) / min(vec_s)
+    bench_record(
+        "prune_filter",
+        {
+            "n_objects": 300,
+            "n_times": len(times),
+            "rounds": rounds,
+            "vectorized_s": min(vec_s),
+            "reference_s": min(ref_s),
+            "speedup": speedup,
+        },
+    )
+    target = float(
+        os.environ.get(
+            "PRUNE_SPEEDUP_TARGET", "1.2" if os.environ.get("CI") else "3.0"
+        )
+    )
+    assert speedup >= target, {"vectorized_s": vec_s, "reference_s": ref_s}
+
+
 def test_bench_monitor_tick(benchmark):
     """End-to-end monitor tick (ingest + schedule + coalesced re-evaluate)
     on an incremental engine: the serving-loop latency kernel."""

@@ -5,11 +5,19 @@ persists every benchmark session's results to ``BENCH_kernels.json`` at the
 repo root so the performance trajectory is tracked across PRs (CI uploads
 the file as an artifact).  Two sources feed it:
 
-* pytest-benchmark statistics for every timed kernel (absent under
-  ``--benchmark-disable``, where kernels run once without timing);
-* custom records pushed through the :func:`bench_record` fixture — e.g.
-  the fused-vs-loop speedup table, which times itself and therefore
-  reports even in disabled/smoke mode.
+* pytest-benchmark statistics for every timed kernel, under ``timings``
+  (absent under ``--benchmark-disable``, where kernels run once without
+  timing);
+* custom records pushed through the :func:`bench_record` fixture, under
+  ``kernels`` — e.g. the fused-vs-loop speedup table or the monitor-tick
+  latency profile, which time themselves and therefore report even in
+  disabled/smoke mode.
+
+Schema 2 (see :data:`KNOWN_TOP_LEVEL` / :data:`KNOWN_KERNELS`) is strict:
+an unknown kernel name or a stray top-level key fails the session loudly
+instead of silently accreting dead entries — the schema-1 file shipped an
+empty ``"kernels": {}`` placeholder for several PRs precisely because
+nothing validated it.
 """
 
 import json
@@ -25,6 +33,24 @@ if _SRC not in sys.path:
 
 BENCH_JSON = _ROOT / "BENCH_kernels.json"
 
+#: Every custom (self-timed) kernel a session may record.  Adding a kernel
+#: to ``bench_kernels.py`` means adding its name here — ``bench_record``
+#: rejects anything else, so the JSON cannot drift from the bench suite.
+KNOWN_KERNELS = frozenset(
+    {
+        "fused_speedup",
+        "ingest_throughput",
+        "monitor_tick",
+        "prune_filter",
+    }
+)
+
+#: The complete schema-2 top-level key set.  ``kernels`` holds the custom
+#: records, ``timings`` the pytest-benchmark statistics.
+KNOWN_TOP_LEVEL = frozenset(
+    {"schema", "pytest_exit_status", "kernels", "timings"}
+)
+
 _custom_records: dict = {}
 
 
@@ -34,11 +60,19 @@ def bench_record():
 
     Usage: ``bench_record("fused_speedup", {...})``.  Records are merged
     into the session's output file at exit; re-recording a name within one
-    session overwrites it.
+    session overwrites it.  Unknown names fail immediately — register new
+    kernels in :data:`KNOWN_KERNELS`.
     """
 
     def record(name: str, payload) -> None:
-        _custom_records[str(name)] = payload
+        name = str(name)
+        if name not in KNOWN_KERNELS:
+            raise ValueError(
+                f"unknown bench kernel {name!r}; known kernels: "
+                f"{sorted(KNOWN_KERNELS)} (register new ones in "
+                "benchmarks/conftest.py::KNOWN_KERNELS)"
+            )
+        _custom_records[name] = payload
 
     return record
 
@@ -65,21 +99,45 @@ def _harvest_benchmark_stats(config) -> dict:
     return out
 
 
+def _load_previous() -> dict:
+    """The last session's schema-2 payload, if any.
+
+    A schema-1 (or unreadable) file contributes nothing — its top-level
+    custom records and dead placeholders do not migrate; the next full
+    bench run regenerates them under the strict layout.  A schema-2 file
+    with unexpected keys fails loudly: either the file was hand-edited or
+    a writer bypassed :func:`bench_record`.
+    """
+    try:
+        previous = json.loads(BENCH_JSON.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(previous, dict) or previous.get("schema") != 2:
+        return {}
+    unknown = set(previous) - KNOWN_TOP_LEVEL
+    unknown_kernels = set(previous.get("kernels", {})) - KNOWN_KERNELS
+    if unknown or unknown_kernels:
+        raise ValueError(
+            f"{BENCH_JSON.name} contains unknown keys: "
+            f"top-level {sorted(unknown)}, kernels {sorted(unknown_kernels)}; "
+            "fix the file or register the kernels in "
+            "benchmarks/conftest.py"
+        )
+    return previous
+
+
 def pytest_sessionfinish(session, exitstatus):
-    kernels = _harvest_benchmark_stats(session.config)
-    if not kernels and not _custom_records:
+    timings = _harvest_benchmark_stats(session.config)
+    if not timings and not _custom_records:
         return  # nothing measured (e.g. a collect-only run); keep the file
     # Merge into the existing file so a partial run (one kernel, one -k
     # selection) refreshes only what it measured instead of erasing the
     # last complete session's results.
-    payload = {"schema": 1, "kernels": {}}
-    try:
-        previous = json.loads(BENCH_JSON.read_text())
-        if isinstance(previous, dict) and previous.get("schema") == 1:
-            payload.update(previous)
-    except (OSError, ValueError):
-        pass
-    payload["pytest_exit_status"] = int(exitstatus)
-    payload["kernels"] = {**payload.get("kernels", {}), **kernels}
-    payload.update(_custom_records)
+    previous = _load_previous()
+    payload = {
+        "schema": 2,
+        "pytest_exit_status": int(exitstatus),
+        "kernels": {**previous.get("kernels", {}), **_custom_records},
+        "timings": {**previous.get("timings", {}), **timings},
+    }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

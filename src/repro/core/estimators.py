@@ -101,6 +101,15 @@ class EstimationContext:
         columnar batch (one fused arena pass + one gather/einsum distance
         kernel on a ``fused`` engine) rather than per-object calls, so
         strategies cannot accidentally fall off the bulk path.
+
+        Shared-world evaluations on an incremental engine may be served
+        from the engine's refinement tensor cache — the identical request
+        re-asked over held worlds gets the *same array* back with only the
+        dirty objects' columns recomputed (see ``QueryEngine.
+        refine_cache_size``).  The tensor is therefore owned by the
+        engine: estimators must treat it as **read-only** (every counting
+        reduction in :mod:`repro.trajectory.nn` already is) — writing into
+        it would corrupt later ticks' patched reuse.
         """
         return self.engine.distance_tensor(
             self.refine_ids,

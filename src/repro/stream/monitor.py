@@ -36,6 +36,7 @@ subscription against freshly drawn worlds (``reason="epoch-refresh"``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from ..core.evaluator import QueryEngine
@@ -106,11 +107,35 @@ class TickReport:
     """Aggregate outcome of one :meth:`ContinuousMonitor.tick`.
 
     ``reuse`` holds per-tick deltas of the engine's reuse/invalidation
-    counters: ``cache_hits`` / ``cache_partial_hits`` / ``cache_misses``
-    (world-cache lookups), ``sampler_calls`` (full draws), ``index_updates``
-    / ``index_rebuilds`` (incremental vs wholesale UST-tree maintenance)
-    and ``worlds_invalidated`` (segments dropped by selective
-    invalidation).
+    counters:
+
+    ``cache_hits`` / ``cache_partial_hits`` / ``cache_misses``
+        World-cache lookups (full reuse / forward extension / fresh draw).
+    ``sampler_calls``
+        Full sampler invocations (world-cache misses + direct draws).
+    ``index_updates`` / ``index_rebuilds``
+        Incremental vs wholesale UST-tree maintenance.
+    ``worlds_invalidated``
+        Cached world segments dropped by selective invalidation.
+    ``estimate_cache_hits`` / ``estimate_cache_misses``
+        Refinement distance-tensor cache outcomes: a *hit* served a
+        standing request's tensor in place (recomputing only dirty
+        columns), a *miss* rebuilt it wholesale (cold key, fresh epoch,
+        or the ``incremental=False`` oracle, which counts every
+        shared-world recompute here so the two modes stay comparable).
+    ``estimate_columns_reused`` / ``estimate_columns_refreshed``
+        Per-object tensor columns served from cache vs recomputed — the
+        dirty-column accounting behind the hits/misses: a steady-state
+        tick with one dirty influencer refreshes one column per due
+        subscription and reuses the rest.
+
+    ``stage_seconds`` breaks the tick's wall time into its stages:
+    ``ingest`` (event application, dirty-set derivation and the dirty
+    objects' world prefetch — the ingest-to-ready cost), ``schedule``
+    (re-evaluation verdicts), ``evaluate`` (the coalesced
+    ``evaluate_many`` call, further split into the summed per-request
+    ``filter`` and ``estimate`` stage timings) and ``notify``
+    (delta/callback delivery).
     """
 
     now: int | None
@@ -123,6 +148,7 @@ class TickReport:
     #: nothing changed* but because everything had to be treated as
     #: changed — every subscription was force-re-evaluated.
     full_invalidation: bool = False
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def reevaluated(self) -> tuple[str, ...]:
@@ -253,6 +279,10 @@ class ContinuousMonitor:
             "index_updates": engine.index_updates,
             "index_rebuilds": engine.index_rebuilds,
             "worlds_invalidated": engine.worlds_invalidated,
+            "estimate_cache_hits": engine.estimate_cache_hits,
+            "estimate_cache_misses": engine.estimate_cache_misses,
+            "estimate_columns_reused": engine.estimate_columns_reused,
+            "estimate_columns_refreshed": engine.estimate_columns_refreshed,
         }
 
     def tick(
@@ -266,6 +296,7 @@ class ContinuousMonitor:
         Returns the :class:`TickReport`; per-subscription callbacks fire
         after all due evaluations completed, in subscription order.
         """
+        t0 = perf_counter()
         before = self._reuse_snapshot()
         events = list(events)
         ingest = self.stream.apply(events) if events else None
@@ -274,14 +305,15 @@ class ContinuousMonitor:
         # band (a "clean" verdict must mean provably unchanged, not merely
         # untouched-by-this-batch).  When the mutation log can no longer
         # name the delta, nothing is provable: force re-evaluation of all.
-        delta = self.engine.db.changed_since(self._db_version_seen)
-        full_invalidation = delta is None
-        dirty = frozenset() if full_invalidation else frozenset(delta)
+        ranges = self.engine.db.changed_ranges_since(self._db_version_seen)
+        full_invalidation = ranges is None
+        dirty = frozenset() if full_invalidation else frozenset(ranges)
         if now is not None:
             self._now = int(now)
         elif ingest is not None and ingest.latest_time is not None:
             if self._now is None or ingest.latest_time > self._now:
                 self._now = ingest.latest_time
+        ingest_seconds = perf_counter() - t0
 
         subscriptions = list(self._subscriptions.values())
         union = self._union_window(
@@ -305,13 +337,51 @@ class ContinuousMonitor:
             else "epoch-refresh" if self._refresh_pending else None
         )
 
+        t0 = perf_counter()
         decisions = [
-            self.scheduler.decide(sub, dirty, self._now, force=force_reason)
+            self.scheduler.decide(
+                sub,
+                dirty,
+                self._now,
+                force=force_reason,
+                dirty_ranges=ranges,
+            )
             for sub in subscriptions
         ]
+        schedule_seconds = perf_counter() - t0
         due = [d for d in decisions if d.due]
+
+        # Ingest-to-ready: redraw the dirty influencers' invalidated
+        # worlds *now*, into the held monitoring epoch, so their
+        # resampling cost lands in the ingest stage instead of inflating
+        # the first due evaluation's estimate stage.  Only the dirty
+        # objects some due subscription was influenced by last tick — a
+        # tick whose subscriptions all proved clean must sample nothing,
+        # and a dirty object outside every influence set may never be
+        # estimated at all.
+        t0 = perf_counter()
+        if (
+            dirty
+            and due
+            and not refreshing
+            and force_reason is None
+            and union is not None
+            and self.engine.incremental
+            and self.engine.restore_batch_epoch()
+        ):
+            influenced = set()
+            for decision in due:
+                influenced.update(decision.subscription.last_influencers or ())
+            targets = sorted(
+                oid for oid in dirty & influenced if oid in self.engine.db
+            )
+            if targets:
+                self.engine.prefetch_worlds(targets, window=union)
+        ingest_seconds += perf_counter() - t0
         results: dict[str, object] = {}
+        filter_seconds = estimate_seconds = evaluate_seconds = 0.0
         if due:
+            t0 = perf_counter()
             evaluated = self.engine.evaluate_many(
                 [d.request for d in due],
                 # A refresh (explicit, or forced by a backward union move)
@@ -323,7 +393,13 @@ class ContinuousMonitor:
             results = {
                 d.subscription.name: r for d, r in zip(due, evaluated)
             }
+            for r in evaluated:
+                stages = getattr(r.report, "stage_seconds", None) or {}
+                filter_seconds += stages.get("filter", 0.0)
+                estimate_seconds += stages.get("estimate", 0.0)
+            evaluate_seconds = perf_counter() - t0
 
+        t0 = perf_counter()
         notifications = []
         for decision in decisions:
             sub = decision.subscription
@@ -331,8 +407,15 @@ class ContinuousMonitor:
                 result = results[sub.name]
                 changed = not results_equal(sub.last_result, result)
                 sub.last_times = decision.request.times
-                sub.last_candidates = decision.candidates
-                sub.last_influencers = decision.influencers
+                if decision.candidates is None:
+                    # The verdict was reached without the filter stage;
+                    # the evaluation's own (post-ingest) sets are the
+                    # fresh baseline the next tick compares against.
+                    sub.last_candidates = tuple(result.candidates)
+                    sub.last_influencers = tuple(result.influencers)
+                else:
+                    sub.last_candidates = decision.candidates
+                    sub.last_influencers = decision.influencers
                 sub.last_result = result
                 sub.evaluations += 1
             else:
@@ -372,6 +455,7 @@ class ContinuousMonitor:
                 f"subscription callback {name!r} raised during tick "
                 f"({len(callback_errors)} callback failure(s) total)"
             ) from exc
+        notify_seconds = perf_counter() - t0
         after = self._reuse_snapshot()
         return TickReport(
             now=self._now,
@@ -380,6 +464,14 @@ class ContinuousMonitor:
             notifications=tuple(notifications),
             reuse={key: after[key] - before[key] for key in after},
             full_invalidation=full_invalidation,
+            stage_seconds={
+                "ingest": ingest_seconds,
+                "schedule": schedule_seconds,
+                "evaluate": evaluate_seconds,
+                "filter": filter_seconds,
+                "estimate": estimate_seconds,
+                "notify": notify_seconds,
+            },
         )
 
     @staticmethod

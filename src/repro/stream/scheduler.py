@@ -11,18 +11,27 @@ ContinuousMonitor` composes:
   :class:`SlidingWindow` that follows the stream clock, plus the state of
   its last evaluation (times, filter sets, result);
 * :class:`SubscriptionScheduler` — decides, per tick, whether a
-  subscription must be re-evaluated, using the UST-tree filter stage
-  (:meth:`QueryEngine.explain`, which samples nothing) to test whether the
-  tick's dirty objects intersect the subscription's influence set.
+  subscription must be re-evaluated, from the tick's dirty set, the
+  mutations' affected time ranges
+  (:meth:`TrajectoryDatabase.changed_ranges_since`) and — only when
+  neither settles the verdict — the UST-tree filter stage
+  (:meth:`QueryEngine.explain`, which samples nothing).
 
 The skip rule is *provable*, not heuristic, on the monitor's engine
 discipline (held draw epoch + selective invalidation): a P∀/P∃/PCNN
 result is a function of the query, its time set, the filter stage's
 candidate/influence sets and the influence objects' sampled worlds.  If
-the window did not move, the freshly computed (post-ingest) filter sets
-are unchanged and no influence object is dirty, then every input is
-bit-identical to the previous tick — so the cached result *is* the
-result, and the scheduler skips the evaluation outright.
+the window did not move, no influence object is dirty and the filter
+sets are unchanged, then every input is bit-identical to the previous
+tick — so the cached result *is* the result, and the scheduler skips the
+evaluation outright.  Two refinements keep deciding cheap in steady
+state: a dirty object already in the *last* influence set makes the
+subscription due immediately (the evaluation re-filters anyway, so
+pruning twice would be waste), and a mutation whose affected time range
+is disjoint from the subscription's window provably cannot have moved
+its filter output at those times (an observation only reshapes the
+reachability diamonds between its neighboring fixes), so a tick whose
+entire dirty set misses the window skips without filtering at all.
 """
 
 from __future__ import annotations
@@ -103,15 +112,21 @@ class Decision:
     #: Why: ``initial`` (never evaluated), ``window-moved`` (sliding times
     #: changed), ``filter-changed`` (candidate/influence sets differ from
     #: the last evaluation), ``dirty-influencer`` (a mutated object sits
-    #: in the influence set), ``unknown-mutations`` (the mutation log
+    #: in the last influence set), ``unknown-mutations`` (the mutation log
     #: could not name the delta — everything re-evaluates),
     #: ``epoch-refresh`` (an explicit ``ContinuousMonitor.refresh()``),
     #: ``window-union-extended`` (the all-subscriptions union reached
     #: further back than last tick — worlds redraw coherently) or
     #: ``clean`` (provably unchanged; skipped).
     reason: str
-    candidates: tuple[str, ...]
-    influencers: tuple[str, ...]
+    #: The filter sets backing the verdict.  ``None`` for due-regardless
+    #: verdicts decided *without* running the filter stage (initial,
+    #: window-moved, dirty-influencer, forced): the evaluation itself
+    #: produces the fresh sets, and the monitor records them from the
+    #: result — re-filtering here would run the § 6 pruning twice per
+    #: evaluation for nothing.
+    candidates: tuple[str, ...] | None
+    influencers: tuple[str, ...] | None
 
 
 class SubscriptionScheduler:
@@ -132,6 +147,7 @@ class SubscriptionScheduler:
     def decide(
         self, subscription: Subscription, dirty: frozenset[str] | set[str],
         now: int | None, *, force: str | None = None,
+        dirty_ranges: dict[str, tuple[float, float]] | None = None,
     ) -> Decision:
         """The re-evaluation verdict for one subscription this tick.
 
@@ -139,18 +155,36 @@ class SubscriptionScheduler:
         reason — the monitor's path for deltas it cannot attribute
         (``"unknown-mutations"``) and for explicit statistical refreshes
         (``"epoch-refresh"``).
+
+        The filter stage runs only when its output can actually change
+        the verdict.  Due-regardless outcomes (forced, never evaluated,
+        window moved, a dirty object in the *last* influence set) skip it
+        — the evaluation re-filters anyway, and the monitor records the
+        result's own sets.  When ``dirty_ranges`` (from
+        :meth:`TrajectoryDatabase.changed_ranges_since`) shows every dirty
+        object's affected time range disjoint from the request's times —
+        and none of them sits in the last influence set — the subscription
+        is provably clean without filtering either: a mutation can only
+        move filter output at times inside its affected range, so every
+        input of the cached result is bit-identical.  Only the remaining
+        case (a dirty range touching the window, by an object outside the
+        influence set) needs the explain pass to compare fresh filter
+        sets.
         """
         request = subscription.request_at(now)
         self.decided += 1
-        if (
-            force is None
-            and subscription.evaluations > 0
-            and not dirty
-            and request.times == subscription.last_times
-        ):
-            # Quiet tick: the database is untouched and the window did not
-            # move, so the filter stage is a pure function of unchanged
-            # inputs — skip without even pruning.
+
+        def due_without_filter(reason: str) -> Decision:
+            return Decision(
+                subscription=subscription,
+                request=request,
+                due=True,
+                reason=reason,
+                candidates=None,
+                influencers=None,
+            )
+
+        def clean() -> Decision:
             self.skipped += 1
             return Decision(
                 subscription=subscription,
@@ -160,23 +194,36 @@ class SubscriptionScheduler:
                 candidates=subscription.last_candidates or (),
                 influencers=subscription.last_influencers or (),
             )
+
+        if force is not None:
+            return due_without_filter(force)
+        if subscription.evaluations == 0:
+            return due_without_filter("initial")
+        if request.times != subscription.last_times:
+            return due_without_filter("window-moved")
+        if not dirty:
+            # Quiet tick: the database is untouched and the window did not
+            # move, so the filter stage is a pure function of unchanged
+            # inputs — skip without even pruning.
+            return clean()
+        last_influencers = subscription.last_influencers or ()
+        if not dirty.isdisjoint(last_influencers):
+            return due_without_filter("dirty-influencer")
+        if dirty_ranges is not None and self._ranges_disjoint(
+            dirty, dirty_ranges, request.times
+        ):
+            return clean()
         explanation = self.engine.explain(request)
         candidates = tuple(explanation.candidates)
         influencers = tuple(explanation.influencers)
-        if force is not None:
-            due, reason = True, force
-        elif subscription.evaluations == 0:
-            due, reason = True, "initial"
-        elif request.times != subscription.last_times:
-            due, reason = True, "window-moved"
-        elif (candidates, influencers) != (
+        if (candidates, influencers) != (
             subscription.last_candidates,
             subscription.last_influencers,
         ):
             due, reason = True, "filter-changed"
-        elif dirty and not dirty.isdisjoint(influencers):
-            due, reason = True, "dirty-influencer"
         else:
+            # Unchanged sets and (from above) no dirty influencer: every
+            # input of the cached result is bit-identical.
             due, reason = False, "clean"
         if not due:
             self.skipped += 1
@@ -188,3 +235,20 @@ class SubscriptionScheduler:
             candidates=candidates,
             influencers=influencers,
         )
+
+    @staticmethod
+    def _ranges_disjoint(
+        dirty: frozenset[str] | set[str],
+        dirty_ranges: dict[str, tuple[float, float]],
+        times: tuple[int, ...],
+    ) -> bool:
+        """Whether every dirty object's affected range misses ``times``.
+
+        Ids missing from ``dirty_ranges`` are treated as unbounded
+        (conservative: never skippable).
+        """
+        for oid in dirty:
+            lo, hi = dirty_ranges.get(oid, (float("-inf"), float("inf")))
+            if any(lo <= t <= hi for t in times):
+                return False
+        return True

@@ -51,7 +51,11 @@ class TrajectoryDatabase:
         self._order: dict[str, int] = {}
         self._order_counter = 0
         self._object_versions: dict[str, int] = {}
-        self._mutation_log: list[tuple[int, str]] = []
+        #: Entries are ``(version, object_id, t_lo, t_hi)`` where
+        #: ``[t_lo, t_hi]`` conservatively covers every time whose derived
+        #: filter state (segments, per-tic MBRs, aliveness) the mutation
+        #: could have changed.  ``±inf`` marks "unknown extent".
+        self._mutation_log: list[tuple[int, str, float, float]] = []
         self._log_floor = 0  # mutations at versions <= floor fell off the log
 
     @property
@@ -68,17 +72,23 @@ class TrajectoryDatabase:
         """
         return self._version
 
-    def _bump_version(self, object_id: str) -> None:
+    def _bump_version(
+        self, object_id: str, affected: tuple[float, float] | None = None
+    ) -> None:
         """Record a mutation of one object, advancing the global version.
 
         The per-object counter and the bounded mutation log let derived
         structures (UST-tree, world cache, sampling arena) invalidate only
-        the touched object instead of flushing wholesale.
+        the touched object instead of flushing wholesale.  ``affected`` is
+        the conservative time range the mutation could have changed the
+        object's *filter-relevant* state over (segments, per-tic MBRs,
+        aliveness); ``None`` records an unbounded range.
         """
         self._version += 1
         if object_id in self._objects:  # removals keep no counter
             self._object_versions[object_id] = self._version
-        self._mutation_log.append((self._version, object_id))
+        lo, hi = affected if affected is not None else (-np.inf, np.inf)
+        self._mutation_log.append((self._version, object_id, float(lo), float(hi)))
         overflow = len(self._mutation_log) - self.MUTATION_LOG_LIMIT
         if overflow > 0:
             self._log_floor = self._mutation_log[overflow - 1][0]
@@ -116,7 +126,42 @@ class TrajectoryDatabase:
             return set()
         if version < self._log_floor:
             return None
-        return {oid for v, oid in self._mutation_log if v > version}
+        return {oid for v, oid, _, _ in self._mutation_log if v > version}
+
+    def changed_ranges_since(
+        self, version: int
+    ) -> dict[str, tuple[float, float]] | None:
+        """Per-object affected time ranges for mutations after ``version``.
+
+        The ranged form of :meth:`changed_since`: maps each touched object
+        id to the hull ``[t_lo, t_hi]`` of the time ranges its mutations
+        could have changed filter-relevant state over.  An observation
+        ingested at ``t`` only reshapes the reachability diamonds between
+        its neighboring observations, so a standing query whose times are
+        disjoint from every dirty range — and whose influence set contains
+        no dirty object — is provably unaffected without re-running the
+        filter stage.  Same overflow contract as :meth:`changed_since`:
+        ``None`` when ``version`` predates the retained log.
+        """
+        version = int(version)
+        if version > self._version:
+            raise ValueError(
+                f"version {version} is ahead of the database ({self._version})"
+            )
+        if version == self._version:
+            return {}
+        if version < self._log_floor:
+            return None
+        ranges: dict[str, tuple[float, float]] = {}
+        for v, oid, lo, hi in self._mutation_log:
+            if v <= version:
+                continue
+            prev = ranges.get(oid)
+            if prev is None:
+                ranges[oid] = (lo, hi)
+            else:
+                ranges[oid] = (min(prev[0], lo), max(prev[1], hi))
+        return ranges
 
     # ------------------------------------------------------------------
     # population
@@ -144,7 +189,8 @@ class TrajectoryDatabase:
         self._objects[object_id] = obj
         self._order[object_id] = self._order_counter
         self._order_counter += 1
-        self._bump_version(object_id)
+        # A new object contributes filter state only over its own span.
+        self._bump_version(object_id, affected=(obj.t_first, obj.t_last))
         return obj
 
     def remove_object(self, object_id: str) -> None:
@@ -157,11 +203,13 @@ class TrajectoryDatabase:
         object_id = str(object_id)
         if object_id not in self._objects:
             raise KeyError(f"unknown object {object_id!r}")
+        gone = self._objects[object_id]
         del self._objects[object_id]
         self._diamonds.pop(object_id, None)
         self._order.pop(object_id, None)
         self._object_versions.pop(object_id, None)
-        self._bump_version(object_id)
+        # Removal withdraws the object's contributions over its old span.
+        self._bump_version(object_id, affected=(gone.t_first, gone.t_last))
 
     def add_observation(self, object_id: str, time: int, state: int) -> UncertainObject:
         """Ingest a new observation for an existing object.
@@ -187,7 +235,18 @@ class TrajectoryDatabase:
         )
         self._objects[old.object_id] = replacement
         self._diamonds.pop(old.object_id, None)
-        self._bump_version(old.object_id)
+        # A fix at ``t`` reshapes only the diamonds between its neighboring
+        # observations: segments outside ``[prev, next]`` recompute to
+        # identical reachable sets (pure function of their own endpoint
+        # observations and the unchanged a-priori chain).  Appends also
+        # cover the superseded extrapolation cone via ``old.t_last``.
+        time = int(time)
+        obs_times = [o.time for o in old.observations]
+        earlier = [t for t in obs_times if t < time]
+        later = [t for t in obs_times if t > time]
+        lo = float(max(earlier)) if earlier else float(min(time, old.t_first))
+        hi = float(min(later)) if later else float(max(time, old.t_last))
+        self._bump_version(old.object_id, affected=(lo, hi))
         return replacement
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ class Diamond:
     #: UST-tree's refinement step asks for — every standing query re-asks
     #: for the same tics tick after tick — are computed once.
     _mbr_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Lazy columnar form of the per-tic MBRs (see :meth:`mbr_arrays`).
+    _mbr_arrays: tuple | None = field(default=None, repr=False, compare=False)
 
     def states_at(self, t: int) -> np.ndarray:
         if not self.t_start <= t <= self.t_end:
@@ -66,6 +68,24 @@ class Diamond:
             rect = space.mbr_of(self.states_at(t))
             self._mbr_cache[t] = rect
         return rect
+
+    def mbr_arrays(self, space: StateSpace) -> tuple[np.ndarray, np.ndarray]:
+        """All per-tic MBRs as ``(lo, hi)`` arrays of shape ``(n_tics, d)``.
+
+        Row ``k`` is :meth:`mbr_at` of ``t_start + k`` — the columnar form
+        the vectorized refinement step gathers from, built once per diamond
+        (diamonds are immutable) and sharing the scalar ``mbr_at`` cache so
+        the two representations cannot disagree.
+        """
+        if self._mbr_arrays is None:
+            rects = [
+                self.mbr_at(self.t_start + k, space)
+                for k in range(len(self.states_per_tic))
+            ]
+            lo = np.asarray([r.lo for r in rects], dtype=float)
+            hi = np.asarray([r.hi for r in rects], dtype=float)
+            self._mbr_arrays = (lo, hi)
+        return self._mbr_arrays
 
     def width_at(self, t: int) -> int:
         return int(self.states_at(t).size)

@@ -169,6 +169,146 @@ def test_standing_results_match_freshly_built_engine(backend, fused):
         )
 
 
+def _refinement_db(seed=13):
+    db, _ = make_random_world(seed=seed, n_objects=8, span=12, obs_every=4)
+    return db
+
+
+def _refinement_script(db):
+    """Mixed history biased toward *interior* refinements — observations
+    between existing fixes that tighten diamonds without extending
+    lifespans.  This is the steady-state regime where the dirty-column
+    tensor cache patches in place (stable influence sets, one dirty
+    column per event), interleaved with the structural events (add,
+    remove, extension) that force full rebuilds."""
+
+    def refine(object_id, t):
+        obj = db.get(object_id)
+        return AddObservation(object_id, t, int(obj.ground_truth.states[t]))
+
+    def extend(object_id):
+        obj = db.get(object_id)
+        return AddObservation(
+            object_id, obj.t_last + 1, int(obj.ground_truth.states[-1])
+        )
+
+    ids = db.object_ids
+    rng = np.random.default_rng(3)
+    walk = [int(rng.integers(db.space.n_states))]
+    for _ in range(6):
+        nxt, probs = db.chain.successors(walk[-1], 0)
+        walk.append(int(rng.choice(nxt, p=probs)))
+    return [
+        [],  # quiet: every subscription provably clean
+        [refine(ids[0], 6)],
+        [refine(ids[1], 2), refine(ids[2], 6)],
+        [],
+        [AddObject("fresh", [(3, walk[0]), (6, walk[3]), (9, walk[6])])],
+        [refine(ids[0], 2)],  # second refinement, different segment
+        [RemoveObject(ids[3])],
+        [refine(ids[4], 10)],  # outside the windows: a ranged skip
+        [extend(ids[5])],
+        [],
+    ]
+
+
+@pytest.mark.parametrize("backend,fused", ENGINE_VARIANTS)
+def test_dirty_column_patching_matches_wholesale(backend, fused):
+    """The tentpole bit-identity bar: dirty-column re-estimation (cached
+    tensors patched in place, worlds redrawn per object) emits identical
+    results to the wholesale ``incremental=False`` oracle across a mixed
+    event history — and the cache demonstrably engaged, so the parity is
+    not vacuous."""
+    db_inc, db_full = _refinement_db(), _refinement_db()
+    inc = _monitor(db_inc, backend, fused, incremental=True)
+    full = _monitor(db_full, backend, fused, incremental=False)
+    script_inc = _refinement_script(db_inc)
+    script_full = _refinement_script(db_full)
+    for events_inc, events_full in zip(script_inc, script_full):
+        r_inc = inc.tick(events_inc)
+        r_full = full.tick(events_full)
+        assert r_inc.dirty == r_full.dirty
+        for a, b in zip(r_inc.notifications, r_full.notifications):
+            assert a.subscription == b.subscription
+            assert a.reevaluated == b.reevaluated and a.reason == b.reason
+            assert a.changed == b.changed
+            assert _result_payload(a.result) == _result_payload(b.result)
+    # The incremental engine served tensors from the dirty-column cache
+    # (hits with columns reused); the oracle never did.
+    assert inc.engine.estimate_cache_hits > 0
+    assert inc.engine.estimate_columns_reused > 0
+    assert inc.engine.estimate_columns_refreshed > 0
+    assert full.engine.estimate_cache_hits == 0
+    assert inc.engine.worlds.misses < full.engine.worlds.misses
+
+
+def test_mutation_log_overflow_forces_full_recompute():
+    """Overflowing the bounded mutation log between ticks leaves the
+    delta unattributable (``changed_ranges_since`` → ``None``): the tick
+    must force re-evaluation of everything — and the recomputed results
+    must be bit-identical to a freshly built engine over the final
+    database state."""
+    db = _refinement_db(seed=17)
+    db.MUTATION_LOG_LIMIT = 8  # instance override: overflow in a handful
+    monitor = _monitor(db, "compiled", True, incremental=True)
+    first = monitor.tick()
+    assert first.reevaluated == tuple(n for n, _ in _subscriptions())
+    hits_before = monitor.engine.estimate_cache_hits
+
+    # Out-of-band churn: 5 add/remove pairs = 10 mutations > the limit.
+    for i in range(5):
+        db.add_object(f"tmp{i}", [(0, 0)])
+        db.remove_object(f"tmp{i}")
+    assert db.changed_ranges_since(monitor._db_version_seen) is None
+
+    report = monitor.tick()
+    assert report.full_invalidation
+    assert report.dirty == frozenset()
+    assert report.reevaluated == tuple(n for n, _ in _subscriptions())
+    assert all(n.reason == "unknown-mutations" for n in report.notifications)
+    # The estimate cache could not prove any column clean: no hits.
+    assert monitor.engine.estimate_cache_hits == hits_before
+
+    # Lockstep with a fresh engine over the same final database state.
+    replica = _refinement_db(seed=17)
+    fresh = _monitor(replica, "compiled", True, incremental=True)
+    fresh_report = fresh.tick()
+    by_name = {s.name: s.last_result for s in monitor.subscriptions}
+    for note in fresh_report.notifications:
+        assert _result_payload(note.result) == _result_payload(
+            by_name[note.subscription]
+        )
+
+
+def test_overflow_mid_stream_keeps_lockstep():
+    """Same overflow, but with the churn interleaved between refinement
+    ticks on both twins: the incremental monitor (which must fall back to
+    wholesale re-estimation exactly once) stays in lockstep with the
+    ``incremental=False`` oracle throughout."""
+    db_inc, db_full = _refinement_db(), _refinement_db()
+    db_inc.MUTATION_LOG_LIMIT = 8
+    db_full.MUTATION_LOG_LIMIT = 8
+    inc = _monitor(db_inc, "compiled", True, incremental=True)
+    full = _monitor(db_full, "compiled", True, incremental=False)
+    script_inc = _refinement_script(db_inc)
+    script_full = _refinement_script(db_full)
+    overflowed = False
+    for i, (events_inc, events_full) in enumerate(zip(script_inc, script_full)):
+        if i == 3:  # out-of-band churn past the log bound on both twins
+            for twin in (db_inc, db_full):
+                for j in range(5):
+                    twin.add_object(f"tmp{j}", [(0, 0)])
+                    twin.remove_object(f"tmp{j}")
+        r_inc = inc.tick(events_inc)
+        r_full = full.tick(events_full)
+        overflowed = overflowed or r_inc.full_invalidation
+        assert r_inc.full_invalidation == r_full.full_invalidation
+        for a, b in zip(r_inc.notifications, r_full.notifications):
+            assert a.reevaluated == b.reevaluated and a.reason == b.reason
+            assert _result_payload(a.result) == _result_payload(b.result)
+    assert overflowed  # the scenario actually exercised the fallback
+
+
 def test_interleaved_standalone_queries_keep_lockstep():
     """Standalone queries (fresh epochs) between ticks do not disturb the
     held monitoring epoch on either engine (default compiled+fused)."""
