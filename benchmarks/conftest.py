@@ -40,6 +40,7 @@ KNOWN_KERNELS = frozenset(
     {
         "fused_speedup",
         "ingest_throughput",
+        "knn_k",
         "monitor_tick",
         "prune_filter",
     }

@@ -19,7 +19,10 @@ Public API tour
   returns the plan without executing.  The classic entry points —
   ``forall_nn`` (P∀NNQ), ``exists_nn`` (P∃NNQ), ``continuous_nn``
   (PCNNQ), ``nn_probabilities`` — remain as shims, each with optional
-  ``k`` (Section 8).
+  ``k`` (Section 8); ``reverse_nn`` asks the reverse direction (which
+  objects have the query among their k likely nearest).
+* Classify: :class:`UncertainNNClassifier` turns per-object kNN
+  probabilities into label-probability vectors (Angiulli & Fassetti).
 * Inspect the machinery: :func:`adapt_model` (Algorithm 2),
   :class:`USTTree` (Section 6 pruning), :mod:`repro.core.exact` oracles,
   :class:`EvaluationReport` on every pipeline result.
@@ -39,6 +42,7 @@ from .core.queries import (
     QueryRequest,
     normalize_times,
 )
+from .analysis.classification import LabelDistribution, UncertainNNClassifier
 from .core.results import (
     EvaluationReport,
     ObjectProbability,
@@ -46,6 +50,7 @@ from .core.results import (
     PCNNResult,
     QueryResult,
     RawProbabilities,
+    ReverseNNResult,
 )
 from .core.worlds import WorldCache
 from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
@@ -72,7 +77,7 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdaptedModel",
@@ -85,6 +90,7 @@ __all__ = [
     "Explanation",
     "IngestResult",
     "InhomogeneousMarkovChain",
+    "LabelDistribution",
     "MarkovChain",
     "Notification",
     "Observation",
@@ -103,6 +109,7 @@ __all__ = [
     "RawProbabilities",
     "Rect",
     "RemoveObject",
+    "ReverseNNResult",
     "RStarTree",
     "SlidingWindow",
     "SparseDistribution",
@@ -112,6 +119,7 @@ __all__ = [
     "Trajectory",
     "TrajectoryDatabase",
     "USTTree",
+    "UncertainNNClassifier",
     "UncertainObject",
     "WorldCache",
     "adapt_model",

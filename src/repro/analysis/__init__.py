@@ -1,6 +1,7 @@
-"""Statistical analyses: sample sizing, calibration, adaptation quality."""
+"""Statistical analyses: sample sizing, calibration, classification."""
 
 from .calibration import CalibrationStudy, CalibrationSummary
+from .classification import LabelDistribution, UncertainNNClassifier
 from .effectiveness import VARIANTS, VariantPredictor, mean_error_curve
 from .hoeffding import confidence_radius, error_probability, samples_needed
 
@@ -8,6 +9,8 @@ __all__ = [
     "VARIANTS",
     "CalibrationStudy",
     "CalibrationSummary",
+    "LabelDistribution",
+    "UncertainNNClassifier",
     "VariantPredictor",
     "confidence_radius",
     "error_probability",

@@ -1,0 +1,160 @@
+"""Uncertain nearest-neighbor classification over possible worlds.
+
+Angiulli & Fassetti ("Nearest Neighbor Classification on Uncertain Data",
+see PAPERS.md) classify an uncertain query point by the *probability mass*
+of each class among its nearest neighbors, instead of the single label a
+certain kNN rule would pick.  Here the training "points" are the uncertain
+moving objects themselves: given a labeling of the database's objects, the
+probability that the query's (certain) reference belongs to class ``c`` is
+the normalized mass of per-object kNN-membership probability carried by
+objects labeled ``c``,
+
+``P(label = c) = Σ_{o : label(o)=c} P(o ∈ kNN(q)) / Σ_o P(o ∈ kNN(q))``,
+
+with the membership probabilities taken from one ``mode="raw"`` evaluation
+(P∀kNN or P∃kNN over the query's time set — the caller picks the temporal
+aggregate).  Normalization makes the label vector a distribution by
+construction; a query whose every membership probability is zero has no
+evidence to classify on and raises instead of fabricating a uniform guess.
+
+The classifier is a thin :mod:`analysis`-level workload on top of
+:meth:`~repro.core.evaluator.QueryEngine.evaluate` /
+:meth:`~repro.core.evaluator.QueryEngine.evaluate_many`: it consumes the
+engine's estimates unchanged (any estimator, including ``"exact"`` for a
+lockstep oracle) and adds only deterministic arithmetic — per-label sums
+run over *sorted* object ids so a classification is bit-reproducible for a
+given engine state, independent of label-dict iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.queries import Query, QueryRequest
+from ..core.results import RawProbabilities
+
+__all__ = ["LabelDistribution", "UncertainNNClassifier"]
+
+
+@dataclass(frozen=True)
+class LabelDistribution:
+    """One classification outcome: a probability vector over labels.
+
+    ``probabilities`` sums to 1 (exactly the normalization invariant the
+    property suite asserts); ``support`` records the un-normalized
+    per-label kNN mass the vector was derived from, so calibration
+    studies can inspect how much evidence backed a decision.
+    """
+
+    probabilities: dict[str, float]
+    support: dict[str, float]
+
+    @property
+    def label(self) -> str:
+        """The maximum-probability label (ties break lexicographically)."""
+        return max(
+            sorted(self.probabilities), key=lambda c: self.probabilities[c]
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.probabilities)
+
+
+class UncertainNNClassifier:
+    """Label-probability vectors for query points, per Angiulli & Fassetti.
+
+    Parameters
+    ----------
+    engine:
+        The query engine whose estimates back the classification.
+    labels:
+        ``object_id -> label`` for the training objects.  Objects missing
+        from the mapping fail loudly at classification time (a silent
+        drop would skew every label mass they participate in).
+    k:
+        The kNN depth of the membership probabilities (``k=1``: classic
+        uncertain NN classification).
+    aggregate:
+        Temporal aggregate of membership over the query's time set:
+        ``"forall"`` (in the kNN set at every time — the conservative
+        reading) or ``"exists"`` (at some time).
+    estimator:
+        Estimation strategy for the underlying ``mode="raw"`` evaluation;
+        ``"exact"`` turns the classifier into an enumeration-backed
+        oracle for lockstep tests.
+    """
+
+    def __init__(
+        self,
+        engine,
+        labels: Mapping[str, str],
+        *,
+        k: int = 1,
+        aggregate: str = "forall",
+        estimator: str = "sampled",
+    ) -> None:
+        if aggregate not in ("forall", "exists"):
+            raise ValueError(
+                f"aggregate must be 'forall' or 'exists', got {aggregate!r}"
+            )
+        self.engine = engine
+        self.labels = dict(labels)
+        self.k = int(k)
+        self.aggregate = aggregate
+        self.estimator = estimator
+
+    # ------------------------------------------------------------------
+    def _request(self, query: Query, times) -> QueryRequest:
+        return QueryRequest(
+            query, tuple(int(t) for t in times), "raw",
+            k=self.k, estimator=self.estimator,
+        )
+
+    def _distribution(self, raw: RawProbabilities) -> LabelDistribution:
+        members = raw.forall if self.aggregate == "forall" else raw.exists
+        missing = sorted(oid for oid in members if oid not in self.labels)
+        if missing:
+            raise KeyError(
+                f"unlabeled object(s) in the refinement set: {missing}; "
+                "every object the query can neighbor needs a label"
+            )
+        # Deterministic accumulation order (sorted object ids): float sums
+        # are order-sensitive, and bit-reproducible classifications are
+        # what lets the exact-estimator variant serve as a lockstep oracle.
+        support: dict[str, float] = {}
+        for oid in sorted(members):
+            label = self.labels[oid]
+            support[label] = support.get(label, 0.0) + members[oid]
+        total = sum(support[label] for label in sorted(support))
+        if not total > 0.0:
+            raise ValueError(
+                "no kNN mass to classify on: every membership probability "
+                f"is zero over T={list(raw.times)} (aggregate="
+                f"{self.aggregate!r}); widen T or use aggregate='exists'"
+            )
+        probabilities = {
+            label: support[label] / total for label in sorted(support)
+        }
+        return LabelDistribution(probabilities=probabilities, support=support)
+
+    # ------------------------------------------------------------------
+    def label_probabilities(self, query: Query, times) -> LabelDistribution:
+        """The label-probability vector for one query reference."""
+        return self._distribution(self.engine.evaluate(self._request(query, times)))
+
+    def classify(self, query: Query, times) -> str:
+        """The maximum-probability label for one query reference."""
+        return self.label_probabilities(query, times).label
+
+    def classify_many(
+        self, queries: Sequence[tuple[Query, Sequence[int]]]
+    ) -> list[LabelDistribution]:
+        """Batch classification over one shared set of sampled worlds.
+
+        Delegates to :meth:`QueryEngine.evaluate_many`, so every query's
+        membership probabilities are counted from the same possible
+        worlds — mutually consistent classifications at one draw's cost.
+        """
+        requests = [self._request(q, times) for q, times in queries]
+        return [self._distribution(raw) for raw in self.engine.evaluate_many(requests)]

@@ -27,6 +27,7 @@ from .exact import (
     enumerate_consistent_trajectories,
     exact_forall_nn_over_times,
     exact_nn_probabilities,
+    exact_reverse_nn_probabilities,
 )
 from .planner import Explanation, QueryPlan, build_plan
 from .queries import (
@@ -44,6 +45,7 @@ from .results import (
     PCNNResult,
     QueryResult,
     RawProbabilities,
+    ReverseNNResult,
 )
 from .snapshot import snapshot_nn_probability_at, snapshot_probabilities
 from .worlds import WorldCache, WorldSegment
@@ -74,6 +76,7 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "RawProbabilities",
+    "ReverseNNResult",
     "SampledEstimator",
     "WorldBudgetExceeded",
     "WorldCache",
@@ -85,6 +88,7 @@ __all__ = [
     "enumerate_consistent_trajectories",
     "exact_forall_nn_over_times",
     "exact_nn_probabilities",
+    "exact_reverse_nn_probabilities",
     "forall_nn_bounds",
     "make_estimator",
     "mine_timestamp_sets",

@@ -49,10 +49,15 @@ from ..trajectory.nn import (
     forall_knn_prob,
     knn_indicator,
     nn_indicator,
+    reverse_knn_indicator,
 )
 from .apriori import mine_timestamp_sets
 from .bounds import bounds_partition
-from .exact import exact_forall_nn_over_times, exact_nn_probabilities
+from .exact import (
+    exact_forall_nn_over_times,
+    exact_nn_probabilities,
+    exact_reverse_nn_probabilities,
+)
 from .planner import QueryPlan
 from .queries import ESTIMATOR_NAMES, QueryRequest
 from .results import PCNNEntry
@@ -117,6 +122,27 @@ class EstimationContext:
             self.times,
             n_samples=self.plan.n_samples if n_samples is None else n_samples,
             normalized=True,
+            cache_k=self.request.k,
+        )
+
+    def reverse_distances(
+        self, n_samples: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shared draw serving the *reverse* direction: ``(dist, od)``.
+
+        The reverse sibling of :meth:`refinement_distances` — one sampled
+        states block per call yields both the query-distance tensor and
+        the inter-object tensor ``od[w, a, o, t]``, so reverse estimation
+        never re-samples per object (and, inside a shared epoch, reads
+        the very worlds a forward refinement over the same objects would).
+        """
+        return self.engine.reverse_distance_tensors(
+            self.refine_ids,
+            self.request.query,
+            self.times,
+            n_samples=self.plan.n_samples if n_samples is None else n_samples,
+            normalized=True,
+            cache_k=self.request.k,
         )
 
 
@@ -125,9 +151,10 @@ class EstimateOutcome:
     """What an estimator hands back to the threshold stage.
 
     ``probabilities`` maps object id to the mode's primary value (P∀kNN
-    for ``forall``/``raw``, P∃kNN for ``exists``); ``exists_probabilities``
-    carries the second component of ``raw`` evaluations; ``entries`` the
-    mined sets of ``pcnn`` evaluations.  ``sampled_objects`` counts objects
+    for ``forall``/``raw``, P∃kNN for ``exists``, reverse-P∀kNN for
+    ``reverse_nn``); ``exists_probabilities`` carries the second component
+    of ``raw`` and ``reverse_nn`` evaluations; ``entries`` the mined sets
+    of ``pcnn`` evaluations.  ``sampled_objects`` counts objects
     that went through Monte-Carlo refinement — the quantity the hybrid
     estimator exists to reduce.
     """
@@ -169,6 +196,22 @@ class SampledEstimator(Estimator):
             return EstimateOutcome(entries=[] if ctx.request.mode == "pcnn" else None)
         n = ctx.plan.n_samples
         tagged = {oid: self.name for oid in ctx.refine_ids}
+        if ctx.request.mode == "reverse_nn":
+            dist, object_dist = ctx.reverse_distances(n)
+            indicator = reverse_knn_indicator(dist, object_dist, ctx.request.k)
+            forall = indicator.all(axis=2).mean(axis=0)
+            exists = indicator.any(axis=2).mean(axis=0)
+            return EstimateOutcome(
+                probabilities={
+                    oid: float(p) for oid, p in zip(ctx.refine_ids, forall)
+                },
+                exists_probabilities={
+                    oid: float(p) for oid, p in zip(ctx.refine_ids, exists)
+                },
+                n_samples_used=n,
+                sampled_objects=len(ctx.refine_ids),
+                estimator_by_object=tagged,
+            )
         if ctx.request.mode == "forall":
             return EstimateOutcome(
                 probabilities=_forall_refinement(ctx),
@@ -256,7 +299,12 @@ class ExactEstimator(Estimator):
                 sets_evaluated=sets_evaluated,
                 estimator_by_object={oid: self.name for oid in ctx.refine_ids},
             )
-        exact = exact_nn_probabilities(
+        oracle = (
+            exact_reverse_nn_probabilities
+            if ctx.request.mode == "reverse_nn"
+            else exact_nn_probabilities
+        )
+        exact = oracle(
             db,
             q,
             ctx.times,
@@ -264,11 +312,11 @@ class ExactEstimator(Estimator):
             max_worlds=ctx.request.max_worlds,
             max_paths=ctx.request.max_paths,
         )
-        component = 0 if ctx.request.mode in ("forall", "raw") else 1
+        component = 0 if ctx.request.mode in ("forall", "raw", "reverse_nn") else 1
         probs = {oid: exact[oid][component] for oid in ctx.refine_ids}
         exists_probs = (
             {oid: exact[oid][1] for oid in ctx.refine_ids}
-            if ctx.request.mode == "raw"
+            if ctx.request.mode in ("raw", "reverse_nn")
             else None
         )
         return EstimateOutcome(

@@ -60,6 +60,7 @@ from .results import (
     PCNNResult,
     QueryResult,
     RawProbabilities,
+    ReverseNNResult,
 )
 from .worlds import WorldCache
 
@@ -462,17 +463,31 @@ class QueryEngine:
     # filter step
     # ------------------------------------------------------------------
     def filter_objects(
-        self, q: Query, times: np.ndarray, k: int = 1, *, normalized: bool = False
+        self,
+        q: Query,
+        times: np.ndarray,
+        k: int = 1,
+        *,
+        normalized: bool = False,
+        reverse: bool = False,
     ) -> PruningResult:
         """Run the § 6 filter step (or the no-pruning fallback).
 
         ``normalized=True`` promises ``times`` is already the canonical
         sorted-unique array, skipping a redundant re-normalization on the
         internal query paths.
+
+        ``reverse=True`` (the ``"reverse_nn"`` mode) forces the overlap
+        fallback even on a pruning engine: the UST-tree's dmin/dmax
+        bounds rank objects *around the query*, but in the reverse
+        direction an object arbitrarily far from ``q`` can still have
+        ``q`` among its k nearest neighbors (it only needs to be isolated
+        from the other objects), so distance-to-``q`` pruning is unsound
+        — every object overlapping ``T`` is a reverse candidate.
         """
         if not normalized:
             times = normalize_times(times)
-        if self.use_pruning:
+        if self.use_pruning and not reverse:
             return self.ust_tree.prune(
                 q.coords_at(times),
                 times,
@@ -523,6 +538,7 @@ class QueryEngine:
         n_samples: int | None = None,
         *,
         normalized: bool = False,
+        cache_k: int = 1,
     ) -> np.ndarray:
         """Sample worlds and return ``dist[w, o, t]`` (inf where not alive).
 
@@ -538,6 +554,13 @@ class QueryEngine:
         single gather + einsum over the fused ``(n, O, T)`` block;
         ``fused=False`` keeps the classic per-object loop.  Both are
         bit-identical per seed.
+
+        ``cache_k`` partitions the refinement tensor *cache* by the
+        requesting query's kNN depth.  The tensor's values are
+        k-independent; the partition keeps each standing subscription's
+        dirty-column version accounting private to its own entry, so
+        same-query subscriptions at different depths never interleave
+        patch bookkeeping on one shared array.
         """
         if not normalized:
             times = normalize_times(times)
@@ -559,7 +582,9 @@ class QueryEngine:
             and len(set(object_ids)) == len(object_ids)
         )
         if cacheable and self.incremental:
-            return self._cached_distance_tensor(list(object_ids), q, times, n)
+            return self._cached_distance_tensor(
+                list(object_ids), q, times, n, cache_k
+            )
         if cacheable:
             # The wholesale oracle (``incremental=False``) recomputes every
             # column; counted identically so quiet-tick reuse accounting
@@ -583,7 +608,12 @@ class QueryEngine:
         return self._distance_tensor_loop(object_ids, q, times, n)
 
     def _cached_distance_tensor(
-        self, object_ids: list[str], q: Query, times: np.ndarray, n: int
+        self,
+        object_ids: list[str],
+        q: Query,
+        times: np.ndarray,
+        n: int,
+        cache_k: int = 1,
     ) -> np.ndarray:
         """Serve a shared-world refinement tensor, patching dirty columns.
 
@@ -596,6 +626,8 @@ class QueryEngine:
         """
         q_coords = q.coords_at(times)
         key = (
+            "dist",
+            cache_k,
             q_coords.tobytes(),
             times.tobytes(),
             tuple(object_ids),
@@ -742,6 +774,207 @@ class QueryEngine:
                 return norms.reshape(shape)
             dist[:, col_index, time_index] = norms
         return dist
+
+    # ------------------------------------------------------------------
+    # refinement: reverse direction (states, then pairwise distances)
+    # ------------------------------------------------------------------
+    def reverse_distance_tensors(
+        self,
+        object_ids: list[str],
+        q: Query,
+        times: np.ndarray,
+        n_samples: int | None = None,
+        *,
+        normalized: bool = False,
+        cache_k: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sampled tensors for reverse-kNN counting, from **one** draw.
+
+        Returns ``(dist, object_dist)``: the familiar query-distance tensor
+        ``dist[w, o, t]`` (bit-identical to :meth:`distance_tensor` over
+        the same worlds — inside a shared epoch the two are served from
+        the *same* cached world segments, so forward and reverse answers
+        of one batch are mutually consistent) and the inter-object tensor
+        ``object_dist[w, a, o, t] = d(a(t), o(t))`` with ``np.inf`` on the
+        diagonal and wherever either endpoint is dead.  Both derive from a
+        single sampled-states block per call — the reverse direction never
+        re-samples per object.
+
+        Memory is ``O(n · |O|² · |T|)`` for the inter-object tensor; the
+        reverse mode is built for candidate sets the filter stage keeps
+        small, not for the 10⁵-object fleet (which would go through a
+        chunked streaming variant).
+        """
+        if not normalized:
+            times = normalize_times(times)
+        self._sync_mutations()
+        n = self.n_samples if n_samples is None else int(n_samples)
+        share = self.reuse_worlds or self._batch_depth > 0
+        if not share:
+            # Same round discipline as distance_tensor: one round per
+            # direct call, so repeated reverse calls draw fresh worlds.
+            self._direct_round += 1
+        cacheable = (
+            self._batch_depth > 0
+            and self.refine_cache_size > 0
+            and len(set(object_ids)) == len(object_ids)
+        )
+        if cacheable and self.incremental:
+            states, alive = self._cached_states_block(
+                list(object_ids), times, n, cache_k
+            )
+        else:
+            if cacheable:
+                self.estimate_cache_misses += 1
+                self.estimate_columns_refreshed += len(object_ids)
+            states, alive = self._states_block(list(object_ids), times, n)
+        return self._reverse_from_states(states, alive, q.coords_at(times))
+
+    def _states_block(
+        self, object_ids: list[str], times: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sampled states for all objects: ``(states[w, o, t], alive[o, t])``.
+
+        ``states`` carries ``-1`` where an object is not alive.  Worlds
+        come from exactly the machinery of the distance-tensor paths (the
+        shared world cache inside batches, the fused arena or per-object
+        draws otherwise), so the same epoch yields the same worlds as a
+        forward refinement over the same objects.
+        """
+        alive = self.db.alive_matrix(object_ids, times)
+        states = np.full((n, len(object_ids), times.size), -1, dtype=np.intp)
+        live_cols = np.flatnonzero(alive.any(axis=1))
+        if live_cols.size == 0:
+            return states, alive
+        fused = (
+            self.fused
+            and self.backend == "compiled"
+            and len(set(object_ids)) == len(object_ids)
+        )
+        if not fused:
+            for col in live_cols:
+                obj = self.db.get(object_ids[col])
+                states[:, col, alive[col]] = self._sampled_states(
+                    obj, times[alive[col]], n
+                )
+            return states, alive
+        objects = [self.db.get(object_ids[c]) for c in live_cols]
+        alive_times = [times[alive[c]] for c in live_cols]
+        share = self.reuse_worlds or self._batch_depth > 0
+        if share:
+            items = []
+            for obj, at in zip(objects, alive_times):
+                t_lo, t_hi = self._cache_window(obj, at)
+                items.append(((obj.object_id, n, self.backend), t_lo, t_hi))
+            segments = self.worlds.states_for_many(
+                items,
+                stamp=(self._worlds_token, self._draw_epoch),
+                bulk_sampler=self._bulk_sampler(objects, n),
+            )
+            drawn = [seg.slice(at) for seg, at in zip(segments, alive_times)]
+        else:
+            arena = self._arena_for(objects)
+            requests = [
+                ArenaRequest(
+                    obj.object_id,
+                    int(at[0]),
+                    int(at[-1]),
+                    self._object_rng(obj.object_id, self._direct_round),
+                )
+                for obj, at in zip(objects, alive_times)
+            ]
+            paths = sample_paths_arena(arena, requests, n)
+            self._direct_draws += len(requests)
+            drawn = [p[:, at - at[0]] for p, at in zip(paths, alive_times)]
+        for col, block in zip(live_cols, drawn):
+            states[:, col, alive[col]] = block
+        return states, alive
+
+    def _cached_states_block(
+        self, object_ids: list[str], times: np.ndarray, n: int, cache_k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared-world states block with dirty-column patching.
+
+        The reverse-mode sibling of :meth:`_cached_distance_tensor`: the
+        cached array holds sampled *states* (query-independent, so every
+        reverse subscription over the same object set, window, depth and
+        world count shares one entry) and a mutation patches only the
+        dirty objects' columns — including their aliveness rows, which an
+        ingested observation can extend.
+        """
+        key = (
+            "states",
+            cache_k,
+            times.tobytes(),
+            tuple(object_ids),
+            n,
+            self.backend,
+            self.fused,
+        )
+        stamp = (self._worlds_token, self._draw_epoch)
+        entry = self._refine_cache.get(key)
+        if entry is not None and entry["stamp"] == stamp:
+            changed = self.db.changed_since(entry["version"])
+            if changed is not None:
+                self._refine_cache.move_to_end(key)
+                dirty_cols = [
+                    i for i, oid in enumerate(object_ids) if oid in changed
+                ]
+                if dirty_cols:
+                    sub_states, sub_alive = self._states_block(
+                        [object_ids[i] for i in dirty_cols], times, n
+                    )
+                    entry["states"][:, dirty_cols, :] = sub_states
+                    entry["alive"][dirty_cols] = sub_alive
+                entry["version"] = self.db.version
+                self.estimate_cache_hits += 1
+                self.estimate_columns_refreshed += len(dirty_cols)
+                self.estimate_columns_reused += len(object_ids) - len(dirty_cols)
+                return entry["states"], entry["alive"]
+        states, alive = self._states_block(object_ids, times, n)
+        self.estimate_cache_misses += 1
+        self.estimate_columns_refreshed += len(object_ids)
+        self._refine_cache[key] = {
+            "stamp": stamp,
+            "version": self.db.version,
+            "states": states,
+            "alive": alive,
+        }
+        self._refine_cache.move_to_end(key)
+        while len(self._refine_cache) > self.refine_cache_size:
+            self._refine_cache.popitem(last=False)
+        return states, alive
+
+    def _reverse_from_states(
+        self, states: np.ndarray, alive: np.ndarray, q_coords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Derive ``(dist, object_dist)`` from one sampled-states block.
+
+        The query-distance component applies exactly the per-object path's
+        subtract/square/sum/sqrt, so values at alive positions are
+        bit-identical to :meth:`distance_tensor` over the same worlds.
+        The inter-object component is computed in world chunks to bound
+        the ``(chunk, O, O, T, d)`` broadcast intermediate.
+        """
+        n, n_objects, n_times = states.shape
+        space = self.db.space
+        coords = space.coords_of(np.where(states >= 0, states, 0))
+        dist = np.sqrt(
+            np.sum((coords - q_coords[None, None, :, :]) ** 2, axis=-1)
+        )
+        dead = ~alive
+        dist[:, dead] = np.inf
+        object_dist = np.empty((n, n_objects, n_objects, n_times))
+        step = max(1, int(4_000_000 // max(1, n_objects * n_objects * n_times)))
+        for start in range(0, n, step):
+            blk = coords[start : start + step]
+            diff = blk[:, :, None, :, :] - blk[:, None, :, :, :]
+            object_dist[start : start + step] = np.sqrt(
+                np.sum(diff * diff, axis=-1)
+            )
+        object_dist[:, dead[:, None, :] | dead[None, :, :]] = np.inf
+        object_dist[:, np.arange(n_objects), np.arange(n_objects), :] = np.inf
+        return dist, object_dist
 
     #: Below this many outstanding draws a bulk lookup skips the fused
     #: arena pass: a per-object compiled draw is bit-identical and avoids
@@ -893,7 +1126,11 @@ class QueryEngine:
         plan = build_plan(request, self.n_samples)
         times = np.asarray(plan.times, dtype=np.intp)
         pruning = self.filter_objects(
-            request.query, times, k=request.k, normalized=True
+            request.query,
+            times,
+            k=request.k,
+            normalized=True,
+            reverse=request.mode == "reverse_nn",
         )
         report = EvaluationReport(
             **self._report_base(plan, pruning),
@@ -912,7 +1149,7 @@ class QueryEngine:
 
     def evaluate(
         self, request: QueryRequest | tuple
-    ) -> QueryResult | PCNNResult | RawProbabilities:
+    ) -> QueryResult | PCNNResult | RawProbabilities | ReverseNNResult:
         """Run one request through the full staged pipeline.
 
         Stages: **plan** (estimator + world-budget resolution) →
@@ -935,10 +1172,27 @@ class QueryEngine:
         self._begin_query()
         t1 = perf_counter()
         pruning = self.filter_objects(
-            request.query, times, k=request.k, normalized=True
+            request.query,
+            times,
+            k=request.k,
+            normalized=True,
+            reverse=request.mode == "reverse_nn",
         )
+        # The kNN depth must fit the competitor pool the filter produced:
+        # with fewer than k influence objects every alive object would
+        # trivially qualify (np.partition's degenerate branch), which is
+        # never what a caller asking for depth k meant.  An *empty* pool
+        # stays legal — it yields the classic empty result for any k.
+        if pruning.influencers and request.k > len(pruning.influencers):
+            raise ValueError(
+                f"k={request.k} exceeds the filter stage's competitor pool "
+                f"({len(pruning.influencers)} influence object(s) over "
+                f"T={list(map(int, times))}); a kNN depth cannot exceed the "
+                "number of objects that could rank"
+            )
         # For ∃/PCNN/raw semantics every influence object is a potential
-        # result (Section 6, "Pruning for the P∃NNQ query").
+        # result (Section 6, "Pruning for the P∃NNQ query"); the reverse
+        # direction likewise reports over the full overlap set.
         result_ids = (
             pruning.candidates if request.mode == "forall" else pruning.influencers
         )
@@ -981,7 +1235,7 @@ class QueryEngine:
         outcome: EstimateOutcome,
         times: np.ndarray,
         result_ids: list[str],
-    ) -> QueryResult | PCNNResult | RawProbabilities:
+    ) -> QueryResult | PCNNResult | RawProbabilities | ReverseNNResult:
         """Threshold stage: τ-filter the estimates into the result object."""
         if request.mode == "pcnn":
             # The classic engine reports the engine-wide sample count even
@@ -996,6 +1250,28 @@ class QueryEngine:
             if request.maximal_only:
                 result.entries = result.maximal_entries()
             return result
+        if request.mode == "reverse_nn":
+            estimates = {
+                oid: outcome.probabilities[oid]
+                for oid in result_ids
+                if oid in outcome.probabilities
+            }
+            results = [
+                ObjectProbability(oid, p)
+                for oid, p in estimates.items()
+                if p >= request.tau
+            ]
+            results.sort(key=lambda r: (-r.probability, r.object_id))
+            return ReverseNNResult(
+                results=results,
+                probabilities=estimates,
+                exists=dict(outcome.exists_probabilities or {}),
+                candidates=pruning.candidates,
+                influencers=pruning.influencers,
+                n_samples=outcome.n_samples_used,
+                k=request.k,
+                times=times,
+            )
         if request.mode == "raw":
             return RawProbabilities(
                 forall=dict(outcome.probabilities),
@@ -1033,6 +1309,7 @@ class QueryEngine:
             "estimator": plan.estimator,
             "resolved_estimator": plan.resolved_estimator,
             "mode": plan.mode,
+            "k": plan.k,
             "delta": plan.delta,
             "n_candidates": len(pruning.candidates),
             "n_influencers": len(pruning.influencers),
@@ -1123,6 +1400,19 @@ class QueryEngine:
             )
         )
 
+    def reverse_nn(
+        self, q: Query, times, tau: float = 0.0, k: int = 1
+    ) -> ReverseNNResult:
+        """Reverse probabilistic kNN: which objects have ``q`` in their kNN set.
+
+        Per object ``o``, the probability that the *query* is among ``o``'s
+        ``k`` nearest neighbors — at every time of ``T`` for the primary
+        (τ-thresholded) value, at some time for the companion ``exists``
+        estimates, both counted from the same worlds.  Shim over
+        :meth:`evaluate` (``mode="reverse_nn"``, sampled estimator).
+        """
+        return self.evaluate(QueryRequest(q, times, "reverse_nn", tau, k))
+
     def nn_probabilities(
         self, q: Query, times, k: int = 1, n_samples: int | None = None
     ) -> dict[str, tuple[float, float]]:
@@ -1147,7 +1437,7 @@ class QueryEngine:
         *,
         refresh_worlds: bool | None = None,
         window: tuple[int, int] | None = None,
-    ) -> list[QueryResult | PCNNResult | RawProbabilities]:
+    ) -> list[QueryResult | PCNNResult | RawProbabilities | ReverseNNResult]:
         """Evaluate many requests against one shared set of sampled worlds.
 
         All requests run in a single draw epoch: every influence object is
@@ -1199,9 +1489,10 @@ class QueryEngine:
         -------
         list
             One :class:`QueryResult` (``forall``/``exists``),
-            :class:`PCNNResult` (``pcnn``) or
-            :class:`~repro.core.results.RawProbabilities` (``raw``) per
-            request, in order.
+            :class:`PCNNResult` (``pcnn``),
+            :class:`~repro.core.results.RawProbabilities` (``raw``) or
+            :class:`~repro.core.results.ReverseNNResult` (``reverse_nn``)
+            per request, in order.
         """
         reqs = [self._coerce_request(r) for r in requests]
         if not reqs:
@@ -1241,7 +1532,7 @@ class QueryEngine:
         *,
         refresh_worlds: bool | None = None,
         window: tuple[int, int] | None = None,
-    ) -> list[QueryResult | PCNNResult | RawProbabilities]:
+    ) -> list[QueryResult | PCNNResult | RawProbabilities | ReverseNNResult]:
         """Alias of :meth:`evaluate_many` (the pre-pipeline batch API)."""
         return self.evaluate_many(
             requests, refresh_worlds=refresh_worlds, window=window

@@ -29,6 +29,7 @@ __all__ = [
     "PossibleTrajectory",
     "enumerate_consistent_trajectories",
     "exact_nn_probabilities",
+    "exact_reverse_nn_probabilities",
     "exact_forall_nn_over_times",
     "domination_probability",
 ]
@@ -169,6 +170,92 @@ def exact_nn_probabilities(
             if is_nn[row].all():
                 p_forall[oid] += w_prob
             if is_nn[row].any():
+                p_exists[oid] += w_prob
+    return {oid: (p_forall[oid], p_exists[oid]) for oid in ids}
+
+
+def exact_reverse_nn_probabilities(
+    db: TrajectoryDatabase,
+    q: Query,
+    times,
+    k: int = 1,
+    max_worlds: int = 1_000_000,
+    max_paths: int = 100_000,
+) -> dict[str, tuple[float, float]]:
+    """Exact reverse-PkNN ``(P∀, P∃)`` per object by world enumeration.
+
+    The reverse direction of :func:`exact_nn_probabilities`: per object
+    ``o``, the probability that the *query* is among ``o``'s ``k`` nearest
+    neighbors — competitors being the other alive objects, a competitor
+    counting only when *strictly* closer to ``o`` than the query (mirror of
+    the forward closer-count rule).  ``P∀`` requires membership at every
+    query time (an object dead at some ``t ∈ T`` cannot qualify, exactly as
+    in the forward direction), ``P∃`` at some time; same independence
+    assumption, same budgets.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    times = normalize_times(times)
+    objects = db.objects_overlapping(times)
+    ids = [o.object_id for o in objects]
+    traj_sets = _trajectory_sets(db, ids, max_paths)
+
+    n_worlds = 1
+    for oid in ids:
+        n_worlds *= len(traj_sets[oid])
+        if n_worlds > max_worlds:
+            raise WorldBudgetExceeded(
+                f"database induces more than {max_worlds} possible worlds"
+            )
+
+    q_coords = q.coords_at(times)
+    dim = q_coords.shape[1]
+    # Per object: alive mask over T, and per possible trajectory its
+    # coordinates at the query times (NaN while not alive — masked out below).
+    alive_masks: dict[str, np.ndarray] = {}
+    coords_sets: dict[str, list[np.ndarray]] = {}
+    for oid in ids:
+        obj = db.get(oid)
+        alive = obj.alive_during(times)
+        alive_masks[oid] = alive
+        rows = []
+        for ptraj in traj_sets[oid]:
+            row = np.full((times.size, dim), np.nan)
+            if alive.any():
+                alive_times = times[alive]
+                states = np.asarray(ptraj.states, dtype=np.intp)[
+                    alive_times - obj.t_first
+                ]
+                row[alive] = db.space.coords_of(states)
+            rows.append(row)
+        coords_sets[oid] = rows
+
+    alive_m = np.stack([alive_masks[oid] for oid in ids])  # (O, T)
+    p_forall = {oid: 0.0 for oid in ids}
+    p_exists = {oid: 0.0 for oid in ids}
+    choices = [range(len(traj_sets[oid])) for oid in ids]
+    n_objects = len(ids)
+    for combo in product(*choices):
+        w_prob = 1.0
+        for oid, idx in zip(ids, combo):
+            w_prob *= traj_sets[oid][idx].probability
+        pos = np.stack(
+            [coords_sets[oid][idx] for oid, idx in zip(ids, combo)]
+        )  # (O, T, d)
+        with np.errstate(invalid="ignore"):
+            qd = np.sqrt(np.sum((pos - q_coords[None]) ** 2, axis=-1))
+            od = np.sqrt(
+                np.sum((pos[:, None] - pos[None, :]) ** 2, axis=-1)
+            )  # od[a, o, t] = d(a(t), o(t))
+        qd[~alive_m] = np.inf
+        od[~alive_m[:, None, :] | ~alive_m[None, :, :]] = np.inf
+        od[np.arange(n_objects), np.arange(n_objects), :] = np.inf
+        closer = np.sum(od < qd[None, :, :], axis=0)  # (O, T)
+        is_rev = (closer < k) & alive_m
+        for row, oid in enumerate(ids):
+            if is_rev[row].all():
+                p_forall[oid] += w_prob
+            if is_rev[row].any():
                 p_exists[oid] += w_prob
     return {oid: (p_forall[oid], p_exists[oid]) for oid in ids}
 

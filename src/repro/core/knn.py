@@ -12,7 +12,14 @@ import numpy as np
 
 from ..trajectory.nn import knn_indicator
 
-__all__ = ["rank_tensor", "kth_nn_distance", "knn_membership_prob", "expected_rank"]
+__all__ = [
+    "rank_tensor",
+    "kth_nn_distance",
+    "knn_membership_prob",
+    "expected_rank",
+    "kth_nn_prob",
+    "thresholded_knn_members",
+]
 
 
 def rank_tensor(dist: np.ndarray) -> np.ndarray:
@@ -52,3 +59,35 @@ def knn_membership_prob(dist: np.ndarray, k: int) -> np.ndarray:
 def expected_rank(dist: np.ndarray) -> np.ndarray:
     """``(objects, times)`` expected rank over worlds (absent = worst rank)."""
     return rank_tensor(dist).mean(axis=0)
+
+
+def kth_nn_prob(dist: np.ndarray, k: int) -> np.ndarray:
+    """``(objects, times)`` probability of being *exactly* the k-th nearest.
+
+    "Exactly k-th" means in the kNN set but not in the (k-1)NN set, so for
+    ``k = 1`` this is plain NN membership.  Computed as the difference of
+    two partition-ranked indicators over the same worlds, which keeps the
+    telescoping identity ``sum_j kth_nn_prob(d, j) = knn_membership_prob``
+    exact (both sides count the same boolean tensors).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    member_k = knn_indicator(dist, k)
+    if k == 1:
+        return member_k.mean(axis=0)
+    return (member_k & ~knn_indicator(dist, k - 1)).mean(axis=0)
+
+
+def thresholded_knn_members(dist: np.ndarray, k: int, tau: float) -> np.ndarray:
+    """Object indices whose per-time kNN-membership never drops below ``tau``.
+
+    The τ-thresholded access path of the moving-kNN literature (Hashem et
+    al.): report the objects that are among the ``k`` nearest with
+    probability ``>= tau`` at *every* time of the tensor.  ``tau = 0``
+    degenerates to "alive somewhere with nonzero membership", matching the
+    engine's influence notion.
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+    prob = knn_membership_prob(dist, k)
+    return np.flatnonzero((prob >= tau).all(axis=1) & (prob.sum(axis=1) > 0.0))

@@ -31,6 +31,11 @@ from .results import EvaluationReport
 __all__ = ["QueryPlan", "Explanation", "build_plan"]
 
 #: Semantics the Lemma 2 domination bounds can decide: P∀NN with k=1.
+#: Everything else — ``exists``/``pcnn``/``raw``, any ``k > 1``, and the
+#: ``reverse_nn`` direction (domination orders objects *around the
+#: query*, which says nothing about the query's rank among an object's
+#: own neighbors) — is out of scope: ``bounds`` refuses it at plan time,
+#: ``hybrid`` falls back to pure sampling with a provenance note.
 _BOUNDABLE = ("forall",)
 
 

@@ -25,10 +25,12 @@ __all__ = [
     "union_window",
 ]
 
-#: Query semantics the engine evaluates: P∀kNNQ, P∃kNNQ, PCkNNQ, and the
+#: Query semantics the engine evaluates: P∀kNNQ, P∃kNNQ, PCkNNQ, the
 #: threshold-free ``"raw"`` form returning per-object (P∀kNN, P∃kNN) pairs
-#: (the calibration access path of ``nn_probabilities``).
-QUERY_MODES = ("forall", "exists", "pcnn", "raw")
+#: (the calibration access path of ``nn_probabilities``), and the reverse
+#: direction ``"reverse_nn"`` — which objects have *the query* among their
+#: k likely nearest neighbors (RkNN over possible worlds).
+QUERY_MODES = ("forall", "exists", "pcnn", "raw", "reverse_nn")
 
 #: Estimation strategies the planner accepts (the strategy classes live in
 #: :mod:`repro.core.estimators`; ``tests`` assert the registry matches).
@@ -127,9 +129,19 @@ class QueryRequest:
 
     ``mode`` selects the semantics: ``"forall"`` (P∀kNNQ), ``"exists"``
     (P∃kNNQ), ``"pcnn"`` (PCkNNQ — where ``tau`` is required to be
-    meaningful, exactly as in :meth:`QueryEngine.continuous_nn`) or
+    meaningful, exactly as in :meth:`QueryEngine.continuous_nn`),
     ``"raw"`` (threshold-free per-object (P∀kNN, P∃kNN) estimates, the
-    :meth:`QueryEngine.nn_probabilities` access path).
+    :meth:`QueryEngine.nn_probabilities` access path) or ``"reverse_nn"``
+    (reverse probabilistic kNN: per object, the probability that the
+    *query* is among the object's ``k`` nearest neighbors — at every time
+    of ``T`` for the primary value, at some time for the secondary).
+
+    ``k`` is the kNN depth shared by every mode (forward modes ask for
+    membership in the query's k-nearest set, reverse mode for the query's
+    membership in each object's k-nearest set).  It must be an integral
+    value ``>= 1``; whether it also fits the evaluated database — ``k``
+    may not exceed the filter stage's competitor pool — is checked by
+    :meth:`QueryEngine.evaluate`, which knows the candidate counts.
 
     ``estimator`` picks the estimation strategy of the refinement stage
     (see :mod:`repro.core.estimators`); ``precision=(epsilon, delta)``
@@ -161,8 +173,21 @@ class QueryRequest:
             raise ValueError(f"unknown query mode {self.mode!r}")
         if not 0.0 <= self.tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
+        # Mirror the empty-times check below: reject nonsense up front with
+        # a descriptive message instead of letting it reach the kernels
+        # (bools are ints but k=True is a bug, and a fractional k would
+        # silently truncate in np.partition-based ranking).
+        if isinstance(self.k, bool) or not isinstance(self.k, (int, np.integer)):
+            raise ValueError(
+                f"k must be an integer >= 1, got {self.k!r} "
+                f"(type {type(self.k).__name__})"
+            )
         if self.k < 1:
-            raise ValueError("k must be >= 1")
+            raise ValueError(
+                f"k must be >= 1, got {self.k} (the kNN depth counts "
+                "nearest neighbors; there is no 0-th nearest neighbor)"
+            )
+        object.__setattr__(self, "k", int(self.k))
         times = tuple(int(t) for t in self.times)
         if not times:
             raise ValueError("query time set T must be non-empty")

@@ -13,6 +13,7 @@ __all__ = [
     "QueryResult",
     "PCNNResult",
     "RawProbabilities",
+    "ReverseNNResult",
 ]
 
 
@@ -50,6 +51,8 @@ class EvaluationReport:
     n_candidates: int
     n_influencers: int
     examined_entries: int
+    # kNN depth of the request (defaulted so hand-built reports stay valid).
+    k: int = 1
     # Execution-only fields default to skeleton values so explain() only
     # fills in what planning and filtering actually determine.
     stage_seconds: dict[str, float] = field(
@@ -78,6 +81,7 @@ class EvaluationReport:
             "estimator": self.estimator,
             "resolved_estimator": self.resolved_estimator,
             "mode": self.mode,
+            "k": self.k,
             "n_samples": self.n_samples,
             "epsilon": self.epsilon,
             "delta": self.delta,
@@ -216,6 +220,53 @@ class PCNNResult:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+@dataclass
+class ReverseNNResult:
+    """Outcome of a ``mode="reverse_nn"`` evaluation (reverse P-kNN).
+
+    The transposed question: per object ``o``, the probability that the
+    *query* is among ``o``'s ``k`` nearest neighbors.  ``results`` holds
+    the objects whose ``P∀`` value (query in their kNN set at *every* time
+    of ``T``) passes τ, sorted by descending probability; ``probabilities``
+    keeps every refined object's ``P∀`` estimate and ``exists`` the
+    companion ``P∃`` values (query in the kNN set at *some* time) from the
+    same worlds.
+    """
+
+    results: list[ObjectProbability]
+    probabilities: dict[str, float]
+    exists: dict[str, float]
+    candidates: list[str]
+    influencers: list[str]
+    n_samples: int
+    k: int = 1
+    times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    #: Pipeline observability record (None for hand-built results).
+    report: EvaluationReport | None = None
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def n_influencers(self) -> int:
+        return len(self.influencers)
+
+    def probability_of(self, object_id: str) -> float:
+        """Estimated ``P∀`` for a refined object (0.0 if pruned)."""
+        return self.probabilities.get(str(object_id), 0.0)
+
+    def as_dict(self) -> dict[str, tuple[float, float]]:
+        """``oid -> (P∀, P∃)``, mirroring :meth:`RawProbabilities.as_dict`."""
+        return {
+            oid: (self.probabilities[oid], self.exists[oid])
+            for oid in self.probabilities
+        }
+
+    def object_ids(self) -> list[str]:
+        return [r.object_id for r in self.results]
 
 
 @dataclass

@@ -41,7 +41,12 @@ from typing import Callable, Iterable, Sequence
 
 from ..core.evaluator import QueryEngine
 from ..core.queries import QueryRequest
-from ..core.results import PCNNResult, QueryResult, RawProbabilities
+from ..core.results import (
+    PCNNResult,
+    QueryResult,
+    RawProbabilities,
+    ReverseNNResult,
+)
 from .ingest import IngestResult, ObservationStream, StreamEvent
 from .scheduler import SlidingWindow, Subscription, SubscriptionScheduler
 
@@ -69,6 +74,14 @@ def _result_payload(result) -> tuple:
             "raw",
             tuple(sorted(result.forall.items())),
             tuple(sorted(result.exists.items())),
+        )
+    if isinstance(result, ReverseNNResult):
+        return (
+            "reverse",
+            tuple(sorted(result.probabilities.items())),
+            tuple(sorted(result.exists.items())),
+            tuple(result.candidates),
+            tuple(result.influencers),
         )
     raise TypeError(f"unknown result type {type(result).__name__}")
 
@@ -238,6 +251,16 @@ class ContinuousMonitor:
         the stream clock each tick; otherwise its fixed times stand.
         ``callback`` (if given) receives this subscription's
         :class:`Notification` every tick.
+
+        Subscriptions may carry any query class the engine evaluates —
+        ``k > 1`` depths and the ``"reverse_nn"`` mode included.  Reverse
+        subscriptions skip UST pruning (their influence set is every
+        object overlapping the window), which keeps the scheduler's
+        dirty-influencer rule sound: any mutated overlapping object is in
+        the last influence set, so the subscription re-evaluates.  Note
+        the engine's k-vs-pool check applies per tick: a stream that
+        removes objects until fewer than ``k`` influencers remain makes
+        the subscription's evaluation raise rather than silently degrade.
         """
         request = QueryEngine._coerce_request(request)
         if name is None:

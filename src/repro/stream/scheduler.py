@@ -18,9 +18,13 @@ ContinuousMonitor` composes:
   (:meth:`QueryEngine.explain`, which samples nothing).
 
 The skip rule is *provable*, not heuristic, on the monitor's engine
-discipline (held draw epoch + selective invalidation): a P∀/P∃/PCNN
-result is a function of the query, its time set, the filter stage's
-candidate/influence sets and the influence objects' sampled worlds.  If
+discipline (held draw epoch + selective invalidation): a
+P∀/P∃/PCNN/reverse result — at any kNN depth ``k`` — is a function of
+the query, its time set, the filter stage's candidate/influence sets
+and the influence objects' sampled worlds.  Reverse subscriptions stay
+covered because their influence set is *every* object overlapping the
+window (the engine disables distance-to-query pruning for them), so a
+dirty overlapping object always trips the dirty-influencer rule.  If
 the window did not move, no influence object is dirty and the filter
 sets are unchanged, then every input is bit-identical to the previous
 tick — so the cached result *is* the result, and the scheduler skips the

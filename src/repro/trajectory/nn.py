@@ -26,6 +26,9 @@ __all__ = [
     "forall_knn_prob",
     "exists_knn_prob",
     "forall_prob_over_times",
+    "reverse_knn_indicator",
+    "reverse_forall_knn_prob",
+    "reverse_exists_knn_prob",
 ]
 
 _TIE_RTOL = 1e-12
@@ -96,6 +99,56 @@ def forall_knn_prob(dist: np.ndarray, k: int) -> np.ndarray:
 def exists_knn_prob(dist: np.ndarray, k: int) -> np.ndarray:
     """``P∃kNN`` estimates (Section 8)."""
     return knn_indicator(dist, k).any(axis=2).mean(axis=0)
+
+
+def reverse_knn_indicator(
+    dist: np.ndarray, object_dist: np.ndarray, k: int
+) -> np.ndarray:
+    """Boolean tensor: is the *query* among object ``o``'s k nearest at ``(w, t)``?
+
+    The reverse direction of :func:`knn_indicator`: instead of ranking the
+    objects around the query, each object ranks the query against its
+    *other-object* competitors.  ``dist[w, o, t]`` is the query distance as
+    everywhere else; ``object_dist[w, a, o, t]`` is the inter-object
+    distance ``d(a(t), o(t))`` with ``np.inf`` on the diagonal and wherever
+    either endpoint is dead.  The query is in ``o``'s kNN set iff fewer
+    than ``k`` alive competitors are *strictly* closer to ``o`` than the
+    query is — the mirror of the forward rule, so a certain database with
+    ``k=1`` makes this exactly the membership test "``q`` is ``o``'s NN".
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dist = _validate(dist)
+    object_dist = np.asarray(object_dist, dtype=float)
+    if object_dist.ndim != 4 or object_dist.shape != (
+        dist.shape[0],
+        dist.shape[1],
+        dist.shape[1],
+        dist.shape[2],
+    ):
+        raise ValueError(
+            "object distance tensor must be (worlds, objects, objects, times) "
+            f"matching dist {dist.shape}, got {object_dist.shape}"
+        )
+    # closer[w, o, t] = #{a alive : d(a, o) < d(q, o)}; dead competitors and
+    # the diagonal carry inf so they never count.
+    with np.errstate(invalid="ignore"):
+        closer = (object_dist < dist[:, None, :, :]).sum(axis=1)
+    return (closer < k) & np.isfinite(dist)
+
+
+def reverse_forall_knn_prob(
+    dist: np.ndarray, object_dist: np.ndarray, k: int
+) -> np.ndarray:
+    """``P(∀t ∈ T: q ∈ kNN(o, t))`` estimates per object (reverse P∀kNN)."""
+    return reverse_knn_indicator(dist, object_dist, k).all(axis=2).mean(axis=0)
+
+
+def reverse_exists_knn_prob(
+    dist: np.ndarray, object_dist: np.ndarray, k: int
+) -> np.ndarray:
+    """``P(∃t ∈ T: q ∈ kNN(o, t))`` estimates per object (reverse P∃kNN)."""
+    return reverse_knn_indicator(dist, object_dist, k).any(axis=2).mean(axis=0)
 
 
 def forall_prob_over_times(indicator: np.ndarray, time_columns: np.ndarray) -> float:

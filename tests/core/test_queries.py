@@ -119,3 +119,40 @@ class TestQueryRequestValidation:
     def test_union_window_empty_batch_rejected(self):
         with pytest.raises(ValueError, match="no query times"):
             union_window([])
+
+
+class TestKDepthValidation:
+    """The kNN depth is validated at construction, mirroring the
+    empty-times check: fail fast, with a message naming the bad value."""
+
+    @pytest.fixture
+    def q(self):
+        return Query.from_point([0.0, 0.0])
+
+    def test_default_k_is_one(self, q):
+        assert QueryRequest(q, (1,)).k == 1
+
+    @pytest.mark.parametrize("k", [0, -1, -17])
+    def test_nonpositive_k_rejected(self, q, k):
+        with pytest.raises(ValueError, match=rf"k must be >= 1, got {k}"):
+            QueryRequest(q, (1,), k=k)
+
+    @pytest.mark.parametrize("k", [1.5, 2.0, "2", None])
+    def test_non_integer_k_rejected(self, q, k):
+        with pytest.raises(ValueError, match="k must be an integer"):
+            QueryRequest(q, (1,), k=k)
+
+    def test_bool_k_rejected(self, q):
+        # bool is an int subclass; silently reading True as k=1 would
+        # mask a caller bug, so it is rejected explicitly.
+        with pytest.raises(ValueError, match="k must be an integer"):
+            QueryRequest(q, (1,), k=True)
+
+    def test_numpy_integer_k_coerced(self, q):
+        req = QueryRequest(q, (1,), k=np.int64(2))
+        assert req.k == 2 and isinstance(req.k, int)
+
+    def test_k_accepted_for_every_mode(self, q):
+        for mode in ("forall", "exists", "pcnn", "raw", "reverse_nn"):
+            tau = 0.1 if mode == "pcnn" else 0.0
+            assert QueryRequest(q, (1,), mode, tau, k=3).k == 3

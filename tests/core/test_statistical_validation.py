@@ -22,7 +22,11 @@ import pytest
 
 from repro.analysis.hoeffding import confidence_radius
 from repro.core.evaluator import QueryEngine
-from repro.core.exact import exact_forall_nn_over_times, exact_nn_probabilities
+from repro.core.exact import (
+    exact_forall_nn_over_times,
+    exact_nn_probabilities,
+    exact_reverse_nn_probabilities,
+)
 from repro.core.queries import Query, QueryRequest
 from repro.trajectory.database import TrajectoryDatabase
 from tests.conftest import (
@@ -165,3 +169,61 @@ class TestPCNNAgainstExactOracle:
                         f"PCNN({oid}, {subset}) with exact P={p_exact} "
                         f"missing from mined sets"
                     )
+
+
+@pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+class TestKnnDepthAgainstExactOracle:
+    """k=2 forward estimates stay within the Hoeffding radius of the
+    enumeration oracle — the depth generalization inherits the classic
+    pipeline's statistical contract unchanged."""
+
+    def test_k2_raw_probabilities_within_hoeffding_radius(
+        self, topology, backend, window_restrict
+    ):
+        build_db, build_q, times = TOPOLOGIES[topology]
+        db, q = build_db(), build_q()
+        exact = exact_nn_probabilities(db, q, times, k=2)
+        raw = _engine(db, backend, window_restrict, seed=404).evaluate(
+            QueryRequest(q, times, "raw", k=2)
+        )
+        assert set(raw.forall) == set(exact)
+        for oid, (p_forall, p_exists) in exact.items():
+            assert abs(raw.forall[oid] - p_forall) <= EPS, (
+                f"P∀2NN({oid}) drifted: sampled {raw.forall[oid]}, "
+                f"exact {p_forall}"
+            )
+            assert abs(raw.exists[oid] - p_exists) <= EPS, (
+                f"P∃2NN({oid}) drifted: sampled {raw.exists[oid]}, "
+                f"exact {p_exists}"
+            )
+
+
+@pytest.mark.parametrize("window_restrict", WINDOW_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+class TestReverseNNAgainstExactOracle:
+    """Reverse-PNN estimates (one arena pass, transposed indicator) stay
+    within the Hoeffding radius of the reverse enumeration oracle."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_reverse_probabilities_within_hoeffding_radius(
+        self, topology, backend, window_restrict, k
+    ):
+        build_db, build_q, times = TOPOLOGIES[topology]
+        db, q = build_db(), build_q()
+        exact = exact_reverse_nn_probabilities(db, q, np.asarray(times), k=k)
+        res = _engine(db, backend, window_restrict, seed=505).evaluate(
+            QueryRequest(q, times, "reverse_nn", k=k)
+        )
+        assert set(res.probabilities) == set(exact)
+        for oid, (p_forall, p_exists) in exact.items():
+            assert abs(res.probabilities[oid] - p_forall) <= EPS, (
+                f"reverse P∀{k}NN({oid}) drifted: "
+                f"sampled {res.probabilities[oid]}, exact {p_forall}"
+            )
+            assert abs(res.exists[oid] - p_exists) <= EPS, (
+                f"reverse P∃{k}NN({oid}) drifted: "
+                f"sampled {res.exists[oid]}, exact {p_exists}"
+            )

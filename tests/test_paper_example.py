@@ -158,3 +158,66 @@ class TestGoldenFile:
         eps = confidence_radius(golden["n_samples"], 1e-7)
         assert golden["forall"]["o1"] == pytest.approx(0.75, abs=eps)
         assert golden["exists"]["o2"] == pytest.approx(0.25, abs=eps)
+
+
+GOLDEN_K2_PATH = Path(__file__).parent / "data" / "paper_example_k2_golden.json"
+
+
+def _golden_k2_payload(example_db, query):
+    """Seeded k=2 results for the running example, one epoch.
+
+    With two objects, k=2 makes every alive object a 2NN member, so the
+    forward probabilities are degenerate aliveness checks — the reverse
+    direction (k=1) is the discriminating part of this golden.
+    """
+    engine = QueryEngine(example_db, n_samples=GOLDEN_SAMPLES, seed=GOLDEN_SEED)
+    out = engine.batch_query(
+        [
+            QueryRequest(query, (1, 2, 3), "raw", k=2),
+            QueryRequest(query, (1, 2, 3), "reverse_nn", k=1),
+        ]
+    )
+    return {
+        "seed": GOLDEN_SEED,
+        "n_samples": GOLDEN_SAMPLES,
+        "k": 2,
+        "forall": out[0].forall,
+        "exists": out[0].exists,
+        "reverse_forall": out[1].probabilities,
+        "reverse_exists": out[1].exists,
+    }
+
+
+class TestGoldenFileK2:
+    """Frozen seeded k=2 + reverse results for the running example — the
+    depth/reverse analogue of :class:`TestGoldenFile`, same regeneration
+    workflow (``pytest --regen-golden``), same exact-equality contract."""
+
+    def test_seeded_k2_results_match_golden(self, example_db, query, request):
+        payload = _golden_k2_payload(example_db, query)
+        if request.config.getoption("--regen-golden"):
+            GOLDEN_K2_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_K2_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            pytest.skip(f"regenerated {GOLDEN_K2_PATH.name}")
+        assert GOLDEN_K2_PATH.exists(), (
+            "golden file missing — run `pytest --regen-golden` once"
+        )
+        golden = json.loads(GOLDEN_K2_PATH.read_text())
+        assert payload == golden
+
+    def test_k2_golden_matches_exact_oracle_within_hoeffding(self, example_db, query):
+        from repro.analysis.hoeffding import confidence_radius
+        from repro.core.exact import exact_reverse_nn_probabilities
+
+        golden = json.loads(GOLDEN_K2_PATH.read_text())
+        eps = confidence_radius(golden["n_samples"], 1e-7)
+        exact = exact_nn_probabilities(example_db, query, (1, 2, 3), k=2)
+        for oid, (p_forall, p_exists) in exact.items():
+            assert golden["forall"][oid] == pytest.approx(p_forall, abs=eps)
+            assert golden["exists"][oid] == pytest.approx(p_exists, abs=eps)
+        reverse = exact_reverse_nn_probabilities(example_db, query, (1, 2, 3), k=1)
+        for oid, (p_forall, p_exists) in reverse.items():
+            assert golden["reverse_forall"][oid] == pytest.approx(p_forall, abs=eps)
+            assert golden["reverse_exists"][oid] == pytest.approx(p_exists, abs=eps)
