@@ -831,3 +831,110 @@ def test_bench_full_forall_query(benchmark, workload):
     q = Query.from_state(workload.db.space, workload.sample_query_state())
     times = workload.sample_query_times(8)
     benchmark(lambda: engine.forall_nn(q, times))
+
+
+# ---------------------------------------------------------------------------
+# serving-layer scaling kernel
+# ---------------------------------------------------------------------------
+
+def _serve_scale():
+    """Load-kernel scale: ``smoke`` by default, ``SERVE_SCALE=paper`` grows
+    toward the serving acceptance scenario (10k subscriptions over 100k
+    objects — run it on real hardware, not a CI runner)."""
+    if os.environ.get("SERVE_SCALE") == "paper":
+        return {
+            "name": "paper",
+            "n_objects": 100_000,
+            "n_subscriptions": 10_000,
+            "n_samples": 64,
+            "warm": 2,
+            "measured": 4,
+        }
+    return {
+        "name": "smoke",
+        "n_objects": 150,
+        "n_subscriptions": 60,
+        "n_samples": 128,
+        "warm": 3,
+        "measured": 6,
+    }
+
+
+def _serve_setup(n_workers, scale):
+    """A warmed process-mode coordinator + its refinement feed."""
+    from repro.serve import ServeCoordinator
+
+    db, refine = _monitor_database(scale["n_objects"])
+    coord = ServeCoordinator(
+        db,
+        n_shards=n_workers,
+        seed=3,
+        mode="process",
+        n_samples=scale["n_samples"],
+        timeout=600,
+    )
+    rng = np.random.default_rng(5)
+    for s in range(scale["n_subscriptions"]):
+        q = Query.from_point(rng.uniform(10, 90, size=2))
+        times = tuple(range(14, 21)) if s % 2 == 0 else tuple(range(6, 13))
+        kind = "forall" if s % 4 < 2 else "exists"
+        coord.subscribe(QueryRequest(q, times, kind, 0.05), name=f"s{s}")
+    names = db.object_ids
+    feed = [[AddObservation(n, *refine[n][i % 2])] for i, n in enumerate(names)]
+    coord.tick()  # initial evaluation of every subscription
+    for batch in feed[: scale["warm"]]:
+        coord.tick(batch)
+    return coord, feed[scale["warm"] :]
+
+
+def test_serve_scaling_targets(bench_record):
+    """Sharded serving throughput: ticks/sec at 1, 2 and 4 workers.
+
+    Each worker count drains the same refinement feed (one observation
+    per tick over the monitoring steady state) through a process-mode
+    ``ServeCoordinator``; results are bit-identical across worker counts
+    (guarded by ``tests/serve``), so this kernel measures pure scaling.
+    Acceptance target of the serving subsystem: 2-worker throughput
+    ≥ 1.5× single-worker on hardware with cores to spare.  The floor
+    relaxes to 0 under CI or on boxes with < 4 CPUs, where worker
+    processes share cores and no speedup is physically available — the
+    recorded table still tracks the trajectory.  Override with
+    SERVE_SCALING_TARGET=1.5 for the full assertion.
+    """
+    scale = _serve_scale()
+    table = {}
+    for n_workers in (1, 2, 4):
+        coord, feed = _serve_setup(n_workers, scale)
+        try:
+            ticks = feed[: scale["measured"]]
+            t0 = perf_counter()
+            for batch in ticks:
+                coord.tick(batch)
+            elapsed = perf_counter() - t0
+        finally:
+            coord.close()
+        table[f"workers_{n_workers}"] = {
+            "ticks": len(ticks),
+            "seconds": elapsed,
+            "ticks_per_s": len(ticks) / elapsed,
+        }
+    speedup_2w = (
+        table["workers_2"]["ticks_per_s"] / table["workers_1"]["ticks_per_s"]
+    )
+    bench_record(
+        "serve_scaling",
+        {
+            "scale": scale["name"],
+            "n_objects": scale["n_objects"],
+            "n_subscriptions": scale["n_subscriptions"],
+            "n_samples": scale["n_samples"],
+            "measured_ticks": scale["measured"],
+            "cpu_count": os.cpu_count(),
+            "speedup_2w": speedup_2w,
+            **table,
+        },
+    )
+    cores = os.cpu_count() or 1
+    default = "0.0" if os.environ.get("CI") or cores < 4 else "1.5"
+    target = float(os.environ.get("SERVE_SCALING_TARGET", default))
+    assert speedup_2w >= target, table

@@ -43,6 +43,7 @@ KNOWN_KERNELS = frozenset(
         "knn_k",
         "monitor_tick",
         "prune_filter",
+        "serve_scaling",
     }
 )
 

@@ -31,6 +31,11 @@ Public API tour
   with per-object invalidation underneath, and :class:`ContinuousMonitor`
   keeps standing subscriptions (fixed or :class:`SlidingWindow` time
   sets) refreshed with delta notifications per tick.
+* Serve: :class:`ServeCoordinator` shards the monitoring workload across
+  worker processes (object-id hash → shard views + shared-memory world
+  tensors) with notifications and reuse counters bit-identical to a
+  single process for any shard count; worker death surfaces as
+  :class:`ShardFailure` and ``restart_shard`` resumes bit-identically.
 """
 
 from .core.evaluator import QueryEngine
@@ -53,6 +58,7 @@ from .core.results import (
     ReverseNNResult,
 )
 from .core.worlds import WorldCache
+from .serve import ServeCoordinator, ShardFailure
 from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
 from .markov.chain import InhomogeneousMarkovChain, MarkovChain, uniformized
 from .markov.compiled import CompiledModel, compile_model
@@ -77,7 +83,7 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdaptedModel",
@@ -111,6 +117,8 @@ __all__ = [
     "RemoveObject",
     "ReverseNNResult",
     "RStarTree",
+    "ServeCoordinator",
+    "ShardFailure",
     "SlidingWindow",
     "SparseDistribution",
     "StateSpace",

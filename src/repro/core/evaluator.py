@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Sequence
 
@@ -329,6 +330,62 @@ class QueryEngine:
         self._epoch_counter += 1
         self._draw_epoch = self._epoch_counter
         return self._draw_epoch
+
+    def _on_batch_begin(self, reqs: list) -> None:
+        """Hook: a *top-level* ``evaluate_many`` batch is about to run.
+
+        Called once per outermost batch, after the epoch and batch window
+        are pinned but before the first request evaluates.  The base engine
+        does nothing; the sharded serving engine overrides it to predict
+        the batch's refinement columns and fetch them from all shard
+        workers in one round trip instead of one round per request.
+        """
+
+    def _on_batch_end(self) -> None:
+        """Hook: the outermost batch finished (normally or by exception)."""
+
+    @contextmanager
+    def held_batch(
+        self,
+        epoch: int | None = None,
+        window: tuple[int, int] | None = None,
+    ):
+        """Run a block under an externally supplied batch context.
+
+        Temporarily adopts ``epoch`` as the current draw epoch and merges
+        ``window`` into the live batch window, incrementing the batch depth
+        so world lookups inside the block take the shared-cache path with
+        exactly the anchors a coordinator's ``evaluate_many`` would use.
+        This is how shard workers reproduce the coordinator's cache
+        evolution bit-for-bit: the coordinator ships its epoch and batch
+        window with every compute command, and the worker evaluates inside
+        ``held_batch(epoch, window)``.  All prior state is restored on
+        exit; the epoch counter is advanced past ``epoch`` so a later
+        ``new_draw_epoch`` cannot re-issue it.
+        """
+        prev_epoch = self._draw_epoch
+        prev_last = self._last_batch_epoch
+        prev_window = self._batch_window
+        if epoch is not None:
+            epoch = int(epoch)
+            self._epoch_counter = max(self._epoch_counter, epoch)
+            self._draw_epoch = epoch
+            self._last_batch_epoch = epoch
+        if window is not None:
+            lo, hi = int(window[0]), int(window[1])
+            if prev_window is not None:
+                lo = min(lo, prev_window[0])
+                hi = max(hi, prev_window[1])
+            self._batch_window = (lo, hi)
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            self._batch_window = prev_window
+            if epoch is not None:
+                self._draw_epoch = prev_epoch
+                self._last_batch_epoch = prev_last
 
     def restore_batch_epoch(self) -> bool:
         """Rewind to the last ``evaluate_many`` batch's draw epoch.
@@ -1520,11 +1577,14 @@ class QueryEngine:
         self._batch_window = (lo, hi)
         self._batch_depth += 1
         try:
+            if self._batch_depth == 1:
+                self._on_batch_begin(reqs)
             return [self.evaluate(req) for req in reqs]
         finally:
             self._batch_depth -= 1
             if self._batch_depth == 0:
                 self._batch_window = None
+                self._on_batch_end()
 
     def batch_query(
         self,

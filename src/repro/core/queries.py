@@ -100,6 +100,29 @@ class Query:
         return cls("point", coords_at)
 
     @classmethod
+    def from_coords(cls, coords) -> "Query":
+        """A query given by precomputed per-time coordinates (one row each).
+
+        The table must cover exactly the times the query is evaluated at,
+        in call order.  This is the wire form of a query: the serving
+        layer evaluates ``coords_at`` once coordinator-side and ships the
+        resulting array to shard workers instead of pickling closures.
+        """
+        table = np.asarray(coords, dtype=float)
+        if table.ndim != 2:
+            raise ValueError("coords table must be 2-d (times x dims)")
+
+        def coords_at(times: np.ndarray) -> np.ndarray:
+            if len(times) != len(table):
+                raise ValueError(
+                    f"coords table covers {len(table)} times, "
+                    f"got {len(times)}"
+                )
+            return table
+
+        return cls("table", coords_at)
+
+    @classmethod
     def from_trajectory(cls, trajectory: Trajectory, space: StateSpace) -> "Query":
         """A moving query following a certain trajectory (e.g. the robbers' car)."""
 

@@ -360,7 +360,10 @@ class SamplingArena:
 
 
 def sample_paths_arena(
-    arena: SamplingArena, requests: list[ArenaRequest], n: int
+    arena: SamplingArena,
+    requests: list[ArenaRequest],
+    n: int,
+    out: list[np.ndarray] | None = None,
 ) -> list[np.ndarray]:
     """Draw ``n`` posterior paths per request in one fused pass.
 
@@ -368,9 +371,20 @@ def sample_paths_arena(
     request order — each bit-identical to what the per-object
     :meth:`CompiledModel.sample_paths` would have produced from the same
     generator (see the module docstring for why).
+
+    ``out``, when given, supplies one pre-allocated destination per
+    request (matching shape and an integer dtype) that the sampled paths
+    are written into in place of fresh allocations — the serving layer
+    points these at shared-memory segments so a shard worker's draws land
+    directly in the coordinator-visible tensor without a copy.  The same
+    arrays are returned for convenience.
     """
     if n < 1:
         raise ValueError("n must be positive")
+    if out is not None and len(out) != len(requests):
+        raise ValueError(
+            f"out supplies {len(out)} destinations for {len(requests)} requests"
+        )
     if not requests:
         return []
     n_req = len(requests)
@@ -509,6 +523,16 @@ def sample_paths_arena(
         if mv.size:
             transition(table, mv, uniforms[t - a_arr[mv] + (~resumed[mv]), mv])
 
-    return [
-        np.ascontiguousarray(buf[r, : int(widths[r])].T) for r in range(n_req)
-    ]
+    if out is None:
+        return [
+            np.ascontiguousarray(buf[r, : int(widths[r])].T) for r in range(n_req)
+        ]
+    for r in range(n_req):
+        dest = out[r]
+        expect = (n, int(widths[r]))
+        if dest.shape != expect:
+            raise ValueError(
+                f"out[{r}] has shape {dest.shape}, expected {expect}"
+            )
+        dest[...] = buf[r, : int(widths[r])].T
+    return list(out)

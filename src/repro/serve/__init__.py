@@ -1,0 +1,29 @@
+"""Sharded concurrent serving front-end (the ``repro.serve`` layer).
+
+Shards the trajectory database, world cache and sampling arena by
+object-id hash across worker processes (or in-process worker states),
+coordinated by :class:`ServeCoordinator` — a drop-in serving wrapper
+around the continuous monitor whose notifications, probabilities and
+reuse counters are bit-identical to single-process monitoring for any
+seed and any shard count.  See the README's "Serving" section for the
+determinism argument and a quickstart.
+"""
+
+from .coordinator import ServeCoordinator
+from .engine import ShardedQueryEngine
+from .protocol import ShardFailure, WorkerConfig
+from .sharding import ShardRouter, shard_of
+from .transport import InlineTransport, ProcessTransport
+from .worker import ShardWorkerState
+
+__all__ = [
+    "ServeCoordinator",
+    "ShardedQueryEngine",
+    "ShardFailure",
+    "ShardRouter",
+    "ShardWorkerState",
+    "InlineTransport",
+    "ProcessTransport",
+    "WorkerConfig",
+    "shard_of",
+]

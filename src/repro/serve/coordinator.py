@@ -1,0 +1,294 @@
+"""The serving front-end: sharded continuous monitoring with one API.
+
+:class:`ServeCoordinator` owns an unchanged
+:class:`~repro.stream.monitor.ContinuousMonitor` whose engine is a
+:class:`~repro.serve.engine.ShardedQueryEngine` — all subscription
+scheduling, dirty-set derivation, notification delta-ing and reuse
+accounting is literally the single-process code; only world sampling
+happens inside shard workers.  ``tick`` therefore produces
+``Notification``/``TickReport`` streams bit-identical to a
+single-process monitor on the same seeded event history, with per-shard
+busy times folded into ``TickReport.stage_seconds``.
+
+Event flow per tick: the batch validates centrally (attributable errors,
+nothing applied anywhere on rejection), applies to the coordinator's
+authoritative database first (so a crashed fan-out can always rebuild a
+worker from it), fans per-shard sub-batches to the owners concurrently,
+then runs the monitor tick — the monitor picks the mutations up through
+the database's mutation log exactly as it does for out-of-band writes.
+
+A worker dying mid-tick surfaces as :class:`ShardFailure` naming the
+shard and the in-flight subscriptions; :meth:`restart_shard` rebuilds the
+worker from the current database and replays its world-cache windows, so
+the next tick resumes bit-identically (the monitor's failed tick never
+committed its version cursor and re-derives the delta on retry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from time import perf_counter
+from typing import Iterable
+
+from ..stream.ingest import StreamEvent
+from ..stream.monitor import ContinuousMonitor, TickReport
+from ..trajectory.database import TrajectoryDatabase
+from .engine import ShardedQueryEngine
+from .protocol import (
+    ApplyEvents,
+    CrashWorker,
+    ReplayWorlds,
+    ShardFailure,
+    WorkerConfig,
+)
+from .sharding import ShardRouter
+from .transport import InlineTransport, ProcessTransport
+
+__all__ = ["ServeCoordinator"]
+
+
+class ServeCoordinator:
+    """Shard-parallel continuous monitoring over one trajectory database.
+
+    Parameters
+    ----------
+    db:
+        The full database; the coordinator keeps the authoritative copy
+        (global filtering runs on it) and each worker starts from a shard
+        view of it.
+    n_shards:
+        Worker count; object ids map to shards by content hash, so any
+        shard count yields the same results.
+    seed:
+        Mandatory engine seed, shared by coordinator and workers — the
+        root of the shard-determinism argument (see README "Serving").
+    mode:
+        ``"inline"`` (workers in-process — deterministic, test-friendly,
+        zero IPC) or ``"process"`` (one spawned worker process per shard,
+        shared-memory world tensors, concurrent fan-out).
+    timeout:
+        Per-request worker reply deadline (process mode); an overdue or
+        dead worker raises :class:`ShardFailure` instead of hanging.
+    engine_kwargs:
+        Forwarded to the coordinator engine (``n_samples``, ``backend``,
+        ``fused``, ``incremental``, ...).  Workers inherit them with
+        ``reuse_worlds=True`` and ``refine_cache_size=0`` forced.
+    """
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        *,
+        n_shards: int = 2,
+        seed: int | None = None,
+        mode: str = "inline",
+        timeout: float = 120.0,
+        **engine_kwargs,
+    ) -> None:
+        if mode not in ("inline", "process"):
+            raise ValueError(f"unknown serve mode {mode!r}")
+        if seed is None:
+            raise ValueError(
+                "ServeCoordinator requires seed= (shard workers must derive "
+                "the same world entropy as the coordinator)"
+            )
+        self.db = db
+        self.mode = mode
+        self.router = ShardRouter(n_shards)
+        self._seed = int(seed)
+        self._engine_kwargs = dict(engine_kwargs)
+        configs = {
+            shard: self._config_for(shard) for shard in range(self.router.n_shards)
+        }
+        if mode == "process":
+            transport = ProcessTransport(configs, timeout=timeout)
+        else:
+            transport = InlineTransport(configs)
+        self._transport = transport
+        self.engine = ShardedQueryEngine(
+            db,
+            router=self.router,
+            transport=transport,
+            seed=self._seed,
+            **engine_kwargs,
+        )
+        self.monitor = ContinuousMonitor(self.engine)
+        self._stream = self.monitor.stream
+
+    def _config_for(self, shard: int) -> WorkerConfig:
+        return WorkerConfig(
+            shard=shard,
+            n_shards=self.router.n_shards,
+            db=self.db.shard_view(
+                shard, self.router.n_shards, owner=self.router.shard_of
+            ),
+            seed=self._seed,
+            engine_kwargs=dict(self._engine_kwargs),
+        )
+
+    # ------------------------------------------------------------------
+    # subscriptions (delegated to the unchanged monitor)
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    @property
+    def subscriptions(self):
+        return self.monitor.subscriptions
+
+    @property
+    def now(self):
+        return self.monitor.now
+
+    def subscribe(self, request, callback=None, *, name=None, window=None):
+        return self.monitor.subscribe(
+            request, callback, name=name, window=window
+        )
+
+    def unsubscribe(self, name: str) -> None:
+        self.monitor.unsubscribe(name)
+
+    def refresh(self) -> None:
+        self.monitor.refresh()
+
+    # ------------------------------------------------------------------
+    # the serving tick
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        events: Iterable[StreamEvent] = (),
+        *,
+        now: int | None = None,
+    ) -> TickReport:
+        """Ingest, fan out, evaluate, merge — one serving cycle.
+
+        Identical contract to :meth:`ContinuousMonitor.tick`, plus
+        ``stage_seconds["shard<i>"]`` entries carrying each worker's busy
+        time for the tick.
+        """
+        events = list(events)
+        engine = self.engine
+        engine._inflight = tuple(s.name for s in self.monitor.subscriptions)
+        engine.reset_shard_timings()
+        t0 = perf_counter()
+        ingest = None
+        try:
+            if events:
+                # Central validation + authoritative apply first: a crash
+                # during fan-out must never lose the batch (restart_shard
+                # rebuilds workers from this database).  Validation errors
+                # name the offending event's index and object id and leave
+                # every database untouched.
+                ingest = self._stream.apply(events)
+                engine._broadcast(
+                    {
+                        shard: ApplyEvents(events=shard_events)
+                        for shard, shard_events in self.router.partition_events(
+                            events
+                        ).items()
+                    }
+                )
+            apply_seconds = perf_counter() - t0
+            effective_now = now
+            if effective_now is None and ingest is not None:
+                latest = ingest.latest_time
+                current = self.monitor.now
+                if latest is not None and (current is None or latest > current):
+                    effective_now = latest
+            report = self.monitor.tick((), now=effective_now)
+        finally:
+            engine._inflight = ()
+        report = replace(report, ingest=ingest)
+        # TickReport is frozen but its stage dict is deliberately mutable:
+        # fold the fan-out apply cost and per-shard busy times in.
+        report.stage_seconds["ingest"] = (
+            report.stage_seconds.get("ingest", 0.0) + apply_seconds
+        )
+        for shard, busy in sorted(engine.shard_busy_seconds.items()):
+            report.stage_seconds[f"shard{shard}"] = busy
+        return report
+
+    async def tick_async(
+        self,
+        events: Iterable[StreamEvent] = (),
+        *,
+        now: int | None = None,
+    ) -> TickReport:
+        """Awaitable :meth:`tick` (runs in a thread; fan-out overlaps I/O)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, lambda: self.tick(events, now=now))
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def inject_crash(self, shard: int) -> None:
+        """Kill one worker (test/ops hook); the next use raises ShardFailure."""
+        try:
+            self.engine._request(int(shard), CrashWorker())
+        except ShardFailure:
+            pass
+
+    def restart_shard(self, shard: int) -> dict[str, int]:
+        """Rebuild a dead worker from the database and replay its worlds.
+
+        The replacement gets a fresh shard view of the *current* database
+        (every applied batch is in it — the coordinator applies before
+        fan-out) and re-draws exactly the world-cache segments the
+        coordinator mirrored for the current epoch, so held-epoch ticks
+        resume bit-identically to a worker that never died.  Counters
+        from the replay land between ticks and therefore never skew
+        per-tick reuse deltas.
+        """
+        shard = int(shard)
+        engine = self.engine
+        self._transport.restart(shard, self._config_for(shard))
+        engine._shard_counters[shard] = {}
+        epoch = (
+            engine._last_batch_epoch
+            if engine._last_batch_epoch is not None
+            else engine._draw_epoch
+        )
+        # Objects with mutations the engine has not synced yet must not be
+        # replayed: the next tick invalidates and redraws them (the mirror
+        # still counts the drop), exactly as on a worker that never died.
+        pending: set | None = set()
+        if engine.db.version != engine._mut_seen:
+            pending = (
+                engine.db.changed_since(engine._mut_seen)
+                if engine.incremental
+                else None
+            )
+        if pending is None:
+            # Wholesale invalidation is pending — nothing is replayable.
+            items = ()
+        else:
+            items = tuple(
+                (oid, n, lo, hi)
+                for (oid, n), (win_epoch, lo, hi) in sorted(
+                    engine._world_windows.items()
+                )
+                if win_epoch == epoch
+                and self.router.shard_of(oid) == shard
+                and oid not in pending
+            )
+        if not items:
+            return {"restored": 0}
+        return engine._request(shard, ReplayWorlds(epoch=epoch, items=items))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "ServeCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServeCoordinator(n_shards={self.router.n_shards}, "
+            f"mode={self.mode!r}, subscriptions={len(self.subscriptions)})"
+        )

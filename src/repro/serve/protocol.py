@@ -1,0 +1,203 @@
+"""The coordinator ↔ shard-worker wire protocol.
+
+Plain picklable dataclasses: the same command objects drive both the
+in-process transport (direct calls — the lockstep test surface) and the
+multi-process transport (pipes + shared memory).  Every reply carries the
+worker's cumulative world-cache counters and the handler's busy time, so
+the coordinator can fold per-shard reuse accounting and stage timings
+into the single-process report format without extra round trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "WorkerConfig",
+    "ApplyEvents",
+    "SyncShard",
+    "ComputeJob",
+    "ComputeColumns",
+    "PrefetchWorlds",
+    "ReplayWorlds",
+    "CrashWorker",
+    "Shutdown",
+    "Reply",
+    "ErrorReply",
+    "ShardCrashed",
+    "ShardFailure",
+]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything needed to (re)build one shard worker.
+
+    ``db`` is a shard view (see
+    :meth:`~repro.trajectory.database.TrajectoryDatabase.shard_view`);
+    ``seed`` must equal the coordinator engine's seed — both derive the
+    same root world entropy from it, which is what makes worker-sampled
+    worlds bit-identical to single-process ones.  ``engine_kwargs`` are
+    the coordinator's engine settings; the worker forces
+    ``reuse_worlds=True`` (epochs arrive with each command) and
+    ``refine_cache_size=0`` (tensor caching is coordinator-side).
+    """
+
+    shard: int
+    n_shards: int
+    db: Any
+    seed: int
+    engine_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class ApplyEvents:
+    """Apply this shard's sub-batch of a centrally validated event batch."""
+
+    events: list
+
+
+@dataclass
+class SyncShard:
+    """Mirror the coordinator's mutation-sync decision.
+
+    ``wholesale=True`` forces a full flush (new worlds token, fresh
+    arena) even when the worker's own mutation log could name the delta —
+    the coordinator's log may have overflowed when the worker's did not,
+    and invalidation *timing* must match the single-process engine for
+    per-tick reuse counters to stay bit-identical.
+    """
+
+    wholesale: bool
+
+
+@dataclass
+class ComputeJob:
+    """One tensor's columns owned by this shard.
+
+    ``kind`` is ``"dist"`` (query distances, float64) or ``"states"``
+    (sampled world states, intp).  ``query`` is the query's *evaluated*
+    per-time coordinate table (``Query.from_coords`` rebuilds it worker
+    side) — never a ``Query`` object, whose closures do not pickle.
+    When the batch rides shared memory,
+    ``shm_offset``/``full_shape``/``dtype`` locate the *full* cross-shard
+    tensor inside the segment and ``col_index`` the columns this worker
+    writes; otherwise the worker returns its sub-tensor in the reply.
+    """
+
+    kind: str
+    query: Any
+    times: Any
+    object_ids: tuple
+    n_samples: int
+    job_index: int
+    col_index: tuple = ()
+    shm_offset: int = 0
+    full_shape: tuple = ()
+    dtype: str = ""
+
+
+@dataclass
+class ComputeColumns:
+    """Compute a batch of jobs under the coordinator's batch context.
+
+    ``epoch``/``window`` pin the worker's draw epoch and batch window to
+    the coordinator's, so cache anchors and RNG seeds are identical to
+    what a single-process batch would use.
+    """
+
+    epoch: int
+    window: tuple | None
+    jobs: list
+    shm_name: str | None = None
+
+
+@dataclass
+class PrefetchWorlds:
+    """Warm owned objects' world segments ahead of a tick's evaluations."""
+
+    epoch: int
+    targets: tuple = ()
+    window: tuple | None = None
+    n_samples: int | None = None
+
+
+@dataclass
+class ReplayWorlds:
+    """Rebuild a restarted worker's world cache from recorded windows.
+
+    ``items`` are ``(object_id, n_samples, t_lo, t_hi)`` — the exact
+    per-object cache windows the coordinator mirrored for the lost shard.
+    A fresh one-shot draw over the final window is bit-identical to the
+    original draw plus its forward extensions (the world-cache extension
+    contract), so resumption after replay is exact.
+    """
+
+    epoch: int
+    items: tuple
+
+
+@dataclass
+class CrashWorker:
+    """Test/ops hook: make the worker die without replying."""
+
+
+@dataclass
+class Shutdown:
+    """Orderly worker exit."""
+
+
+@dataclass
+class Reply:
+    """A successful command's result.
+
+    ``counters`` are the worker's *cumulative* world-cache counters
+    (hits, partial hits, misses, invalidated segments); the coordinator
+    absorbs deltas so its own counters read as if it had done the
+    sampling itself.  ``busy_seconds`` is the handler's wall time.
+    """
+
+    payload: Any = None
+    counters: dict = field(default_factory=dict)
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class ErrorReply:
+    """A handler raised; the worker survives. ``error`` is the traceback."""
+
+    error: str
+
+
+class ShardCrashed(Exception):
+    """Internal transport signal: a worker process is gone (or timed out)."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        self.shard = int(shard)
+        self.detail = str(detail)
+        super().__init__(f"shard {self.shard}: {self.detail}")
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker died mid-tick.
+
+    Raised on the coordinator in place of a hang: names the shard, the
+    subscriptions whose tick was in flight, and the recovery path.  The
+    database itself is never lost — the coordinator applies every batch
+    to its own authoritative copy before fan-out — so
+    ``ServeCoordinator.restart_shard`` can always rebuild the worker and
+    replay its worlds bit-identically.
+    """
+
+    def __init__(self, shard: int, detail: str, subscriptions=()) -> None:
+        self.shard = int(shard)
+        self.detail = str(detail)
+        self.subscriptions = tuple(subscriptions)
+        inflight = ", ".join(repr(s) for s in self.subscriptions) or "none"
+        super().__init__(
+            f"shard worker {self.shard} failed mid-tick "
+            f"(in-flight subscriptions: {inflight}): {self.detail}; "
+            f"restart_shard({self.shard}) rebuilds it from the database "
+            "and replays its cached worlds bit-identically"
+        )

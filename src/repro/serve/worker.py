@@ -1,0 +1,226 @@
+"""Shard worker: one engine over one shard view, driven by commands.
+
+:class:`ShardWorkerState` is the transport-agnostic worker — the inline
+transport calls :meth:`ShardWorkerState.handle` directly in-process (the
+lockstep test surface), while :func:`worker_main` wraps the same state in
+a pipe-served loop for spawned processes.  The worker's engine is built
+with the coordinator's seed (identical root world entropy), a shard view
+of the database, ``reuse_worlds=True`` (epochs always arrive with the
+command, adopted via :meth:`QueryEngine.held_batch`) and
+``refine_cache_size=0`` (refinement-tensor caching is coordinator-side;
+the worker's job is sampling and distances only).  Workers never touch
+the UST-tree: filtering is global and runs on the coordinator, so index
+counters live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from time import perf_counter
+
+import numpy as np
+
+from ..core.evaluator import QueryEngine
+from ..core.queries import Query
+from ..markov.arena import SamplingArena
+from ..stream.ingest import ObservationStream
+from .protocol import (
+    ApplyEvents,
+    ComputeColumns,
+    CrashWorker,
+    ErrorReply,
+    PrefetchWorlds,
+    Reply,
+    ReplayWorlds,
+    Shutdown,
+    SyncShard,
+    WorkerConfig,
+)
+
+__all__ = ["ShardWorkerState", "worker_main"]
+
+
+def _open_shm(name: str):
+    """Attach to a coordinator-created shared-memory segment.
+
+    The child must not register the segment with its own resource
+    tracker: the coordinator owns the lifecycle (close + unlink after
+    gathering), and a duplicate registration makes Python 3.11's tracker
+    warn about — or double-unlink — segments it never created.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is CPython-internal
+        pass
+    return shm
+
+
+class ShardWorkerState:
+    """The per-shard engine plus its command handlers."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.shard = int(config.shard)
+        self.n_shards = int(config.n_shards)
+        self.db = config.db
+        kwargs = dict(config.engine_kwargs)
+        kwargs.pop("rng", None)
+        kwargs["reuse_worlds"] = True
+        kwargs["refine_cache_size"] = 0
+        self.engine = QueryEngine(self.db, seed=config.seed, **kwargs)
+        self.stream = ObservationStream(self.db)
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative world-cache accounting the coordinator absorbs."""
+        engine = self.engine
+        return {
+            "hits": engine.worlds.hits,
+            "partial_hits": engine.worlds.partial_hits,
+            "misses": engine.worlds.misses,
+            "worlds_invalidated": engine.worlds_invalidated,
+        }
+
+    def handle(self, command, shm_open=_open_shm) -> Reply:
+        t0 = perf_counter()
+        payload = self._dispatch(command, shm_open)
+        return Reply(
+            payload=payload,
+            counters=self.counters(),
+            busy_seconds=perf_counter() - t0,
+        )
+
+    def _dispatch(self, command, shm_open):
+        engine = self.engine
+        if isinstance(command, ApplyEvents):
+            result = self.stream.apply(command.events)
+            return {"applied": result.applied, "dirty": sorted(result.dirty)}
+        if isinstance(command, SyncShard):
+            if command.wholesale:
+                # Mirror the coordinator's wholesale decision even when this
+                # shard's own mutation log could name the delta — flush
+                # timing must match the single-process engine exactly.
+                engine._ust = None
+                engine._arena = SamplingArena()
+                engine._worlds_token += 1
+                engine._mut_seen = engine.db.version
+            else:
+                engine._sync_mutations()
+            return None
+        if isinstance(command, ComputeColumns):
+            return self._compute(command, shm_open)
+        if isinstance(command, PrefetchWorlds):
+            engine._sync_mutations()
+            with engine.held_batch(command.epoch):
+                return engine.prefetch_worlds(
+                    list(command.targets),
+                    window=command.window,
+                    n_samples=command.n_samples,
+                )
+        if isinstance(command, ReplayWorlds):
+            return self._replay(command)
+        raise TypeError(
+            f"shard {self.shard}: unknown command {type(command).__name__}"
+        )
+
+    def _compute(self, command: ComputeColumns, shm_open):
+        engine = self.engine
+        engine._sync_mutations()
+        blocks = []
+        with engine.held_batch(command.epoch, command.window):
+            for job in command.jobs:
+                times = np.asarray(job.times, dtype=np.intp)
+                ids = list(job.object_ids)
+                if job.kind == "dist":
+                    block = engine._compute_distance_tensor(
+                        ids, Query.from_coords(job.query), times,
+                        int(job.n_samples),
+                    )
+                elif job.kind == "states":
+                    block, _alive = engine._states_block(
+                        ids, times, int(job.n_samples)
+                    )
+                else:
+                    raise ValueError(f"unknown compute kind {job.kind!r}")
+                blocks.append(block)
+        if command.shm_name is None:
+            return blocks
+        shm = shm_open(command.shm_name)
+        try:
+            for job, block in zip(command.jobs, blocks):
+                view = np.ndarray(
+                    tuple(job.full_shape),
+                    dtype=np.dtype(job.dtype),
+                    buffer=shm.buf,
+                    offset=int(job.shm_offset),
+                )
+                view[:, list(job.col_index), :] = block
+        finally:
+            shm.close()
+        return None
+
+    def _replay(self, command: ReplayWorlds):
+        """Rebuild cache segments from the coordinator's window mirror.
+
+        A one-shot draw over each recorded window is bit-identical — in
+        sampled states *and* parked RNG stream — to the original draw
+        plus however many forward extensions grew it (the world cache's
+        extension contract), so a restarted worker resumes exactly where
+        the lost one stood.
+        """
+        engine = self.engine
+        engine._sync_mutations()
+        restored = 0
+        with engine.held_batch(command.epoch):
+            stamp = (engine._worlds_token, engine._draw_epoch)
+            for oid, n, lo, hi in command.items:
+                if oid not in engine.db:
+                    continue
+                obj = engine.db.get(oid)
+                lo2 = max(int(lo), obj.t_first)
+                hi2 = min(int(hi), obj.t_last)
+                if lo2 > hi2:
+                    continue
+                draw, extend = engine._object_sampler(obj, int(n))
+                engine.worlds.states_for(
+                    key=(obj.object_id, int(n), engine.backend),
+                    stamp=stamp,
+                    t_lo=lo2,
+                    t_hi=hi2,
+                    sampler=draw,
+                    extender=extend,
+                )
+                restored += 1
+        return {"restored": restored}
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Pipe-served worker loop (the spawned-process entry point)."""
+    state = ShardWorkerState(config)
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError):
+            return
+        if isinstance(command, Shutdown):
+            try:
+                conn.send(Reply(counters=state.counters()))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        if isinstance(command, CrashWorker):
+            os._exit(13)  # simulate a hard worker death (no reply, no cleanup)
+        try:
+            reply = state.handle(command)
+        except BaseException:
+            # A handler error is not a crash: report it and keep serving.
+            try:
+                conn.send(ErrorReply(error=traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        conn.send(reply)

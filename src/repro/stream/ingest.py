@@ -120,34 +120,46 @@ class ObservationStream:
         or duplicate observation times.
         """
         events = list(events)
-        self._validate(events)
+        self.validate(events)
         version_before = self.db.version
         added = observed = removed = 0
         dirty: set[str] = set()
         latest: int | None = None
-        for event in events:
-            if isinstance(event, AddObject):
-                obj = self.db.add_object(
-                    event.object_id,
-                    event.observations,
-                    chain=event.chain,
-                    ground_truth=event.ground_truth,
-                    extend_to=event.extend_to,
+        for i, event in enumerate(events):
+            try:
+                if isinstance(event, AddObject):
+                    obj = self.db.add_object(
+                        event.object_id,
+                        event.observations,
+                        chain=event.chain,
+                        ground_truth=event.ground_truth,
+                        extend_to=event.extend_to,
+                    )
+                    added += 1
+                    last = obj.observations.last.time
+                    latest = last if latest is None else max(latest, last)
+                    dirty.add(obj.object_id)
+                elif isinstance(event, AddObservation):
+                    self.db.add_observation(event.object_id, event.time, event.state)
+                    observed += 1
+                    t = int(event.time)
+                    latest = t if latest is None else max(latest, t)
+                    dirty.add(str(event.object_id))
+                else:
+                    self.db.remove_object(event.object_id)
+                    removed += 1
+                    dirty.add(str(event.object_id))
+            except Exception as exc:
+                # Validation pre-screens the common error classes, but deep
+                # model errors stay lazy by design — attribute them to the
+                # offending event so a cross-shard ingest failure names the
+                # batch index and object id (database partially applied:
+                # events before ``i`` landed).  Rewriting ``args`` keeps the
+                # original exception type and traceback intact.
+                exc.args = (
+                    f"event {i} (object {event.object_id!r}): {exc}",
                 )
-                added += 1
-                last = obj.observations.last.time
-                latest = last if latest is None else max(latest, last)
-                dirty.add(obj.object_id)
-            elif isinstance(event, AddObservation):
-                self.db.add_observation(event.object_id, event.time, event.state)
-                observed += 1
-                t = int(event.time)
-                latest = t if latest is None else max(latest, t)
-                dirty.add(str(event.object_id))
-            else:
-                self.db.remove_object(event.object_id)
-                removed += 1
-                dirty.add(str(event.object_id))
+                raise
         self.events_applied += len(events)
         self.batches += 1
         return IngestResult(
@@ -161,14 +173,21 @@ class ObservationStream:
             latest_time=latest,
         )
 
-    def _validate(self, events: list[StreamEvent]) -> None:
+    def validate(self, events: Sequence[StreamEvent]) -> None:
         """Reject batches that would fail mid-application.
 
         Tracks membership and per-object observation times as the batch
         would evolve them, so intra-batch conflicts (add-then-add, observe
-        a time twice, observe after remove) surface with the event's
-        position before any mutation happens.
+        a time twice, observe after remove) surface before any mutation
+        happens.  Every rejection names both the offending event's batch
+        index *and* its object id, so a failure in a routed (sharded)
+        ingest is attributable without replaying the batch.  Public so a
+        serving coordinator can validate a batch centrally once, then
+        route per-shard sub-batches that are valid by construction —
+        validation state is tracked per object id, and one object's events
+        all route to one shard.
         """
+        events = list(events)
         present = set(self.db.object_ids)
         times: dict[str, set[int]] = {}
 
@@ -193,14 +212,19 @@ class ObservationStream:
                     )
                 observations = event.observations
                 if not isinstance(observations, ObservationSet):
-                    observations = ObservationSet(observations)  # validates
+                    try:
+                        observations = ObservationSet(observations)  # validates
+                    except (TypeError, ValueError) as exc:
+                        raise ValueError(
+                            f"event {i} (object {object_id!r}): {exc}"
+                        ) from None
                 if (
                     event.chain is not None
                     and event.chain.n_states != self.db.space.n_states
                 ):
                     raise ValueError(
-                        f"event {i}: per-object chain has "
-                        f"{event.chain.n_states} states but the database "
+                        f"event {i} (object {object_id!r}): per-object chain "
+                        f"has {event.chain.n_states} states but the database "
                         f"space has {self.db.space.n_states}"
                     )
                 if (
@@ -208,8 +232,8 @@ class ObservationStream:
                     and event.extend_to < observations.last.time
                 ):
                     raise ValueError(
-                        f"event {i}: extend_to must not precede the last "
-                        "observation"
+                        f"event {i} (object {object_id!r}): extend_to must "
+                        "not precede the last observation"
                     )
                 present.add(object_id)
                 times[object_id] = set(observations.times)
@@ -219,7 +243,9 @@ class ObservationStream:
                 try:
                     observation = Observation(int(event.time), int(event.state))
                 except (TypeError, ValueError) as exc:
-                    raise ValueError(f"event {i}: {exc}") from None
+                    raise ValueError(
+                        f"event {i} (object {object_id!r}): {exc}"
+                    ) from None
                 if observation.time in times_of(object_id):
                     raise ValueError(
                         f"event {i}: object {object_id!r} already observed "

@@ -331,6 +331,49 @@ class TrajectoryDatabase:
         return lo, hi
 
     # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+    def shard_view(
+        self,
+        shard: int,
+        n_shards: int,
+        owner=None,
+    ) -> "TrajectoryDatabase":
+        """A new database holding only the objects owned by one shard.
+
+        ``owner`` maps an object id to its owning shard index (default: the
+        serving layer's :func:`repro.serve.sharding.shard_of` content hash,
+        so views built here agree with the shard router).  The view shares
+        the state space, the a-priori chain and the ``UncertainObject``
+        instances themselves — objects are immutable value holders, every
+        mutation replaces the instance — but carries its own version
+        counter, mutation log and diamond cache, so a shard worker's
+        engine invalidates independently of the parent.  Insertion-order
+        indices restart from zero per view; the fused arena layout inside
+        one shard therefore depends only on that shard's own history,
+        which is what makes shard counts a pure partitioning choice.
+        """
+        shard = int(shard)
+        n_shards = int(n_shards)
+        if not 0 <= shard < n_shards:
+            raise ValueError(f"shard {shard} out of range for {n_shards} shards")
+        if owner is None:
+            from ..serve.sharding import shard_of as _shard_of
+
+            def owner(oid: str) -> int:
+                return _shard_of(oid, n_shards)
+
+        view = TrajectoryDatabase(self.space, self.chain)
+        for oid, obj in self._objects.items():
+            if owner(oid) != shard:
+                continue
+            view._objects[oid] = obj
+            view._order[oid] = view._order_counter
+            view._order_counter += 1
+            view._bump_version(oid, affected=(obj.t_first, obj.t_last))
+        return view
+
+    # ------------------------------------------------------------------
     # diamonds
     # ------------------------------------------------------------------
     def diamonds_of(self, object_id: str) -> list[Diamond]:

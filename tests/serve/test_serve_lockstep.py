@@ -1,0 +1,176 @@
+"""Cross-shard lockstep: sharded serving is bit-identical to one process.
+
+The tentpole correctness contract of ``repro.serve``: for shard counts
+{1, 2, 4}, both backends and fused on/off, a ``ServeCoordinator`` driven
+by an event script produces byte-for-byte the notifications,
+probabilities and per-tick reuse counters of an unsharded
+``ContinuousMonitor`` over the same seeded history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.serve import ServeCoordinator, ShardFailure, shard_of
+from repro.stream.monitor import ContinuousMonitor, _result_payload
+
+from tests.serve.conftest import (
+    ENGINE_VARIANTS,
+    SEED,
+    assert_reports_identical,
+    event_script,
+    feasible_extension,
+    standard_subscriptions,
+    twin_db,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+@pytest.mark.parametrize(
+    "backend,fused",
+    [(b, f) for b, f, _ in ENGINE_VARIANTS],
+    ids=[label for _, _, label in ENGINE_VARIANTS],
+)
+def test_lockstep_matrix(n_shards, backend, fused):
+    db_a, db_b = twin_db(), twin_db()
+    monitor = ContinuousMonitor(
+        QueryEngine(db_a, n_samples=120, seed=SEED, backend=backend, fused=fused)
+    )
+    with ServeCoordinator(
+        db_b,
+        n_shards=n_shards,
+        seed=SEED,
+        mode="inline",
+        n_samples=120,
+        backend=backend,
+        fused=fused,
+    ) as coord:
+        for name, request in standard_subscriptions():
+            monitor.subscribe(request, name=name)
+            coord.subscribe(request, name=name)
+        for t, (ev_a, ev_b) in enumerate(
+            zip(event_script(db_a), event_script(db_b))
+        ):
+            ra = monitor.tick(ev_a)
+            rb = coord.tick(ev_b)
+            assert_reports_identical(
+                ra, rb, context=(n_shards, backend, fused, t)
+            )
+            # The serving report additionally carries per-shard timings.
+            shard_keys = [
+                k for k in rb.stage_seconds if k.startswith("shard")
+            ]
+            assert shard_keys == [f"shard{s}" for s in range(n_shards)]
+
+
+def test_shard_count_is_invisible_to_results():
+    """1-shard and 4-shard deployments agree with each other directly."""
+    reports = {}
+    for n_shards in (1, 4):
+        db = twin_db()
+        with ServeCoordinator(
+            db, n_shards=n_shards, seed=SEED, mode="inline", n_samples=100
+        ) as coord:
+            for name, request in standard_subscriptions():
+                coord.subscribe(request, name=name)
+            reports[n_shards] = [
+                [
+                    (n.subscription, n.reason, _result_payload(n.result))
+                    for n in coord.tick(events).notifications
+                ]
+                for events in event_script(db)
+            ]
+    assert reports[1] == reports[4]
+
+
+def test_seed_is_required():
+    db = twin_db()
+    with pytest.raises(ValueError, match="seed"):
+        ServeCoordinator(db, n_shards=2, mode="inline")
+    with pytest.raises(ValueError, match="unknown serve mode"):
+        ServeCoordinator(db, n_shards=2, seed=SEED, mode="threads")
+
+
+def test_shard_of_is_stable_and_balanced():
+    """Routing is a pure content hash: stable across processes/salt."""
+    assert shard_of("o0", 4) == shard_of("o0", 4)
+    counts = [0, 0, 0, 0]
+    for i in range(400):
+        s = shard_of(f"obj-{i}", 4)
+        assert 0 <= s < 4
+        counts[s] += 1
+    assert min(counts) > 0
+
+
+def test_inline_crash_containment_and_restart():
+    """Inline transport honours the crash hook and recovery contract."""
+    db_a, db_b = twin_db(), twin_db()
+    monitor = ContinuousMonitor(QueryEngine(db_a, n_samples=100, seed=SEED))
+    with ServeCoordinator(
+        db_b, n_shards=2, seed=SEED, mode="inline", n_samples=100
+    ) as coord:
+        for name, request in standard_subscriptions():
+            monitor.subscribe(request, name=name)
+            coord.subscribe(request, name=name)
+        script_a, script_b = event_script(db_a), event_script(db_b)
+        for t in range(3):
+            assert_reports_identical(
+                monitor.tick(script_a[t]), coord.tick(script_b[t]), (t,)
+            )
+        coord.inject_crash(1)
+        with pytest.raises(ShardFailure) as excinfo:
+            coord.tick(script_b[3])
+        message = str(excinfo.value)
+        assert excinfo.value.shard == 1
+        assert "worker 1" in message
+        for name, _ in standard_subscriptions():
+            assert name in message
+        assert "restart_shard(1)" in message
+        # The failed tick already applied its events to the coordinator
+        # database (crash-safe ordering), so recovery re-ticks without
+        # them; the twin plays the same batch normally.
+        coord.restart_shard(1)
+        ra = monitor.tick(script_a[3])
+        rb = coord.tick((), now=monitor.now)
+        assert_reports_identical(ra, rb, ("recovery",))
+        for t in range(4, 6):
+            assert_reports_identical(
+                monitor.tick(script_a[t]), coord.tick(script_b[t]), (t,)
+            )
+
+
+def test_crash_at_sync_broadcast_keeps_recovery_counters_exact():
+    """A dead shard that owns none of the tick's events surfaces at the
+    all-shard ``SyncShard`` broadcast — after the coordinator has already
+    consumed the sync's ``index_updates``/``worlds_invalidated`` deltas.
+    The sync must roll back so the recovery tick re-reports them exactly
+    like the single-process twin (including ``worlds_invalidated``)."""
+    db_a, db_b = twin_db(), twin_db()
+    monitor = ContinuousMonitor(QueryEngine(db_a, n_samples=100, seed=SEED))
+    with ServeCoordinator(
+        db_b, n_shards=2, seed=SEED, mode="inline", n_samples=100
+    ) as coord:
+        for name, request in standard_subscriptions():
+            monitor.subscribe(request, name=name)
+            coord.subscribe(request, name=name)
+        assert_reports_identical(monitor.tick([]), coord.tick([]), ("warm",))
+        # Mutate an object and crash the *other* shard, so ApplyEvents
+        # succeeds and the failure hits the subsequent sync broadcast.
+        target = sorted(o.object_id for o in db_a)[0]
+        dead = 1 - shard_of(target, 2)
+        ext_a = feasible_extension(db_a, target)
+        ext_b = feasible_extension(db_b, target)
+        coord.inject_crash(dead)
+        with pytest.raises(ShardFailure) as excinfo:
+            coord.tick([ext_b])
+        assert excinfo.value.shard == dead
+        coord.restart_shard(dead)
+        ra = monitor.tick([ext_a])
+        rb = coord.tick((), now=monitor.now)
+        assert ra.reuse["index_updates"] == 1
+        assert ra.reuse["worlds_invalidated"] >= 1
+        assert_reports_identical(ra, rb, ("sync-crash recovery",))
+        assert_reports_identical(monitor.tick([]), coord.tick([]), ("after",))

@@ -1,0 +1,116 @@
+"""Process-mode serving: spawned workers, shared memory, crash recovery.
+
+These tests exercise the OS-level transport the inline lockstep matrix
+cannot: pickled protocol commands over pipes, worker processes sampling
+into coordinator-allocated shared memory, hard worker death
+(``os._exit``) surfacing as a descriptive :class:`ShardFailure`, and
+restart-and-replay resuming bit-identically to a deployment that never
+crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import QueryEngine
+from repro.serve import ServeCoordinator, ShardFailure
+from repro.stream.monitor import ContinuousMonitor
+
+from tests.serve.conftest import (
+    SEED,
+    assert_reports_identical,
+    event_script,
+    feasible_extension,
+    standard_subscriptions,
+    twin_db,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def process_pair():
+    """A single-process monitor twinned with a 2-worker process coordinator."""
+    db_a, db_b = twin_db(), twin_db()
+    monitor = ContinuousMonitor(QueryEngine(db_a, n_samples=100, seed=SEED))
+    coord = ServeCoordinator(
+        db_b, n_shards=2, seed=SEED, mode="process", n_samples=100, timeout=60
+    )
+    try:
+        for name, request in standard_subscriptions():
+            monitor.subscribe(request, name=name)
+            coord.subscribe(request, name=name)
+        yield db_a, db_b, monitor, coord
+    finally:
+        coord.close()
+
+
+def test_process_lockstep(process_pair):
+    db_a, db_b, monitor, coord = process_pair
+    for t, (ev_a, ev_b) in enumerate(
+        zip(event_script(db_a), event_script(db_b))
+    ):
+        ra = monitor.tick(ev_a)
+        rb = coord.tick(ev_b)
+        assert_reports_identical(ra, rb, context=("process", t))
+        assert [k for k in rb.stage_seconds if k.startswith("shard")] == [
+            "shard0",
+            "shard1",
+        ]
+
+
+def test_process_crash_containment_and_replay(process_pair):
+    db_a, db_b, monitor, coord = process_pair
+    script_a, script_b = event_script(db_a), event_script(db_b)
+    for t in range(3):
+        assert_reports_identical(
+            monitor.tick(script_a[t]), coord.tick(script_b[t]), (t,)
+        )
+    coord.inject_crash(1)
+    with pytest.raises(ShardFailure) as excinfo:
+        coord.tick(script_b[3])
+    message = str(excinfo.value)
+    assert excinfo.value.shard == 1
+    assert "worker 1" in message and "restart_shard(1)" in message
+    for name, _ in standard_subscriptions():
+        assert name in message
+    replay = coord.restart_shard(1)
+    assert replay["restored"] >= 1
+    # The failed tick's events are already in the coordinator database
+    # (applied before fan-out); recovery re-ticks without re-applying.
+    ra = monitor.tick(script_a[3])
+    rb = coord.tick((), now=monitor.now)
+    assert_reports_identical(ra, rb, ("recovery",))
+    for t in range(4, 6):
+        assert_reports_identical(
+            monitor.tick(script_a[t]), coord.tick(script_b[t]), (t,)
+        )
+
+
+def test_smoke_load_two_workers():
+    """Downsized load test: many objects/subscriptions across 2 workers."""
+    from repro.core.queries import Query, QueryRequest
+    from tests.conftest import make_random_world
+
+    db_a, _ = make_random_world(seed=7, n_objects=24, span=8, obs_every=3)
+    db_b, _ = make_random_world(seed=7, n_objects=24, span=8, obs_every=3)
+    monitor = ContinuousMonitor(QueryEngine(db_a, n_samples=60, seed=SEED))
+    with ServeCoordinator(
+        db_b, n_shards=2, seed=SEED, mode="process", n_samples=60, timeout=120
+    ) as coord:
+        for i in range(12):
+            request = QueryRequest(
+                Query.from_point([float(1 + i % 5), float(2 + i % 7)]),
+                (2 + i % 3, 4, 5),
+                ("forall", "exists", "pcnn")[i % 3],
+                0.05 + 0.01 * (i % 4),
+            )
+            monitor.subscribe(request, name=f"sub{i}")
+            coord.subscribe(request, name=f"sub{i}")
+        ids_a, ids_b = sorted(db_a.object_ids), sorted(db_b.object_ids)
+        for t in range(4):
+            ev_a = [feasible_extension(db_a, ids_a[(3 * t + j) % len(ids_a)]) for j in range(3)]
+            ev_b = [feasible_extension(db_b, ids_b[(3 * t + j) % len(ids_b)]) for j in range(3)]
+            ra = monitor.tick(ev_a)
+            rb = coord.tick(ev_b)
+            assert_reports_identical(ra, rb, context=("load", t))

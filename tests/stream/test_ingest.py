@@ -141,6 +141,65 @@ class TestValidation:
         assert db.version == v
 
 
+class TestErrorAttribution:
+    """Every rejection names the offending batch index AND object id.
+
+    A routed (sharded) ingest fans sub-batches to shard workers; a failure
+    report is only actionable if it pinpoints the event without replaying
+    the batch, so both halves of the address are part of the contract.
+    """
+
+    def test_validation_errors_name_index_and_object(self, db):
+        stream = ObservationStream(db)
+        cases = [
+            ([AddObservation("a", 2, 1), AddObservation("ghost", 3, 1)],
+             KeyError, r"event 1.*'ghost'"),
+            ([AddObject("a", [(0, 0)])],
+             ValueError, r"event 0.*'a' already exists"),
+            ([AddObservation("a", 2, 1), AddObservation("b", 3, -1)],
+             ValueError, r"event 1 \(object 'b'\)"),
+            ([AddObservation("b", 2, 1),
+              AddObject("c", [(0, 0), (0, 1)])],
+             ValueError, r"event 1 \(object 'c'\)"),
+            ([AddObject("c", [(0, 0)], extend_to=-3)],
+             ValueError, r"event 0 \(object 'c'\).*extend_to"),
+            ([AddObservation("a", 2, 1), AddObservation("a", 2, 3)],
+             ValueError, r"event 1.*'a' already observed at time 2"),
+        ]
+        for events, exc_type, pattern in cases:
+            v = db.version
+            with pytest.raises(exc_type, match=pattern):
+                stream.apply(events)
+            assert db.version == v, events
+
+    def test_apply_stage_errors_name_index_and_object(self, db, monkeypatch):
+        """Lazy (post-validation) failures get the same address, with the
+        original exception type and message preserved."""
+        stream = ObservationStream(db)
+
+        def boom(object_id, *args, **kwargs):
+            raise RuntimeError("simulated storage failure")
+
+        monkeypatch.setattr(db, "add_observation", boom)
+        with pytest.raises(
+            RuntimeError,
+            match=r"event 1 \(object 'b'\): simulated storage failure",
+        ):
+            stream.apply([RemoveObject("a"), AddObservation("b", 2, 1)])
+
+    def test_public_validate_is_side_effect_free(self, db):
+        stream = ObservationStream(db)
+        good = [AddObservation("a", 2, 1), RemoveObject("b")]
+        bad = [AddObservation("a", 2, 1), AddObservation("a", 2, 2)]
+        v = db.version
+        assert stream.validate(good) is None
+        with pytest.raises(ValueError, match="event 1"):
+            stream.validate(bad)
+        assert db.version == v and stream.events_applied == 0
+        # The same instance still applies cleanly after validating.
+        assert stream.apply(good).applied == 2
+
+
 class TestDatabaseMutationLog:
     def test_object_version_advances_per_mutation(self, db):
         va = db.object_version("a")

@@ -9,7 +9,7 @@ import repro
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -63,6 +63,12 @@ class TestPublicAPI:
             "repro.stream.ingest",
             "repro.stream.monitor",
             "repro.stream.scheduler",
+            "repro.serve.coordinator",
+            "repro.serve.engine",
+            "repro.serve.protocol",
+            "repro.serve.sharding",
+            "repro.serve.transport",
+            "repro.serve.worker",
             "repro.data.io",
             "repro.data.synthetic",
             "repro.data.taxi",
