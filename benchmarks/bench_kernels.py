@@ -299,10 +299,12 @@ def candidate_scale_db():
     return db
 
 
-def _candidate_kernel(db, n_candidates, fused):
+def _candidate_kernel(db, n_candidates, fused, backend="compiled"):
     """Refinement over ``n_candidates`` objects on a fresh epoch per round
     (each round really draws worlds; filter/counting excluded)."""
-    engine = QueryEngine(db, n_samples=128, seed=12, reuse_worlds=True, fused=fused)
+    engine = QueryEngine(
+        db, n_samples=128, seed=12, reuse_worlds=True, fused=fused, backend=backend
+    )
     ids = [f"w{i}" for i in range(n_candidates)]
     q = Query.from_point([50.0, 50.0])
     times = np.arange(2, 22)
@@ -372,6 +374,80 @@ def test_fused_speedup_targets(candidate_scale_db, bench_record):
     )
     assert table["100"]["speedup"] >= target, table
     assert table["1000"]["speedup"] >= target, table
+
+
+@pytest.mark.parametrize("n_candidates", [10, 100, 1000])
+def test_bench_refine_native(benchmark, candidate_scale_db, n_candidates):
+    """Native (C) tier refinement: the fused arena with the compiled
+    sweep/seeder/gather kernels (``backend="native"``)."""
+    from repro.markov import native
+
+    if not native.available():
+        pytest.skip(f"native tier unavailable ({native.unavailable_reason()})")
+    benchmark(
+        _candidate_kernel(
+            candidate_scale_db, n_candidates, fused=True, backend="native"
+        )
+    )
+
+
+def test_native_speedup_targets(candidate_scale_db, bench_record):
+    """Self-timed native-vs-loop comparison, persisted to BENCH_kernels.json.
+
+    Same protocol as ``test_fused_speedup_targets`` (interleaved min of 5
+    rounds after warm-up), comparing the native tier against the
+    per-object loop baseline and recording the fused numpy arena
+    alongside for the tier-over-arena ratio.  Acceptance target of the
+    native-tier PR: ≥10× over the loop at 1000 candidates (measured
+    ~11-12× on a quiet machine).  CI enforces a relaxed floor instead
+    (shared runners are noisy and build the kernels cold); override with
+    NATIVE_SPEEDUP_TARGET=10.0 for the full assertion.  Skips (and
+    records nothing) when the tier cannot load.
+    """
+    from repro.markov import native
+
+    if not native.available():
+        pytest.skip(f"native tier unavailable ({native.unavailable_reason()})")
+
+    rounds = 5
+    table = {}
+    for n_candidates in (10, 100, 1000):
+        native_run = _candidate_kernel(
+            candidate_scale_db, n_candidates, fused=True, backend="native"
+        )
+        fused_run = _candidate_kernel(candidate_scale_db, n_candidates, fused=True)
+        loop_run = _candidate_kernel(candidate_scale_db, n_candidates, fused=False)
+        native_run()  # warm-up: kernel build/dlopen, arena packing, tables
+        fused_run()
+        loop_run()
+        native_s, fused_s, loop_s = [], [], []
+        for _ in range(rounds):  # interleave to even out machine drift
+            t0 = perf_counter()
+            native_run()
+            native_s.append(perf_counter() - t0)
+            t0 = perf_counter()
+            fused_run()
+            fused_s.append(perf_counter() - t0)
+            t0 = perf_counter()
+            loop_run()
+            loop_s.append(perf_counter() - t0)
+        table[str(n_candidates)] = {
+            "native_s": min(native_s),
+            "fused_s": min(fused_s),
+            "loop_s": min(loop_s),
+            "speedup_vs_loop": min(loop_s) / min(native_s),
+            "speedup_vs_fused": min(fused_s) / min(native_s),
+        }
+    bench_record(
+        "native_speedup",
+        {"n_samples": 128, "n_times": 20, "rounds": rounds, "candidates": table},
+    )
+    target = float(
+        os.environ.get(
+            "NATIVE_SPEEDUP_TARGET", "1.5" if os.environ.get("CI") else "10.0"
+        )
+    )
+    assert table["1000"]["speedup_vs_loop"] >= target, table
 
 
 def _stream_database(n_objects, seed=7):
@@ -921,19 +997,22 @@ def test_serve_scaling_targets(bench_record):
     speedup_2w = (
         table["workers_2"]["ticks_per_s"] / table["workers_1"]["ticks_per_s"]
     )
-    bench_record(
-        "serve_scaling",
-        {
-            "scale": scale["name"],
-            "n_objects": scale["n_objects"],
-            "n_subscriptions": scale["n_subscriptions"],
-            "n_samples": scale["n_samples"],
-            "measured_ticks": scale["measured"],
-            "cpu_count": os.cpu_count(),
-            "speedup_2w": speedup_2w,
-            **table,
-        },
-    )
+    record = {
+        "scale": scale["name"],
+        "n_objects": scale["n_objects"],
+        "n_subscriptions": scale["n_subscriptions"],
+        "n_samples": scale["n_samples"],
+        "measured_ticks": scale["measured"],
+        "cpu_count": os.cpu_count(),
+        "speedup_2w": speedup_2w,
+        **table,
+    }
+    if (os.cpu_count() or 1) < 4:
+        # Workers time-share the same cores here, so speedup_2w measures
+        # scheduling overhead, not scaling — say so in the record instead
+        # of letting the number read as a serving regression.
+        record["skip_reason"] = "cpu_count < workers"
+    bench_record("serve_scaling", record)
     cores = os.cpu_count() or 1
     default = "0.0" if os.environ.get("CI") or cores < 4 else "1.5"
     target = float(os.environ.get("SERVE_SCALING_TARGET", default))

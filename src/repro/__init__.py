@@ -83,7 +83,7 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdaptedModel",

@@ -48,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..markov import native as native_tier
 from ..markov.arena import ArenaRequest, SamplingArena, sample_paths_arena
 from ..spatial.ust_tree import PruningResult, USTTree
 from ..trajectory.database import TrajectoryDatabase
@@ -88,8 +89,11 @@ class QueryEngine:
         Tighten index bounds with per-tic diamond MBRs during pruning.
     backend:
         Sampling backend for refinement: ``"compiled"`` (vectorized
-        inverse-CDF, the default) or ``"reference"`` (legacy row-dict walk,
-        kept for parity testing).  Both yield bit-identical worlds for one
+        inverse-CDF, the default), ``"native"`` (the optional C kernel
+        tier of :mod:`repro.markov.native` — same draws through compiled
+        sweeps; raises a descriptive error at construction when the tier
+        cannot load) or ``"reference"`` (legacy row-dict walk, kept for
+        parity testing).  All three yield bit-identical worlds for one
         seed.
     reuse_worlds:
         When ``True``, standalone queries do *not* advance the draw epoch,
@@ -177,8 +181,10 @@ class QueryEngine:
             raise ValueError("n_samples must be positive")
         if rng is not None and seed is not None:
             raise ValueError("pass either seed or rng, not both")
-        if backend not in ("compiled", "reference"):
+        if backend not in ("compiled", "native", "reference"):
             raise ValueError(f"unknown sampling backend {backend!r}")
+        if backend == "native":
+            native_tier.require_native()
         self.db = db
         self.n_samples = int(n_samples)
         self.rng = rng if rng is not None else np.random.default_rng(seed)
@@ -216,7 +222,7 @@ class QueryEngine:
         # Columnar sampling arena (fused refinement); mutated objects are
         # evicted selectively, populated on first touch per object.
         self._arena = SamplingArena()
-        self._rng_tags: dict[str, list[int]] = {}
+        self._rng_tags: dict[str, tuple[np.ndarray, int]] = {}
         # Mutation sync state: the database version the derived structures
         # (index, arena, world cache) currently reflect, plus the world
         # cache's wholesale-invalidation token (bumped only when a
@@ -411,6 +417,41 @@ class QueryEngine:
         if not self.reuse_worlds and self._batch_depth == 0:
             self.new_draw_epoch()
 
+    def _object_entropy(self, object_id: str, round_: int) -> np.ndarray | None:
+        """uint32 entropy words seeding the (object, epoch, round) stream.
+
+        Pre-coerced uint32 entropy template.  SeedSequence coerces a
+        python-int list to exactly this little-endian limb layout, so
+        seeding from the template with the epoch/round limbs patched in
+        yields the *same* pool — the same streams — while skipping the
+        per-call coercion (it dominates construction cost, and refinement
+        builds one generator per candidate).  Returns ``None`` when the
+        epoch or round overflows its single-limb slot; callers then seed
+        from the equivalent python-int list instead.
+        """
+        cached = self._rng_tags.get(object_id)
+        if cached is None:
+            digest = hashlib.sha256(object_id.encode("utf-8")).digest()
+            tags = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+            limbs: list[int] = []
+            entropy = self._world_entropy
+            while True:
+                limbs.append(entropy & 0xFFFFFFFF)
+                entropy >>= 32
+                if not entropy:
+                    break
+            template = np.array(limbs + [0, 0] + tags, dtype=np.uint32)
+            cached = (template, len(limbs))
+            self._rng_tags[object_id] = cached
+        template, n_limbs = cached
+        epoch = self._draw_epoch
+        if 0 <= epoch < 2**32 and 0 <= round_ < 2**32:
+            entropy_arr = template.copy()
+            entropy_arr[n_limbs] = epoch
+            entropy_arr[n_limbs + 1] = round_
+            return entropy_arr
+        return None
+
     def _object_rng(self, object_id: str, round_: int = 0) -> np.random.Generator:
         """Deterministic per-(object, epoch[, round]) generator.
 
@@ -423,16 +464,36 @@ class QueryEngine:
         distinguishes successive direct ``distance_tensor`` calls within
         one epoch, so repeated calls still yield fresh, averageable worlds.
         """
-        tags = self._rng_tags.get(object_id)
-        if tags is None:
-            digest = hashlib.sha256(object_id.encode("utf-8")).digest()
-            tags = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
-            self._rng_tags[object_id] = tags
-        return np.random.default_rng(
-            np.random.SeedSequence(
-                [self._world_entropy, self._draw_epoch, round_, *tags]
+        entropy_arr = self._object_entropy(object_id, round_)
+        if entropy_arr is not None:
+            seed = np.random.SeedSequence(entropy_arr)
+        else:  # huge epochs/rounds span multiple limbs: take the slow path
+            template, n_limbs = self._rng_tags[object_id]
+            seed = np.random.SeedSequence(
+                [
+                    self._world_entropy,
+                    self._draw_epoch,
+                    round_,
+                    *(int(tag) for tag in template[n_limbs + 2 :]),
+                ]
             )
-        )
+        return np.random.Generator(np.random.PCG64(seed))
+
+    def _object_rng_handle(self, object_id: str, round_: int = 0):
+        """Per-object RNG for bulk arena requests.
+
+        On a native-backend engine whose verified C seeder is available
+        this returns a :class:`~repro.markov.native.LazySeededRng` — the
+        arena then seeds and draws the uniforms in C without ever
+        constructing a ``Generator`` (the handle materializes one, parked
+        at the identical stream position, only if some other consumer
+        touches it).  Everywhere else it is exactly :meth:`_object_rng`.
+        """
+        if self.backend == "native" and native_tier.seed_fill_ready():
+            entropy_arr = self._object_entropy(object_id, round_)
+            if entropy_arr is not None:
+                return native_tier.LazySeededRng(entropy_arr)
+        return self._object_rng(object_id, round_)
 
     def _cache_window(self, obj: UncertainObject, times: np.ndarray) -> tuple[int, int]:
         """The window a shared (cached) draw for ``obj`` should cover.
@@ -656,7 +717,7 @@ class QueryEngine:
         """Backend dispatch for one (sub)tensor computation."""
         if (
             self.fused
-            and self.backend == "compiled"
+            and self.backend in ("compiled", "native")
             # Duplicate ids (legal, if unusual) would collide in the bulk
             # cache lookup; the loop path handles them naturally.
             and len(set(object_ids)) == len(object_ids)
@@ -783,11 +844,13 @@ class QueryEngine:
                     obj.object_id,
                     int(at[0]),
                     int(at[-1]),
-                    self._object_rng(obj.object_id, self._direct_round),
+                    self._object_rng_handle(obj.object_id, self._direct_round),
                 )
                 for obj, at in zip(objects, alive_times)
             ]
-            drawn = sample_paths_arena(arena, requests, n)
+            drawn = sample_paths_arena(
+                arena, requests, n, native=self.backend == "native"
+            )
             self._direct_draws += len(requests)
             states = [
                 paths[:, at - at[0]] for paths, at in zip(drawn, alive_times)
@@ -802,15 +865,36 @@ class QueryEngine:
             flat_alive = np.flatnonzero(alive[live_cols].ravel())
             col_index = live_cols[flat_alive // times.size]
             time_index = flat_alive % times.size
-        packed = np.concatenate(states, axis=1)  # (n, total columns)
         space = self.db.space
-        if times.size * space.n_states <= max(1_000_000, 4 * packed.size):
+        total_cols = sum(s.shape[1] for s in states)
+        if times.size * space.n_states <= max(1_000_000, 4 * n * total_cols):
             # Distances depend only on (tic, state): tabulate them once per
             # query — the same subtract/square/sum/sqrt the per-object path
             # applies, so values stay bit-identical — then one 2-d gather
             # replaces materializing an (n, columns, d) coordinate block.
             diff = space.coords[None, :, :] - q_coords[:, None, :]
             per_state = np.sqrt(np.sum(diff * diff, axis=-1))  # (T, S)
+            if (
+                self.backend == "native"
+                and full_grid
+                and native_tier.can_gather_multi(states)
+            ):
+                # One C pass gathers straight from the per-object state
+                # blocks into the destination tensor — no packed
+                # concatenation, no (n, columns) temporary; identical
+                # doubles move, so values are bit-identical.
+                return native_tier.gather_distances_grid_multi(
+                    per_state, states, np.empty(shape)
+                )
+            packed = np.concatenate(states, axis=1)  # (n, total columns)
+            if self.backend == "native" and native_tier.can_gather(packed):
+                if full_grid:
+                    return native_tier.gather_distances_grid(
+                        per_state, packed, np.empty(shape)
+                    )
+                return native_tier.gather_distances(
+                    per_state, packed, time_index, col_index, dist
+                )
             if full_grid:
                 # Every object alive at every tic: the packed columns *are*
                 # the (object, tic) grid in row-major order.
@@ -820,6 +904,7 @@ class QueryEngine:
         else:
             # Huge state spaces: gather coordinates for the sampled states
             # only and einsum the norms.
+            packed = np.concatenate(states, axis=1)  # (n, total columns)
             if full_grid:
                 time_index = np.tile(
                     np.arange(times.size, dtype=np.intp), len(object_ids)
@@ -905,7 +990,7 @@ class QueryEngine:
             return states, alive
         fused = (
             self.fused
-            and self.backend == "compiled"
+            and self.backend in ("compiled", "native")
             and len(set(object_ids)) == len(object_ids)
         )
         if not fused:
@@ -936,11 +1021,13 @@ class QueryEngine:
                     obj.object_id,
                     int(at[0]),
                     int(at[-1]),
-                    self._object_rng(obj.object_id, self._direct_round),
+                    self._object_rng_handle(obj.object_id, self._direct_round),
                 )
                 for obj, at in zip(objects, alive_times)
             ]
-            paths = sample_paths_arena(arena, requests, n)
+            paths = sample_paths_arena(
+                arena, requests, n, native=self.backend == "native"
+            )
             self._direct_draws += len(requests)
             drawn = [p[:, at - at[0]] for p, at in zip(paths, alive_times)]
         for col, block in zip(live_cols, drawn):
@@ -1072,7 +1159,7 @@ class QueryEngine:
             requests = [
                 ArenaRequest(
                     objects[pos].object_id, t_lo, t_hi,
-                    self._object_rng(objects[pos].object_id),
+                    self._object_rng_handle(objects[pos].object_id),
                 )
                 for pos, t_lo, t_hi in fresh
             ]
@@ -1082,7 +1169,9 @@ class QueryEngine:
                 )
                 for pos, rng, last, t_from, t_hi in extend
             ]
-            results = sample_paths_arena(arena, requests, n)
+            results = sample_paths_arena(
+                arena, requests, n, native=self.backend == "native"
+            )
             fresh_results = [
                 (states, req.rng)
                 for states, req in zip(results[: len(fresh)], requests[: len(fresh)])
@@ -1135,7 +1224,7 @@ class QueryEngine:
             items.append(((obj.object_id, n, self.backend), t_lo, t_hi))
         if items:
             stamp = (self._worlds_token, self._draw_epoch)
-            if self.fused and self.backend == "compiled":
+            if self.fused and self.backend in ("compiled", "native"):
                 self.worlds.states_for_many(
                     items, stamp=stamp,
                     bulk_sampler=self._bulk_sampler(objects, n),

@@ -119,6 +119,10 @@ class AdaptedModel:
         timestep.  ``backend="reference"`` keeps the legacy row-dict walk;
         both consume the RNG stream identically (one ``rng.random(n)`` per
         timestep), so a fixed seed yields bit-identical paths on either.
+        ``backend="native"`` is accepted as an alias of ``"compiled"``
+        here: the native tier accelerates *fused* (arena) draws, and
+        per-object draws on a native engine go through the compiled path
+        — bit-identical by the same argument, so mixing them is safe.
 
         ``start_states`` resumes ``n`` previously sampled paths from their
         known states at ``t_start``: the initial variate is *not* consumed
@@ -136,7 +140,7 @@ class AdaptedModel:
             raise KeyError(
                 f"window [{a}, {b}] outside adapted span [{self.t_first}, {self.t_last}]"
             )
-        if backend == "compiled":
+        if backend in ("compiled", "native"):
             return self.compiled.sample_paths(rng, n, a, b, start_states=start_states)
         if backend != "reference":
             raise ValueError(f"unknown sampling backend {backend!r}")

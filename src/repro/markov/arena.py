@@ -81,13 +81,16 @@ class ArenaRequest:
 class _Block:
     """One object's packed tables plus its stable arena position."""
 
-    __slots__ = ("object_id", "order", "pos", "model")
+    __slots__ = ("object_id", "order", "pos", "model", "init_native")
 
     def __init__(self, object_id: str, order: int, pos: int, model: CompiledModel) -> None:
         self.object_id = object_id
         self.order = order
         self.pos = pos
         self.model = model
+        # Native-tier cache: start tic -> pinned contiguous initial CDF
+        # (see repro.markov.native.draw_arena).
+        self.init_native: dict[int, tuple] = {}
 
 
 class _StepTable:
@@ -111,6 +114,7 @@ class _StepTable:
         "tr_width",
         "wide",
         "is_wide",
+        "_native",
     )
 
     def __init__(
@@ -121,6 +125,9 @@ class _StepTable:
         t: int,
         states_dtype: np.dtype = np.dtype(np.intp),
     ) -> None:
+        # Lazily built native-kernel view of this table (a cffi struct plus
+        # its keepalive buffers); see repro.markov.native._step_struct.
+        self._native = None
         self.sup_base = np.full(n_arena, -1, dtype=np.intp)
         sup_parts: list[np.ndarray] = []
         base = 0
@@ -243,6 +250,9 @@ class SamplingArena:
         self._tables: dict[int, _StepTable] = {}
         self._version = 0
         self._states_dtype = np.dtype(np.int32)
+        #: Cumulative count of per-timestep table builds — the observable
+        #: the LRU-eviction and ingest regression tests pin down.
+        self.table_builds = 0
         # Arena positions are allocated monotonically and never reused:
         # a discarded object leaves a hole (dense per-table arrays are
         # indexed by position, so reusing one would alias a live block).
@@ -272,10 +282,10 @@ class SamplingArena:
         self._pos_counter += 1
         was_dtype = self._states_dtype
         if self._states_dtype == np.int32:
-            top = max(
-                int(model.support_at(t)[-1]) for t in range(model.t_first, model.t_last + 1)
-            )
-            if top >= np.iinfo(np.int32).max:
+            # CompiledModel caches its span maximum, so a churny ingest
+            # stream (discard + re-ensure per observation) pays the O(span)
+            # support scan once per compiled model, not per registration.
+            if model.max_state >= np.iinfo(np.int32).max:
                 self._states_dtype = np.dtype(np.intp)
         # A new object must join every built table whose step it covers
         # (including tables at t-1, whose successor offsets depend on the
@@ -339,13 +349,13 @@ class SamplingArena:
                 f"object {object_id!r} is not packed into this arena"
             ) from None
 
-    #: Maximum cached per-timestep tables; beyond it the oldest is evicted
-    #: (rebuilds are cheap relative to draws, so this only bounds memory
-    #: for horizon-spanning workloads).
+    #: Maximum cached per-timestep tables; beyond it the least recently
+    #: used is evicted (rebuilds are cheap relative to draws, so this only
+    #: bounds memory for horizon-spanning workloads).
     table_capacity = 1024
 
     def table(self, t: int) -> _StepTable:
-        """The fused tables at absolute time ``t`` (built lazily)."""
+        """The fused tables at absolute time ``t`` (built lazily, LRU-cached)."""
         table = self._tables.get(t)
         if table is None:
             ordered = sorted(self._blocks.values(), key=lambda b: b.order)
@@ -353,8 +363,15 @@ class SamplingArena:
             table = _StepTable(
                 members, ordered, self._pos_counter, t, self._states_dtype
             )
+            self.table_builds += 1
             if len(self._tables) >= self.table_capacity:
                 self._tables.pop(next(iter(self._tables)))
+            self._tables[t] = table
+        else:
+            # Move-to-end on hit (true LRU): dict order is insertion order,
+            # so re-inserting refreshes recency — a horizon-spanning sweep
+            # that re-enters early tics no longer evicts its hot tables.
+            del self._tables[t]
             self._tables[t] = table
         return table
 
@@ -364,6 +381,7 @@ def sample_paths_arena(
     requests: list[ArenaRequest],
     n: int,
     out: list[np.ndarray] | None = None,
+    native: bool = False,
 ) -> list[np.ndarray]:
     """Draw ``n`` posterior paths per request in one fused pass.
 
@@ -378,6 +396,11 @@ def sample_paths_arena(
     points these at shared-memory segments so a shard worker's draws land
     directly in the coordinator-visible tensor without a copy.  The same
     arrays are returned for convenience.
+
+    ``native=True`` runs the whole sweep through the compiled kernel tier
+    (:mod:`repro.markov.native`) — byte-identical results from the same
+    RNG streams, one C call instead of a numpy sweep per timestep; it
+    raises the tier's descriptive error when the kernels cannot load.
     """
     if n < 1:
         raise ValueError("n must be positive")
@@ -416,6 +439,13 @@ def sample_paths_arena(
         blocks.append(block)
         starts.append(start)
         pos[r], a_arr[r], b_arr[r] = block.pos, a, b
+
+    if native:
+        from . import native as _native
+
+        return _native.draw_arena(
+            arena, requests, n, out, blocks, starts, pos, a_arr, b_arr, resumed
+        )
 
     # Columnar layouts: request r owns row r (resp. column r) of every
     # tensor.  ``uniforms`` is time-major — block 0 holds the initial

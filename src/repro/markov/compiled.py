@@ -182,7 +182,7 @@ class CompiledModel:
     ``AdaptedModel.compiled``).
     """
 
-    __slots__ = ("t_first", "t_last", "_layers", "_initials")
+    __slots__ = ("t_first", "t_last", "_layers", "_initials", "_max_state")
 
     def __init__(
         self,
@@ -195,6 +195,7 @@ class CompiledModel:
         self.t_last = int(t_last)
         self._layers = layers
         self._initials = initials
+        self._max_state: int | None = None
 
     # ------------------------------------------------------------------
     def covers(self, t: int) -> bool:
@@ -216,6 +217,22 @@ class CompiledModel:
     def support_at(self, t: int) -> np.ndarray:
         """Global state ids of the posterior support at ``t`` (sorted)."""
         return self._initials[t][0]
+
+    @property
+    def max_state(self) -> int:
+        """Largest state id in any posterior support (cached on first use).
+
+        The sampling arena picks its packed states dtype from this at
+        registration; caching the O(span) scan here keeps churny ingest
+        streams (discard + re-ensure per observation) from rescanning
+        every timestep on each registration.
+        """
+        if self._max_state is None:
+            self._max_state = max(
+                int(self._initials[t][0][-1])
+                for t in range(self.t_first, self.t_last + 1)
+            )
+        return self._max_state
 
     def rows_of_states(self, t: int, states: np.ndarray) -> np.ndarray:
         """Map global state ids to local support rows at ``t`` (validated)."""

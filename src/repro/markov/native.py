@@ -1,0 +1,582 @@
+"""Optional native (C) kernel tier for the fused sampling arena.
+
+The fused numpy arena (:func:`repro.markov.arena.sample_paths_arena`)
+removed the per-*object* Python loop from refinement sampling, but three
+inner loops remain dispatch-bound rather than FLOP-bound: the
+per-timestep transition sweep (one numpy call per CDF column per tic),
+the per-request initial inverse-CDF search, and the per-state
+distance-table gather in ``QueryEngine._distance_tensor_fused``.  This
+module replaces all three with two C kernels (compiled on demand via
+cffi, see :mod:`._native_kernels`): one fused ``(steps × samples)``
+sweep that carries global row cursors across timesteps without returning
+to Python per tic — including the wide-row fallback arithmetic — and one
+single-pass distance gather.
+
+Availability is auto-detected on first use: :func:`available` returns
+``False`` (and the numpy path keeps serving) when cffi or a C compiler
+is missing, on 32-bit platforms, or when ``REPRO_DISABLE_NATIVE`` is
+set.  Selecting ``backend="native"`` explicitly when the tier cannot
+load raises a descriptive error instead (:func:`require_native`).
+
+Bit-reproducibility is non-negotiable and holds by construction: the
+native sweep consumes each request's RNG stream through the *same*
+``Generator.random`` calls as the numpy path (one block of
+``u_blocks · n`` doubles per request, filled in request order) and every
+draw repeats the numpy arithmetic on the same IEEE doubles — binary
+searches and comparisons over identical arrays yield identical picks.
+``backend="native"`` is therefore byte-identical to
+``backend="compiled"``, exactly as ``"compiled"`` is to ``"reference"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .arena import ArenaRequest, SamplingArena, _Block, _StepTable
+
+__all__ = [
+    "LazySeededRng",
+    "available",
+    "require_native",
+    "seed_fill_ready",
+    "unavailable_reason",
+]
+
+_module = None
+_load_error: str | None = None
+_probed = False
+_seed_fill_ok: bool | None = None
+
+
+def _load():
+    global _module, _load_error, _probed
+    if not _probed:
+        _probed = True
+        try:
+            from . import _native_kernels
+
+            _module = _native_kernels.load()
+        except Exception as exc:  # noqa: BLE001 - any failure means "absent"
+            _load_error = f"{type(exc).__name__}: {exc}"
+    return _module
+
+
+def available() -> bool:
+    """Whether the native tier can serve draws (probes/builds on first call)."""
+    return _load() is not None
+
+
+def unavailable_reason() -> str | None:
+    """Why the tier failed to load (``None`` when it is available)."""
+    _load()
+    return _load_error
+
+
+def require_native() -> None:
+    """Raise a descriptive error unless the native tier is loadable."""
+    if _load() is None:
+        raise RuntimeError(
+            'backend="native" requires the compiled kernel tier, which '
+            f"failed to load ({_load_error}). Install the build dependency "
+            "with `pip install -e \".[native]\"` (cffi plus a C compiler on "
+            "PATH; the first use compiles and caches the kernels), unset "
+            "REPRO_DISABLE_NATIVE if set, or use the default "
+            'backend="compiled" — results are bit-identical on either tier.'
+        )
+
+
+# ---------------------------------------------------------------------------
+# native seeding: skip Generator construction on the bulk path
+# ---------------------------------------------------------------------------
+
+class LazySeededRng:
+    """Stand-in for ``Generator(PCG64(SeedSequence(entropy)))``.
+
+    The native sweep reads ``entropy`` directly and runs seeding plus
+    uniform generation in C (:func:`seed_fill_ready` guards the port),
+    bumping ``consumed`` by the number of doubles drawn.  Any *other*
+    consumer — the numpy arena path, per-object ``sample_paths``, user
+    code poking ``.bit_generator`` — falls through ``__getattr__`` to a
+    real Generator advanced past the natively-consumed doubles, landing
+    on exactly the stream state the eager construction would have.
+    ``random(k)`` consumes one PCG64 step per double, so ``advance`` by
+    the double count parks identically.
+    """
+
+    __slots__ = ("entropy", "consumed", "_gen")
+
+    def __init__(self, entropy: np.ndarray) -> None:
+        self.entropy = entropy
+        self.consumed = 0
+        self._gen: np.random.Generator | None = None
+
+    def _materialize(self) -> np.random.Generator:
+        gen = self._gen
+        if gen is None:
+            gen = np.random.Generator(
+                np.random.PCG64(np.random.SeedSequence(self.entropy))
+            )
+            if self.consumed:
+                gen.bit_generator.advance(self.consumed)
+            self._gen = gen
+        return gen
+
+    def __getattr__(self, name: str):
+        return getattr(self._materialize(), name)
+
+
+def seed_fill_ready() -> bool:
+    """Whether the C seeding + uniform-generation path may be trusted.
+
+    The first call cross-checks the C SeedSequence/PCG64 port against
+    numpy itself over several entropies (varied word counts and resume
+    offsets).  Any mismatch — say a future numpy changes its seeding —
+    permanently disables the fast path for the process; callers then
+    materialize real Generators and bit-reproducibility still holds.
+    """
+    global _seed_fill_ok
+    if _seed_fill_ok is None:
+        _seed_fill_ok = _load() is not None and _seed_fill_selfcheck()
+    return _seed_fill_ok
+
+
+def _seed_fill_selfcheck() -> bool:
+    ffi, lib = _module.ffi, _module.lib
+    check = np.random.default_rng(20130705)
+    for n_words, consumed, count in ((1, 0, 3), (7, 0, 16), (11, 5, 9)):
+        ent = check.integers(0, 2**32, size=n_words, dtype=np.uint32)
+        ref_gen = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(ent))
+        )
+        ref = ref_gen.random(consumed + count)[consumed:]
+        got = np.empty(count)
+        lib.repro_seed_fill(
+            ffi.from_buffer("uint32_t[]", ent),
+            n_words,
+            1,
+            ffi.from_buffer(
+                "int64_t[]", np.array([consumed], dtype=np.intp)
+            ),
+            ffi.from_buffer("int64_t[]", np.array([count], dtype=np.intp)),
+            ffi.from_buffer("double[]", got, require_writable=True),
+            count,
+        )
+        if not np.array_equal(ref, got):  # pragma: no cover - safety net
+            return False
+    return True
+
+
+def _collect_lazy_entropy(requests):
+    """Entropy words + consumed counts for an all-lazy request batch.
+
+    Returns ``(entropy_matrix, consumed)`` when *every* request carries
+    an unmaterialized :class:`LazySeededRng` of equal entropy width (the
+    engine always produces such batches) and the C seeder is verified;
+    anything else — real Generators, a handle someone already
+    materialized, mixed widths — returns ``None`` and the caller
+    pre-draws uniforms through the Generator API instead.
+    """
+    if not seed_fill_ready():
+        return None
+    first = requests[0].rng
+    if type(first) is not LazySeededRng or first._gen is not None:
+        return None
+    n_words = first.entropy.size
+    entropy = np.empty((len(requests), n_words), dtype=np.uint32)
+    for r, req in enumerate(requests):
+        rng = req.rng
+        if (
+            type(rng) is not LazySeededRng
+            or rng._gen is not None
+            or rng.entropy.size != n_words
+        ):
+            return None
+        entropy[r] = rng.entropy
+    consumed = np.array(
+        [req.rng.consumed for req in requests], dtype=np.intp
+    )
+    return entropy, consumed
+
+
+# ---------------------------------------------------------------------------
+# fused arena sweep
+# ---------------------------------------------------------------------------
+
+def _step_struct(ffi, table: "_StepTable"):
+    """One ``repro_step`` describing a built :class:`_StepTable`.
+
+    Cached on the table (tables are themselves cached across draws and
+    rebuilt on arena changes, so the lifecycle is already right).  The
+    keepalive list pins every numpy buffer and cffi pointer the struct
+    references; callers must hold the returned pair for the duration of
+    the kernel call.
+    """
+    cached = table._native
+    if cached is not None:
+        return cached
+    keep: list = []
+
+    def buf(array, ctype):
+        p = ffi.from_buffer(ctype, array)
+        keep.append((array, p))
+        return p
+
+    st = ffi.new("repro_step *")  # zero-initialized
+    keep.append(st)
+    if table.states.dtype == np.dtype(np.int32):
+        st.states32 = buf(table.states, "int32_t[]")
+    else:
+        st.states64 = buf(table.states, "int64_t[]")
+    st.sup_base = buf(table.sup_base, "int64_t[]")
+    if table.tr_width:
+        # Compact-CSR view of the padded dense table, built once per table
+        # build: each row keeps only its actual CDF entries (the finite
+        # prefix — padding is +inf) and its actual successors plus the one
+        # trailing boundary entry, cutting the sweep's memory traffic from
+        # `width` doubles per row to the row's true width.  The entries
+        # are the *same* doubles in the same order, so the early-exit scan
+        # picks exactly what the padded comparison counts.
+        width = table.tr_width
+        cdf_rows = np.ascontiguousarray(table.tr_cdf_cols.T)  # (n_rows, W)
+        finite = np.isfinite(cdf_rows)
+        row_widths = finite.sum(axis=1)
+        n_rows = cdf_rows.shape[0]
+        indptr = np.zeros(n_rows + 1, dtype=np.intp)
+        np.cumsum(row_widths, out=indptr[1:])
+        st.csr_cdf = buf(cdf_rows[finite], "double[]")
+        st.csr_indptr = buf(indptr, "int64_t[]")
+        next_dense = np.asarray(table.tr_next_dense).reshape(n_rows, width + 1)
+        next_mask = np.arange(width + 1)[None, :] <= row_widths[:, None]
+        csr_next = np.ascontiguousarray(next_dense[next_mask])
+        if csr_next.dtype == np.dtype(np.int32):
+            st.next32 = buf(csr_next, "int32_t[]")
+        else:
+            st.next64 = buf(csr_next, "int64_t[]")
+    if table.wide:
+        st.is_wide = buf(table.is_wide.view(np.uint8), "uint8_t[]")
+        positions = sorted(table.wide)
+        st.n_wide = len(positions)
+        st.wide_pos = buf(np.asarray(positions, dtype=np.intp), "int64_t[]")
+        aug_ptrs, auglens, indptr_ptrs, next_ptrs, next_bases, sup_bases = (
+            [], [], [], [], [], []
+        )
+        for pos in positions:
+            layer, next_base = table.wide[pos]
+            aug_ptrs.append(buf(np.ascontiguousarray(layer.aug), "double[]"))
+            auglens.append(layer.aug.size)
+            indptr_ptrs.append(buf(layer.indptr, "int64_t[]"))
+            next_ptrs.append(buf(layer.local_next, "int64_t[]"))
+            next_bases.append(next_base)
+            sup_bases.append(int(table.sup_base[pos]))
+        st.wide_aug = keep_new(ffi, keep, "double *[]", aug_ptrs)
+        st.wide_auglen = buf(np.asarray(auglens, dtype=np.intp), "int64_t[]")
+        st.wide_indptr = keep_new(ffi, keep, "int64_t *[]", indptr_ptrs)
+        st.wide_next = keep_new(ffi, keep, "int64_t *[]", next_ptrs)
+        st.wide_nextbase = buf(
+            np.asarray(next_bases, dtype=np.intp), "int64_t[]"
+        )
+        st.wide_supbase = buf(np.asarray(sup_bases, dtype=np.intp), "int64_t[]")
+    table._native = (st, keep)
+    return table._native
+
+
+def keep_new(ffi, keep: list, ctype: str, init):
+    value = ffi.new(ctype, init)
+    keep.append(value)
+    return value
+
+
+def draw_arena(
+    arena: "SamplingArena",
+    requests: "list[ArenaRequest]",
+    n: int,
+    out: list[np.ndarray] | None,
+    blocks: "list[_Block]",
+    starts: list[np.ndarray | None],
+    pos: np.ndarray,
+    a_arr: np.ndarray,
+    b_arr: np.ndarray,
+    resumed: np.ndarray,
+) -> list[np.ndarray]:
+    """Native back half of :func:`sample_paths_arena` (validated inputs).
+
+    Consumes each request's RNG stream exactly like the numpy path —
+    ``u_blocks · n`` doubles per request, in stream order.  An all-lazy
+    batch (the engine's native bulk path) never touches a ``Generator``:
+    the C sweep seeds each stream from its entropy words and draws the
+    doubles on the fly; any other batch pre-draws one bulk ``random``
+    fill per request, then the sweep runs in one C call either way.
+    """
+    require_native()
+    ffi, lib = _module.ffi, _module.lib
+    n_req = len(requests)
+    widths = b_arr - a_arr + 1
+    u_blocks = widths - resumed
+    max_blocks = int(u_blocks.max())
+    # Uniform source: an all-lazy batch ships its entropy words and the
+    # C sweep seeds + draws each request's stream on the fly (uniforms
+    # shrinks to a one-block scratch buffer); otherwise pre-draw
+    # request-major blocks — rng.random's out= fills the same doubles
+    # from the stream as an allocating call.
+    uniforms = None
+    lazy = _collect_lazy_entropy(requests) if max_blocks else None
+    if lazy is not None:
+        uniforms = np.empty(n)
+    elif max_blocks:
+        uniforms = np.empty((n_req, max_blocks, n))
+        for r, req in enumerate(requests):
+            k = int(u_blocks[r])
+            if k:
+                req.rng.random(out=uniforms[r, :k].reshape(-1))
+
+    t0 = int(a_arr.min())
+    n_steps = int(b_arr.max()) - t0 + 1
+    # Steps no request covers (disjoint windows) stay zeroed placeholder
+    # structs, matching the numpy sweep's idle gap tics.
+    cover = np.zeros(n_steps + 1, dtype=np.intp)
+    np.add.at(cover, a_arr - t0, 1)
+    np.add.at(cover, b_arr - t0 + 1, -1)
+    active = np.cumsum(cover[:-1]) > 0
+    keep: list = []
+    tables: list = []  # pins tables against cache eviction mid-call
+    steps_c = ffi.new("repro_step[]", n_steps)
+    for i in np.flatnonzero(active):
+        table = arena.table(t0 + int(i))
+        tables.append(table)
+        st, st_keep = _step_struct(ffi, table)
+        steps_c[i] = st[0]
+        keep.append(st_keep)
+
+    rows = np.empty(n_req * n, dtype=np.intp)
+    rows2d = rows.reshape(n_req, n)
+    init_ptrs = ffi.new("double *[]", n_req)
+    init_len = np.zeros(n_req, dtype=np.intp)
+    for r in range(n_req):
+        t_a = int(a_arr[r])
+        if resumed[r]:
+            table = arena.table(t_a)
+            rows2d[r] = (
+                blocks[r].model.rows_of_states(t_a, starts[r])
+                + table.sup_base[pos[r]]
+            )
+        else:
+            block = blocks[r]
+            cached = block.init_native.get(t_a)
+            if cached is None:
+                _, cdf = block.model.initial_table(t_a)
+                cdf = np.ascontiguousarray(cdf)
+                cached = (cdf, ffi.from_buffer("double[]", cdf))
+                block.init_native[t_a] = cached
+            init_ptrs[r] = cached[1]
+            init_len[r] = cached[0].size
+
+    states_dtype = arena.states_dtype
+    out_ptrs = ffi.new("void *[]", n_req)
+    writeback: list[tuple[np.ndarray, np.ndarray]] = []
+    if out is None and np.all(widths == widths[0]):
+        # Lockstep windows (the engine's bulk shape): one block allocation
+        # and pointer arithmetic instead of n_req buffers + cffi handles.
+        w0 = int(widths[0])
+        block = np.empty((n_req, n, w0), dtype=states_dtype)
+        results = list(block)
+        base = ffi.from_buffer("char[]", block, require_writable=True)
+        keep.append(base)
+        stride = n * w0 * block.itemsize
+        for r in range(n_req):
+            out_ptrs[r] = base + r * stride
+    else:
+        bufs: list[np.ndarray] = []
+        results = []
+        for r in range(n_req):
+            expect = (n, int(widths[r]))
+            if out is None:
+                buf = np.empty(expect, dtype=states_dtype)
+                results.append(buf)
+            else:
+                dest = out[r]
+                if dest.shape != expect:
+                    raise ValueError(
+                        f"out[{r}] has shape {dest.shape}, expected {expect}"
+                    )
+                if dest.dtype == states_dtype and dest.flags.c_contiguous:
+                    buf = dest
+                else:
+                    # Foreign dtype/layout destinations (e.g. intp
+                    # shared-memory tensors on an int32 arena) go through a
+                    # staging buffer; the copy casts exactly like the numpy
+                    # path's assignment.
+                    buf = np.empty(expect, dtype=states_dtype)
+                    writeback.append((dest, buf))
+                results.append(dest)
+            bufs.append(buf)
+        for r, buf in enumerate(bufs):
+            p = ffi.from_buffer("char[]", buf, require_writable=True)
+            keep.append(p)
+            out_ptrs[r] = p
+
+    lib.repro_arena_sweep(
+        t0,
+        n_steps,
+        n_req,
+        n,
+        ffi.from_buffer("int64_t[]", a_arr),
+        ffi.from_buffer("int64_t[]", b_arr),
+        ffi.from_buffer("uint8_t[]", resumed.view(np.uint8)),
+        ffi.from_buffer("int64_t[]", pos),
+        ffi.from_buffer("double[]", uniforms.reshape(-1))
+        if uniforms is not None
+        else ffi.NULL,
+        max_blocks * n,
+        ffi.from_buffer("uint32_t[]", lazy[0].reshape(-1))
+        if lazy is not None
+        else ffi.NULL,
+        lazy[0].shape[1] if lazy is not None else 0,
+        ffi.from_buffer("int64_t[]", lazy[1])
+        if lazy is not None
+        else ffi.NULL,
+        init_ptrs,
+        ffi.from_buffer("int64_t[]", init_len),
+        ffi.from_buffer("int64_t[]", rows),
+        steps_c,
+        1 if states_dtype == np.dtype(np.int32) else 0,
+        out_ptrs,
+        ffi.from_buffer("int64_t[]", widths),
+    )
+    if lazy is not None:
+        for r, req in enumerate(requests):
+            req.rng.consumed += int(u_blocks[r]) * n
+    for dest, buf in writeback:
+        dest[...] = buf
+    return results
+
+
+# ---------------------------------------------------------------------------
+# per-state distance-table gather
+# ---------------------------------------------------------------------------
+
+_GATHER_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+
+
+def can_gather(packed: np.ndarray) -> bool:
+    """Whether :func:`gather_distances` handles this packed-states array."""
+    return (
+        available()
+        and packed.dtype in _GATHER_DTYPES
+        and packed.flags.c_contiguous
+    )
+
+
+def gather_distances(
+    per_state: np.ndarray,
+    packed: np.ndarray,
+    time_index: np.ndarray,
+    col_index: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """``out[w, col_index[c], time_index[c]] = per_state[time_index[c], packed[w, c]]``.
+
+    One C pass replacing the numpy gather temporary + scatter assignment;
+    pure movement of identical doubles, so values are bit-identical.
+    ``out`` must be prefilled (``inf`` for scattered columns) by the
+    caller, exactly like the numpy scatter path.
+    """
+    require_native()
+    ffi, lib = _module.ffi, _module.lib
+    n, n_cols = packed.shape
+    _, n_objects, n_times = out.shape
+    per_state = np.ascontiguousarray(per_state)
+    time_index = np.ascontiguousarray(time_index, dtype=np.intp)
+    col_index = np.ascontiguousarray(col_index, dtype=np.intp)
+    lib.repro_distance_gather(
+        ffi.from_buffer("double[]", per_state),
+        per_state.shape[1],
+        ffi.from_buffer("char[]", packed),
+        1 if packed.dtype == np.dtype(np.int32) else 0,
+        n,
+        n_cols,
+        ffi.from_buffer("int64_t[]", time_index),
+        ffi.from_buffer("int64_t[]", col_index),
+        ffi.from_buffer("double[]", out, require_writable=True),
+        n_objects,
+        n_times,
+    )
+    return out
+
+
+def can_gather_multi(states: "list[np.ndarray]") -> bool:
+    """Whether :func:`gather_distances_grid_multi` handles these blocks."""
+    if not available() or not states:
+        return False
+    dtype = states[0].dtype
+    if dtype not in _GATHER_DTYPES:
+        return False
+    return all(
+        s.dtype == dtype and s.flags.c_contiguous for s in states
+    )
+
+
+def gather_distances_grid_multi(
+    per_state: np.ndarray,
+    states: "list[np.ndarray]",
+    out: np.ndarray,
+) -> np.ndarray:
+    """Full-grid gather straight from the per-object state blocks.
+
+    ``out[w, b, t] = per_state[t, states[b][w, t]]`` — the multi-block
+    twin of :func:`gather_distances_grid` that skips concatenating the
+    blocks into one packed array first.  Same doubles, bit-identical.
+    """
+    require_native()
+    ffi, lib = _module.ffi, _module.lib
+    n, n_times = states[0].shape
+    per_state = np.ascontiguousarray(per_state)
+    blocks = ffi.new("void *[]", len(states))
+    keep = []
+    for b, s in enumerate(states):
+        p = ffi.from_buffer("char[]", s)
+        keep.append(p)
+        blocks[b] = p
+    lib.repro_distance_gather_grid_multi(
+        ffi.from_buffer("double[]", per_state),
+        per_state.shape[1],
+        blocks,
+        1 if states[0].dtype == np.dtype(np.int32) else 0,
+        len(states),
+        n,
+        ffi.from_buffer("double[]", out, require_writable=True),
+        n_times,
+    )
+    return out
+
+
+def gather_distances_grid(
+    per_state: np.ndarray,
+    packed: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Full-grid gather: ``out[w, o, t] = per_state[t, packed[w, o * T + t]]``.
+
+    Used when every object is alive at every tic — the packed columns
+    are the (object, tic) grid in row-major order, matching ``out``'s own
+    layout, so the C pass streams both sides sequentially with no index
+    arrays at all.  Same doubles, bit-identical values.
+    """
+    require_native()
+    ffi, lib = _module.ffi, _module.lib
+    n, n_cols = packed.shape
+    n_times = out.shape[2]
+    per_state = np.ascontiguousarray(per_state)
+    lib.repro_distance_gather_grid(
+        ffi.from_buffer("double[]", per_state),
+        per_state.shape[1],
+        ffi.from_buffer("char[]", packed),
+        1 if packed.dtype == np.dtype(np.int32) else 0,
+        n,
+        n_cols,
+        ffi.from_buffer("double[]", out, require_writable=True),
+        n_times,
+    )
+    return out

@@ -277,6 +277,79 @@ class TestArenaValidation:
         arena = _arena(_models(0))
         assert sample_paths_arena(arena, [], 4) == []
 
+    def test_table_cache_is_true_lru(self):
+        """Hits refresh recency: re-entering a hot tic must not let a
+        later build evict it (the FIFO regression this pins down)."""
+        models = _models(2, n_objects=2)
+        arena = _arena(models)
+        arena.table_capacity = 2
+        model = models[sorted(models)[0]]
+        assert model.t_last - model.t_first >= 2
+        t0, t1, t2 = (model.t_first + i for i in range(3))
+        arena.table(t0)
+        arena.table(t1)
+        assert arena.table_builds == 2
+        arena.table(t0)  # cache hit — under true LRU, t1 is now oldest
+        assert arena.table_builds == 2
+        arena.table(t2)  # over capacity: evicts t1, not the just-hit t0
+        assert arena.table_builds == 3
+        arena.table(t0)  # still cached; a FIFO cache would rebuild here
+        assert arena.table_builds == 3
+        arena.table(t1)  # the genuinely coldest entry was the one evicted
+        assert arena.table_builds == 4
+
+    def test_ensure_reuses_cached_max_state_across_churn(self):
+        """Registration reads the cached span maximum: a churny ingest
+        stream (discard + re-ensure per observation) must not pay the
+        O(span) support rescan per registration."""
+        models = _models(4, n_objects=1)
+        oid = sorted(models)[0]
+        model = models[oid]
+        assert model._max_state is None
+        arena = SamplingArena()
+        arena.ensure(oid, model, order=0)
+        expected = max(
+            int(model.support_at(t)[-1])
+            for t in range(model.t_first, model.t_last + 1)
+        )
+        assert model._max_state == expected
+        # Booby-trap the support tables: any rescan during re-registration
+        # would now blow up instead of silently re-walking the span.
+        real_initials = model._initials
+        model._initials = {}
+        try:
+            for _ in range(20):
+                assert arena.discard(oid) is True
+                arena.ensure(oid, model, order=0)
+        finally:
+            model._initials = real_initials
+        assert arena.states_dtype == np.dtype(np.int32)
+
+    def test_states_dtype_promotes_exactly_at_int32_max(self):
+        """int32 packed states up to and including max-1; the first model
+        whose ids could collide with int32 sentinels promotes to intp,
+        and the promotion is sticky."""
+
+        class _SpanStub:
+            def __init__(self, max_state):
+                self.max_state = max_state
+
+            def covers(self, t):
+                return False
+
+        boundary = np.iinfo(np.int32).max
+        arena = SamplingArena()
+        arena.ensure("small", _SpanStub(boundary - 1))
+        assert arena.states_dtype == np.dtype(np.int32)
+        arena.ensure("big", _SpanStub(boundary))
+        assert arena.states_dtype == np.dtype(np.intp)
+        arena.ensure("small-after", _SpanStub(5))
+        assert arena.states_dtype == np.dtype(np.intp)
+
+        fresh = SamplingArena()
+        fresh.ensure("big", _SpanStub(boundary))
+        assert fresh.states_dtype == np.dtype(np.intp)
+
     def test_discard_evicts_and_compacts_positions(self):
         """A long-running churn (discard + re-ensure per ingest, forever)
         must not grow the dense position space without bound — and draws
