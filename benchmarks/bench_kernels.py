@@ -609,7 +609,13 @@ def _monitor_database(n_objects, seed=11):
 
 
 def _monitor_tick_setup(
-    *, prune_vectorized, refine_cache, n_objects=300, n_subs=50, warm=12
+    *,
+    prune_vectorized,
+    refine_cache,
+    n_objects=300,
+    n_subs=50,
+    warm=12,
+    telemetry=False,
 ):
     """A warmed monitor over ``n_subs`` standing queries + its event feed.
 
@@ -619,12 +625,22 @@ def _monitor_tick_setup(
     group is provably clean from the mutation's affected time range
     alone."""
     db, refine = _monitor_database(n_objects)
+    obs_kwargs = {}
+    if telemetry:
+        from repro.obs import MetricsRegistry, SlowQueryLog, Tracer
+
+        obs_kwargs = {
+            "tracer": Tracer(),
+            "metrics": MetricsRegistry(),
+            "slow_log": SlowQueryLog(threshold_seconds=0.1),
+        }
     engine = QueryEngine(
         db,
         n_samples=256,
         seed=3,
         prune_vectorized=prune_vectorized,
         refine_cache_size=64 if refine_cache else 0,
+        **obs_kwargs,
     )
     monitor = ContinuousMonitor(engine)
     rng = np.random.default_rng(5)
@@ -713,6 +729,67 @@ def test_monitor_tick_targets(bench_record):
     assert stage_totals["estimate"] <= max(
         stage_totals[s] for s in others
     ), stage_totals
+
+
+def test_monitor_tick_obs_overhead(bench_record):
+    """Full telemetry (recording tracer + registry + slow log) vs the
+    NullTracer default on identically warmed steady-state monitors.
+
+    The observability contract's cost half: ``stage_seconds`` moved to
+    span-derived timing for *everyone*, so the un-instrumented path must
+    not have slowed, and switching telemetry on must cost ≤5% of tick
+    latency (``OBS_OVERHEAD_CEILING``, relaxed on shared CI runners).
+    The two monitors tick *interleaved at tick granularity* (alternating
+    which goes first), so clock drift, cache state and allocator phase
+    hit both modes alike; the ratio is taken between per-mode *minimum*
+    round times — min-of-rounds discards scheduler preemption spikes a
+    mean would fold in.
+    """
+    rounds, per_round = 5, 6
+    monitors = {}
+    for mode, telemetry in (("plain", False), ("instrumented", True)):
+        monitors[mode] = _monitor_tick_setup(
+            prune_vectorized=True, refine_cache=True, telemetry=telemetry
+        )
+    round_s = {"plain": [], "instrumented": []}
+    for r in range(rounds):
+        totals = {"plain": 0.0, "instrumented": 0.0}
+        for i in range(r * per_round, (r + 1) * per_round):
+            order = ("plain", "instrumented") if i % 2 == 0 else (
+                "instrumented", "plain"
+            )
+            for mode in order:
+                monitor, feed = monitors[mode]
+                t0 = perf_counter()
+                monitor.tick(feed[i])
+                totals[mode] += perf_counter() - t0
+        for mode, total in totals.items():
+            round_s[mode].append(total)
+    plain_s = min(round_s["plain"])
+    instrumented_s = min(round_s["instrumented"])
+    overhead = instrumented_s / plain_s - 1.0
+    ceiling = float(
+        os.environ.get(
+            "OBS_OVERHEAD_CEILING", "0.50" if os.environ.get("CI") else "0.05"
+        )
+    )
+    # The instrumented run really recorded (one trace per tick, counters
+    # fed) — the comparison must not be telemetry-off-by-accident.
+    engine = monitors["instrumented"][0].engine
+    assert len(engine.tracer.traces) > 0
+    assert engine.metrics.value("monitor_ticks_total") >= rounds * per_round
+    bench_record(
+        "monitor_tick_obs_overhead",
+        {
+            "rounds": rounds,
+            "ticks_per_round": per_round,
+            "plain_min_round_s": plain_s,
+            "instrumented_min_round_s": instrumented_s,
+            "overhead_ratio": overhead,
+            "ceiling": ceiling,
+        },
+    )
+    assert overhead <= ceiling, (round_s, overhead, ceiling)
 
 
 def test_prune_filter_targets(bench_record):

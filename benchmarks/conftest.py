@@ -42,6 +42,7 @@ KNOWN_KERNELS = frozenset(
         "ingest_throughput",
         "knn_k",
         "monitor_tick",
+        "monitor_tick_obs_overhead",
         "native_speedup",
         "prune_filter",
         "serve_scaling",

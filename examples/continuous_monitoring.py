@@ -12,6 +12,13 @@ worlds and arena tables — everything else is reused bit-identically), and
 re-evaluates only the subscriptions whose influence sets the fixes could
 touch, emitting per-subscription delta notifications.
 
+The run is fully instrumented: a recording :class:`Tracer` turns every
+tick into a span tree (printed per tick as a stage summary, and in full
+for the initial evaluation), a :class:`MetricsRegistry` collects the
+counters/histograms every layer feeds, a :class:`SlowQueryLog` keeps the
+slowest evaluations with their explain plans, and a
+:class:`MetricsServer` exposes it all over HTTP while the stream runs.
+
 Run:  python examples/continuous_monitoring.py
 """
 
@@ -24,12 +31,17 @@ import numpy as np
 
 from repro import (
     ContinuousMonitor,
+    MetricsRegistry,
+    MetricsServer,
     Query,
     QueryEngine,
     QueryRequest,
     SlidingWindow,
+    SlowQueryLog,
+    Tracer,
     Trajectory,
     TrajectoryDatabase,
+    format_span_tree,
 )
 from repro.analysis.hoeffding import samples_needed
 from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
@@ -74,8 +86,18 @@ def main() -> None:
     )
 
     n = samples_needed(0.02, 0.01)  # ±0.02 at 99% per estimate
-    engine = QueryEngine(db, n_samples=n, seed=2)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    slow_log = SlowQueryLog(threshold_seconds=0.05)
+    engine = QueryEngine(
+        db, n_samples=n, seed=2, tracer=tracer, metrics=metrics,
+        slow_log=slow_log,
+    )
     monitor = ContinuousMonitor(engine)
+    scrape = MetricsServer(
+        metrics, port=0, tracer=tracer, slow_log=slow_log
+    )
+    print(f"telemetry endpoint (while this runs): {scrape.url}/metrics")
 
     # The patrol: ride along one object's ground-truth route (certain).
     host = full.get(full.object_ids[0])
@@ -103,6 +125,9 @@ def main() -> None:
     for note in report.notifications:
         print(f"  {note.subscription:9s} {_summary(note)}")
     print(f"  reuse: {_reuse(report)}")
+    print("  trace of the initial tick:")
+    for line in format_span_tree(tracer.last_trace, indent=2).splitlines():
+        print(line)
 
     print("\n=== live ticks: one per tic, ingesting that tic's fixes ===")
     for t in range(cutover + 1, config.horizon + 1):
@@ -120,6 +145,7 @@ def main() -> None:
             )
         print(line)
         print(f"        reuse: {_reuse(report)}")
+        print(f"        trace: {_trace_summary(tracer.last_trace)}")
 
     print("\n=== totals ===")
     sched = monitor.scheduler
@@ -140,6 +166,45 @@ def main() -> None:
         f"  index: {engine.index_updates} per-object updates, "
         f"{engine.index_rebuilds} full rebuild(s)"
     )
+
+    print("\n=== telemetry ===")
+    print(
+        f"  metrics: {metrics.value('monitor_ticks_total'):.0f} ticks, "
+        f"{metrics.value('queries_total', {'mode': 'forall'}):.0f} forall + "
+        f"{metrics.value('queries_total', {'mode': 'pcnn'}):.0f} pcnn + "
+        f"{metrics.value('queries_total', {'mode': 'exists'}):.0f} exists "
+        f"evaluations, {metrics.value('worlds_sampled_total'):.0f} worlds "
+        "sampled"
+    )
+    print("  Prometheus exposition excerpt (scrape the endpoint for all):")
+    lines = metrics.to_prometheus_text().splitlines()
+    for line in lines:
+        if line.startswith(("monitor_ticks_total", "scheduler_decisions")):
+            print(f"    {line}")
+    slowest = slow_log.entries()
+    if slowest:
+        worst = slowest[0]
+        print(
+            f"  slow log: {len(slow_log)} evaluations over "
+            f"{slow_log.threshold_seconds * 1e3:.0f} ms; slowest "
+            f"{worst['name']} at {worst['seconds'] * 1e3:.1f} ms "
+            f"({worst['explain']['n_candidates']} candidates, "
+            f"{worst['explain']['n_samples']} samples)"
+        )
+    else:
+        print("  slow log: empty — no evaluation crossed the threshold")
+    scrape.close()
+
+
+def _trace_summary(span) -> str:
+    """One line per tick: root duration + its heaviest stages."""
+    stages = sorted(
+        span.children, key=lambda s: s.duration_seconds, reverse=True
+    )
+    parts = ", ".join(
+        f"{s.name} {s.duration_seconds * 1e3:.1f}" for s in stages[:3]
+    )
+    return f"{span.duration_seconds * 1e3:.1f} ms ({parts})"
 
 
 def _summary(note) -> str:

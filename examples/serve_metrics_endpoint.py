@@ -1,0 +1,114 @@
+"""A live serving deployment with its observability endpoint exposed.
+
+Starts a 2-shard process-mode :class:`ServeCoordinator` over a synthetic
+workload with full telemetry on — a recording tracer, an auto-created
+metrics registry, and the stdlib HTTP scrape endpoint — runs a few
+serving ticks, prints the stitched trace of the last one, then holds the
+endpoint open so an external scraper (Prometheus, or plain curl) can
+read it:
+
+    python examples/serve_metrics_endpoint.py --hold 30
+    curl http://127.0.0.1:<port>/metrics        # Prometheus text
+    curl http://127.0.0.1:<port>/metrics.json   # JSON snapshot
+    curl http://127.0.0.1:<port>/traces         # recent span trees
+    curl http://127.0.0.1:<port>/slow           # slow-query log
+
+CI uses ``--port-file`` to discover the ephemeral port and curl the
+endpoint from outside Python.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro import (
+    Query,
+    QueryRequest,
+    ServeCoordinator,
+    SlidingWindow,
+    Tracer,
+    format_span_tree,
+)
+from repro.data.synthetic import SyntheticWorkloadConfig, generate_workload
+from repro.stream import AddObservation
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--hold", type=float, default=30.0,
+        help="seconds to keep serving the endpoint after the ticks",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="scrape port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--port-file", default=None,
+        help="write the bound port to this file once the endpoint is up",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(7)
+    config = SyntheticWorkloadConfig(
+        n_states=400, n_objects=16, lifetime=20, horizon=20, obs_interval=5
+    )
+    workload = generate_workload(config, rng)
+    db = workload.db
+
+    tracer = Tracer()
+    query = Query.from_state(db.space, workload.sample_query_state())
+    with ServeCoordinator(
+        db,
+        n_shards=2,
+        seed=5,
+        mode="process",
+        n_samples=120,
+        timeout=120,
+        tracer=tracer,
+        metrics_port=args.port,
+    ) as coord:
+        coord.subscribe(
+            QueryRequest(query, (5, 6, 7, 8), "forall", tau=0.05), name="guard"
+        )
+        coord.subscribe(
+            QueryRequest(query, (0,), "exists", tau=0.1),
+            window=SlidingWindow(width=3, lag=0),
+            name="nearby",
+        )
+        print(f"metrics endpoint: {coord.metrics_server.url}", flush=True)
+
+        # A few serving ticks: the initial evaluation, then live fixes
+        # (each object re-observed at one in-lifetime tic).
+        report = coord.tick((), now=10)
+        ids = sorted(db.object_ids)
+        for t, oid in enumerate(ids[:3], start=11):
+            obj = db.get(oid)
+            state = int(obj.ground_truth.states[t - obj.ground_truth.t_start])
+            report = coord.tick([AddObservation(oid, t, state)], now=t)
+            print(
+                f"tick now={t}: {len(report.reevaluated)} re-evaluated, "
+                f"{len(report.changed)} changed",
+                flush=True,
+            )
+
+        print("\nlast tick's stitched trace (coordinator + both workers):")
+        print(format_span_tree(tracer.last_trace), flush=True)
+        # Announce the port only once the registry has real content —
+        # scrapers launched against the port file see populated metrics.
+        if args.port_file:
+            Path(args.port_file).write_text(str(coord.metrics_server.port))
+        print(
+            f"\nholding the endpoint for {args.hold:.0f}s — scrape "
+            f"{coord.metrics_server.url}/metrics now",
+            flush=True,
+        )
+        time.sleep(args.hold)
+
+
+if __name__ == "__main__":
+    main()

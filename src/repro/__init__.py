@@ -36,6 +36,14 @@ Public API tour
   tensors) with notifications and reuse counters bit-identical to a
   single process for any shard count; worker death surfaces as
   :class:`ShardFailure` and ``restart_shard`` resumes bit-identically.
+* Observe: :class:`Tracer` records structured span trees for every
+  evaluation / monitor tick / serve tick (stitched across worker
+  processes), :class:`MetricsRegistry` collects typed counters, gauges
+  and latency histograms from every layer, :class:`MetricsServer`
+  exposes them over HTTP (Prometheus text + JSON), and
+  :class:`SlowQueryLog` keeps the slowest evaluations with their
+  explain plans attached.  The default :data:`NULL_TRACER` keeps the
+  hot path allocation-free; telemetry never changes result bytes.
 """
 
 from .core.evaluator import QueryEngine
@@ -58,6 +66,17 @@ from .core.results import (
     ReverseNNResult,
 )
 from .core.worlds import WorldCache
+from .obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    MetricsServer,
+    NullTracer,
+    SlowQueryLog,
+    Span,
+    TraceContext,
+    Tracer,
+    format_span_tree,
+)
 from .serve import ServeCoordinator, ShardFailure
 from .markov.adaptation import AdaptedModel, ObservationContradictionError, adapt_model
 from .markov.chain import InhomogeneousMarkovChain, MarkovChain, uniformized
@@ -83,7 +102,7 @@ from .trajectory.database import TrajectoryDatabase
 from .trajectory.observation import Observation, ObservationSet
 from .trajectory.trajectory import Trajectory, UncertainObject
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AdaptedModel",
@@ -98,7 +117,11 @@ __all__ = [
     "InhomogeneousMarkovChain",
     "LabelDistribution",
     "MarkovChain",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NULL_TRACER",
     "Notification",
+    "NullTracer",
     "Observation",
     "ObservationContradictionError",
     "ObservationSet",
@@ -120,10 +143,14 @@ __all__ = [
     "ServeCoordinator",
     "ShardFailure",
     "SlidingWindow",
+    "SlowQueryLog",
+    "Span",
     "SparseDistribution",
     "StateSpace",
     "Subscription",
     "TickReport",
+    "TraceContext",
+    "Tracer",
     "Trajectory",
     "TrajectoryDatabase",
     "USTTree",
@@ -133,6 +160,7 @@ __all__ = [
     "adapt_model",
     "build_city_network",
     "compile_model",
+    "format_span_tree",
     "build_grid_space",
     "build_synthetic_space",
     "normalize_times",

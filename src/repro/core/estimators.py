@@ -180,6 +180,41 @@ class Estimator:
         """Produce the estimate stage's outcome for one planned request."""
         raise NotImplementedError
 
+    def run(self, ctx: EstimationContext) -> EstimateOutcome:
+        """:meth:`estimate` wrapped in telemetry (the pipeline entry point).
+
+        With the default :class:`~repro.obs.NullTracer` and no registry
+        this is a plain delegation; otherwise the strategy gets its own
+        child span under the estimate stage plus per-strategy counters.
+        Pure observation — the outcome bytes are identical either way.
+        """
+        engine = ctx.engine
+        tracer = engine.tracer
+        metrics = engine.metrics
+        if not tracer.enabled and metrics is None:
+            return self.estimate(ctx)
+        with tracer.span(f"estimator:{self.name}") as span:
+            outcome = self.estimate(ctx)
+            span.set(
+                n_samples_used=outcome.n_samples_used,
+                sampled_objects=outcome.sampled_objects,
+                undecided=outcome.undecided,
+            )
+        if metrics is not None:
+            metrics.counter(
+                "estimator_runs_total",
+                help="Estimate-stage executions, by strategy.",
+                labels={"estimator": self.name},
+            ).inc()
+            if outcome.sampled_objects:
+                metrics.counter(
+                    "estimator_sampled_objects_total",
+                    help="Objects refined by Monte-Carlo sampling, "
+                    "by strategy.",
+                    labels={"estimator": self.name},
+                ).inc(outcome.sampled_objects)
+        return outcome
+
 
 class SampledEstimator(Estimator):
     """Monte-Carlo refinement over all influence objects (Section 5).

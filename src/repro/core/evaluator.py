@@ -43,13 +43,13 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from contextlib import contextmanager
-from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..markov import native as native_tier
 from ..markov.arena import ArenaRequest, SamplingArena, sample_paths_arena
+from ..obs.tracing import NULL_TRACER
 from ..spatial.ust_tree import PruningResult, USTTree
 from ..trajectory.database import TrajectoryDatabase
 from ..trajectory.trajectory import UncertainObject
@@ -176,6 +176,9 @@ class QueryEngine:
         incremental: bool = True,
         prune_vectorized: bool = True,
         refine_cache_size: int = 64,
+        tracer=None,
+        metrics=None,
+        slow_log=None,
     ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
@@ -199,6 +202,15 @@ class QueryEngine:
         if refine_cache_size < 0:
             raise ValueError("refine_cache_size must be >= 0")
         self.refine_cache_size = int(refine_cache_size)
+        #: Telemetry (see :mod:`repro.obs`): the tracer times the pipeline
+        #: stages — ``stage_seconds`` is derived from its span durations,
+        #: so :data:`NULL_TRACER` (the default) still times spans, it just
+        #: retains nothing.  ``metrics``/``slow_log`` are optional feeds;
+        #: every call site guards on ``is not None`` so the default path
+        #: costs nothing.  None of the three ever touches RNG state.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.slow_log = slow_log
         # Shared-world refinement tensors, LRU by request key; entries are
         # ``{"stamp", "version", "dist"}`` (see ``refine_cache_size`` docs).
         self._refine_cache: OrderedDict[tuple, dict] = OrderedDict()
@@ -210,8 +222,12 @@ class QueryEngine:
         self.estimate_columns_reused = 0
         self.estimate_columns_refreshed = 0
         self._ust = ust_tree
+        if ust_tree is not None and metrics is not None:
+            ust_tree.metrics = metrics
         #: Cached per-object sampled worlds; see :mod:`repro.core.worlds`.
         self.worlds = WorldCache()
+        if metrics is not None:
+            self.worlds.bind_metrics(metrics)
         self._draw_epoch = 0
         self._epoch_counter = 0  # monotonic allocator (epochs can be restored)
         self._batch_depth = 0
@@ -221,7 +237,7 @@ class QueryEngine:
         self._last_batch_epoch: int | None = None
         # Columnar sampling arena (fused refinement); mutated objects are
         # evicted selectively, populated on first touch per object.
-        self._arena = SamplingArena()
+        self._arena = self._new_arena()
         self._rng_tags: dict[str, tuple[np.ndarray, int]] = {}
         # Mutation sync state: the database version the derived structures
         # (index, arena, world cache) currently reflect, plus the world
@@ -257,8 +273,26 @@ class QueryEngine:
         self._sync_mutations()
         if self._ust is None:
             self._ust = USTTree(self.db)
+            if self.metrics is not None:
+                self._ust.metrics = self.metrics
             self.index_rebuilds += 1
         return self._ust
+
+    def _new_arena(self) -> SamplingArena:
+        """A fresh arena with the metrics feed bound (if any).
+
+        Every arena construction in the engine (and the serve worker's
+        wholesale-sync path) routes through here so
+        ``arena_table_builds_total`` keeps counting across resets.
+        """
+        arena = SamplingArena()
+        if self.metrics is not None:
+            arena.table_build_counter = self.metrics.counter(
+                "arena_table_builds_total",
+                help="Per-tic distance/transition table builds in the "
+                "sampling arena (cache misses, incl. LRU re-builds).",
+            )
+        return arena
 
     def invalidate_index(self) -> None:
         """Drop the index explicitly (mutations are detected automatically)."""
@@ -284,7 +318,7 @@ class QueryEngine:
         )
         if changed is None:
             self._ust = None
-            self._arena = SamplingArena()
+            self._arena = self._new_arena()
             self._worlds_token += 1
         else:
             if self._ust is not None:
@@ -1311,67 +1345,119 @@ class QueryEngine:
         and return bit-identical seeded results.
         """
         request = self._coerce_request(request)
-        t0 = perf_counter()
-        self._sync_mutations()
-        plan = build_plan(request, self.n_samples)
-        times = np.asarray(plan.times, dtype=np.intp)
-        self._begin_query()
-        t1 = perf_counter()
-        pruning = self.filter_objects(
-            request.query,
-            times,
-            k=request.k,
-            normalized=True,
-            reverse=request.mode == "reverse_nn",
-        )
-        # The kNN depth must fit the competitor pool the filter produced:
-        # with fewer than k influence objects every alive object would
-        # trivially qualify (np.partition's degenerate branch), which is
-        # never what a caller asking for depth k meant.  An *empty* pool
-        # stays legal — it yields the classic empty result for any k.
-        if pruning.influencers and request.k > len(pruning.influencers):
-            raise ValueError(
-                f"k={request.k} exceeds the filter stage's competitor pool "
-                f"({len(pruning.influencers)} influence object(s) over "
-                f"T={list(map(int, times))}); a kNN depth cannot exceed the "
-                "number of objects that could rank"
+        tracer = self.tracer
+        # Stage timings are read off span durations — one timing truth
+        # whether tracing is recording (Tracer) or not (NullTracer).
+        with tracer.span("evaluate") as sp_eval:
+            with tracer.span("plan") as sp_plan:
+                self._sync_mutations()
+                plan = build_plan(request, self.n_samples)
+                times = np.asarray(plan.times, dtype=np.intp)
+                self._begin_query()
+            with tracer.span("filter") as sp_filter:
+                pruning = self.filter_objects(
+                    request.query,
+                    times,
+                    k=request.k,
+                    normalized=True,
+                    reverse=request.mode == "reverse_nn",
+                )
+                # The kNN depth must fit the competitor pool the filter
+                # produced: with fewer than k influence objects every alive
+                # object would trivially qualify (np.partition's degenerate
+                # branch), which is never what a caller asking for depth k
+                # meant.  An *empty* pool stays legal — it yields the
+                # classic empty result for any k.
+                if pruning.influencers and request.k > len(pruning.influencers):
+                    raise ValueError(
+                        f"k={request.k} exceeds the filter stage's competitor "
+                        f"pool ({len(pruning.influencers)} influence "
+                        f"object(s) over T={list(map(int, times))}); a kNN "
+                        "depth cannot exceed the number of objects that "
+                        "could rank"
+                    )
+                # For ∃/PCNN/raw semantics every influence object is a
+                # potential result (Section 6, "Pruning for the P∃NNQ
+                # query"); the reverse direction likewise reports over the
+                # full overlap set.
+                result_ids = (
+                    pruning.candidates
+                    if request.mode == "forall"
+                    else pruning.influencers
+                )
+            with tracer.span("estimate") as sp_estimate:
+                cache_before = (
+                    self.worlds.hits, self.worlds.partial_hits, self.worlds.misses
+                )
+                ctx = EstimationContext(
+                    engine=self,
+                    request=request,
+                    plan=plan,
+                    times=times,
+                    pruning=pruning,
+                    result_ids=list(result_ids),
+                    refine_ids=list(pruning.influencers),
+                )
+                outcome = make_estimator(plan.resolved_estimator).run(ctx)
+            with tracer.span("threshold") as sp_threshold:
+                result = self._assemble(
+                    request, plan, pruning, outcome, times, result_ids
+                )
+            result.report = self._build_report(
+                plan,
+                pruning,
+                outcome,
+                cache_before,
+                {
+                    "plan": sp_plan.duration_seconds,
+                    "filter": sp_filter.duration_seconds,
+                    "estimate": sp_estimate.duration_seconds,
+                    "threshold": sp_threshold.duration_seconds,
+                },
             )
-        # For ∃/PCNN/raw semantics every influence object is a potential
-        # result (Section 6, "Pruning for the P∃NNQ query"); the reverse
-        # direction likewise reports over the full overlap set.
-        result_ids = (
-            pruning.candidates if request.mode == "forall" else pruning.influencers
-        )
-        t2 = perf_counter()
-        cache_before = (
-            self.worlds.hits, self.worlds.partial_hits, self.worlds.misses
-        )
-        ctx = EstimationContext(
-            engine=self,
-            request=request,
-            plan=plan,
-            times=times,
-            pruning=pruning,
-            result_ids=list(result_ids),
-            refine_ids=list(pruning.influencers),
-        )
-        outcome = make_estimator(plan.resolved_estimator).estimate(ctx)
-        t3 = perf_counter()
-        result = self._assemble(request, plan, pruning, outcome, times, result_ids)
-        t4 = perf_counter()
-        result.report = self._build_report(
-            plan,
-            pruning,
-            outcome,
-            cache_before,
-            {
-                "plan": t1 - t0,
-                "filter": t2 - t1,
-                "estimate": t3 - t2,
-                "threshold": t4 - t3,
-            },
-        )
+            if tracer.enabled:
+                sp_eval.set(
+                    mode=request.mode,
+                    estimator=plan.resolved_estimator,
+                    n_candidates=len(pruning.candidates),
+                    n_influencers=len(pruning.influencers),
+                    n_samples=outcome.n_samples_used,
+                )
+        if self.metrics is not None or self.slow_log is not None:
+            self._observe_evaluation(request, result.report, sp_eval)
         return result
+
+    def _observe_evaluation(self, request, report, span) -> None:
+        """Feed telemetry after one evaluation (read-only observation)."""
+        m = self.metrics
+        if m is not None:
+            for stage, secs in report.stage_seconds.items():
+                m.histogram(
+                    "evaluate_latency_seconds",
+                    help="Per-stage evaluate() latency.",
+                    labels={"stage": stage},
+                ).observe(secs)
+            m.counter(
+                "queries_total",
+                help="Evaluations completed, by query mode.",
+                labels={"mode": request.mode},
+            ).inc()
+            if report.n_samples:
+                m.counter(
+                    "worlds_sampled_total",
+                    help="Possible worlds drawn/used by completed "
+                    "evaluations.",
+                ).inc(report.n_samples)
+        log = self.slow_log
+        if log is not None:
+            total = report.total_seconds
+            if total >= log.threshold_seconds:
+                log.record(
+                    f"evaluate:{request.mode}",
+                    total,
+                    explain=report.as_dict(),
+                    trace=span.to_dict() if self.tracer.enabled else None,
+                )
 
     def _assemble(
         self,

@@ -131,6 +131,31 @@ class WorldCache:
         self.hits = 0
         self.misses = 0
         self.partial_hits = 0
+        # Optional metrics-registry mirrors of the counters above (see
+        # :meth:`bind_metrics`); ``None`` keeps the default path free.
+        self._m_hits = None
+        self._m_partial = None
+        self._m_misses = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror lookup outcomes into ``world_cache_*_total`` counters.
+
+        The loose ``hits``/``partial_hits``/``misses`` attributes stay
+        authoritative (the reuse snapshots and lockstep suites read
+        them); the registry counters are an additive feed for scraping.
+        """
+        self._m_hits = registry.counter(
+            "world_cache_hits_total",
+            help="World-cache lookups fully served from cache.",
+        )
+        self._m_partial = registry.counter(
+            "world_cache_partial_hits_total",
+            help="World-cache lookups served by extending a cached prefix.",
+        )
+        self._m_misses = registry.counter(
+            "world_cache_misses_total",
+            help="World-cache lookups requiring a full fresh draw.",
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -206,6 +231,8 @@ class WorldCache:
             seg = None
         if seg is None:
             self.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
             states, rng = sampler(t_lo, t_hi)
             seg = WorldSegment(t_lo, states, rng)
             if len(self._entries) >= self.capacity:
@@ -213,10 +240,14 @@ class WorldCache:
             self._entries[key] = seg
         elif t_hi > seg.t_last:
             self.partial_hits += 1
+            if self._m_partial is not None:
+                self._m_partial.inc()
             ext = extender(seg.rng, seg.states[:, -1], seg.t_last, t_hi)
             seg.states = np.concatenate([seg.states, ext], axis=1)
         else:
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
         return seg
 
     def states_for_many(
@@ -266,6 +297,8 @@ class WorldCache:
                 seg = None
             if seg is None:
                 self.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.inc()
                 fresh.append((pos, t_lo, t_hi))
                 placeholder = WorldSegment(t_lo, np.empty((0, 0), dtype=np.intp), None)
                 placeholders[key] = placeholder
@@ -274,10 +307,14 @@ class WorldCache:
                 self._entries[key] = placeholder
             elif t_hi > seg.t_last:
                 self.partial_hits += 1
+                if self._m_partial is not None:
+                    self._m_partial.inc()
                 extend.append((pos, seg.rng, seg.states[:, -1], seg.t_last, t_hi))
                 segments[pos] = seg
             else:
                 self.hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
                 segments[pos] = seg
         if fresh or extend:
             fresh_results, extend_results = bulk_sampler(fresh, extend)

@@ -253,6 +253,10 @@ class SamplingArena:
         #: Cumulative count of per-timestep table builds — the observable
         #: the LRU-eviction and ingest regression tests pin down.
         self.table_builds = 0
+        #: Optional metrics mirror (``arena_table_builds_total``): the
+        #: engine binds a registry counter here (see
+        #: ``QueryEngine._new_arena``); ``None`` keeps the path free.
+        self.table_build_counter = None
         # Arena positions are allocated monotonically and never reused:
         # a discarded object leaves a hole (dense per-table arrays are
         # indexed by position, so reusing one would alias a live block).
@@ -364,6 +368,8 @@ class SamplingArena:
                 members, ordered, self._pos_counter, t, self._states_dtype
             )
             self.table_builds += 1
+            if self.table_build_counter is not None:
+                self.table_build_counter.inc()
             if len(self._tables) >= self.table_capacity:
                 self._tables.pop(next(iter(self._tables)))
             self._tables[t] = table

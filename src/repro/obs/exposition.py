@@ -1,0 +1,112 @@
+"""Stdlib HTTP scrape endpoint for metrics, traces, and the slow log.
+
+:class:`MetricsServer` wraps ``http.server.ThreadingHTTPServer`` on a
+daemon thread.  Routes:
+
+* ``/metrics`` — Prometheus text exposition (``text/plain``)
+* ``/metrics.json`` — the registry's JSON snapshot
+* ``/traces`` — recent finished traces from the bound tracer (if any)
+* ``/slow`` — the slow-query log (if any)
+
+``port=0`` binds an ephemeral port; read the real one from
+:attr:`MetricsServer.port` / :attr:`MetricsServer.url`.  The server
+only ever *reads* telemetry state, so scraping cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .slowlog import SlowQueryLog
+from .tracing import Tracer
+
+__all__ = ["MetricsServer"]
+
+
+class MetricsServer:
+    """Serve a registry (plus optional tracer/slow log) over HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        tracer: Tracer | None = None,
+        slow_log: SlowQueryLog | None = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.slow_log = slow_log
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = server.registry.to_prometheus_text().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/metrics.json":
+                    body = _json_bytes(server.registry.to_json())
+                    ctype = "application/json"
+                elif path == "/traces":
+                    body = _json_bytes(server._traces_payload())
+                    ctype = "application/json"
+                elif path == "/slow":
+                    body = _json_bytes(server._slow_payload())
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes should not spam stderr
+
+        self._httpd = ThreadingHTTPServer((host, int(port)), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _traces_payload(self) -> dict[str, Any]:
+        if self.tracer is None:
+            return {"traces": []}
+        return {"traces": [span.to_dict() for span in self.tracer.traces]}
+
+    def _slow_payload(self) -> dict[str, Any]:
+        if self.slow_log is None:
+            return {"entries": []}
+        return self.slow_log.to_json()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, indent=2, sort_keys=True, default=str).encode()

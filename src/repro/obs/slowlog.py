@@ -1,0 +1,87 @@
+"""Top-N slow-query log with attached explain plans and traces."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Keep the ``capacity`` slowest operations over a latency threshold.
+
+    Fed by ``QueryEngine.evaluate`` (and anything else that wants in):
+    each entry carries the operation name, its duration, the request's
+    resolved plan/report detail (the ``explain()`` view), and — when
+    tracing is enabled — the serialised span tree, so a slow request can
+    be read stage by stage after the fact.
+
+    Implementation: a min-heap of size ``capacity`` keyed on duration,
+    so recording is O(log N) and the fastest entry is evicted first.
+    """
+
+    def __init__(
+        self, *, threshold_seconds: float = 0.1, capacity: int = 32
+    ) -> None:
+        self.threshold_seconds = float(threshold_seconds)
+        self.capacity = int(capacity)
+        self._heap: list[tuple[float, int, dict[str, Any]]] = []
+        self._tiebreak = itertools.count()
+        self.recorded_total = 0
+        self.seen_total = 0
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        explain: dict[str, Any] | None = None,
+        trace: dict[str, Any] | None = None,
+    ) -> bool:
+        """Offer one operation; returns True if it entered the log."""
+        self.seen_total += 1
+        seconds = float(seconds)
+        if seconds < self.threshold_seconds:
+            return False
+        entry = {
+            "name": str(name),
+            "seconds": seconds,
+            "explain": explain,
+            "trace": trace,
+        }
+        item = (seconds, next(self._tiebreak), entry)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+            self.recorded_total += 1
+            return True
+        if seconds > self._heap[0][0]:
+            heapq.heapreplace(self._heap, item)
+            self.recorded_total += 1
+            return True
+        return False
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Logged entries, slowest first."""
+        return [
+            entry
+            for _, _, entry in sorted(
+                self._heap, key=lambda item: (-item[0], item[1])
+            )
+        ]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "threshold_seconds": self.threshold_seconds,
+            "capacity": self.capacity,
+            "seen_total": self.seen_total,
+            "recorded_total": self.recorded_total,
+            "entries": self.entries(),
+        }
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,382 @@
+"""Structured tracing: span trees with cross-process propagation.
+
+Design constraints (see the package docstring):
+
+* **One timing truth.**  ``EvaluationReport.stage_seconds`` and
+  ``TickReport.stage_seconds`` are derived from span durations, so even
+  the disabled-by-default :class:`NullTracer` must time its spans.  A
+  null span is a two-float object (start/end on ``perf_counter``) with
+  no name, attrs, children, or retention — the same cost as the bare
+  ``perf_counter()`` pairs it replaced.
+
+* **Determinism.**  Trace and span ids are sequential counters under a
+  caller-chosen prefix, never wall clock or random — telemetry must not
+  touch RNG state, and replaying the same workload yields the same ids.
+
+* **Cross-process stitching.**  :meth:`Tracer.context` exports a
+  picklable :class:`TraceContext` naming the current span; a worker
+  tracer opens spans under that remote parent via
+  :meth:`Tracer.remote_span`, serialises the finished subtree with
+  :meth:`Span.to_dict`, and the coordinator re-attaches it beneath its
+  live span with :meth:`Tracer.attach` — so one trace shows
+  ingest → schedule → per-shard sweep → gather → notify end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "format_span_tree",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable pointer to a live span in another process.
+
+    Carried by serve protocol commands (``ApplyEvents``,
+    ``ComputeColumns``, ...) so workers can parent their spans under the
+    coordinator's tick.  ``None`` stands for "tracing disabled".
+    """
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "children",
+        "events",
+        "t_start",
+        "t_end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: str = "",
+        span_id: str = "",
+        parent_id: str | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = attrs or {}
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.children: list[Span] = []
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+        self.t_start = perf_counter()
+        self.t_end: float | None = None
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.t_end if self.t_end is not None else perf_counter()
+        return end - self.t_start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes after the span opened (e.g. result sizes)."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event at an offset within this span."""
+        self.events.append((perf_counter() - self.t_start, name, attrs))
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> list["Span"]:
+        """All spans named ``name`` in this subtree, depth-first order."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for pickling across the serve wire."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_seconds": self.duration_seconds,
+            "events": [
+                {"offset_seconds": off, "name": name, "attrs": dict(attrs)}
+                for off, name, attrs in self.events
+            ],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        span = cls(
+            str(data.get("name", "")),
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
+            parent_id=data.get("parent_id"),
+            attrs=dict(data.get("attrs", {})),
+        )
+        # Rebuild the recorded timing rather than the wall clock at
+        # deserialisation time: duration is the only portable quantity
+        # (perf_counter origins differ between processes).
+        span.t_start = 0.0
+        span.t_end = float(data.get("duration_seconds", 0.0))
+        span.events = [
+            (
+                float(ev.get("offset_seconds", 0.0)),
+                str(ev.get("name", "")),
+                dict(ev.get("attrs", {})),
+            )
+            for ev in data.get("events", [])
+        ]
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id!r}, "
+            f"dur={self.duration_seconds:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Timing-only span: real duration, nothing else retained.
+
+    ``set``/``event`` are no-ops; entering/exiting just stamps the
+    monotonic clock.  This is what keeps the default hot path
+    allocation-light while ``stage_seconds`` stays span-derived.
+    """
+
+    __slots__ = ("t_start", "t_end")
+
+    def __init__(self) -> None:
+        self.t_start = perf_counter()
+        self.t_end: float | None = None
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.t_end if self.t_end is not None else perf_counter()
+        return end - self.t_start
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        self.t_start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.t_end = perf_counter()
+
+
+class NullTracer:
+    """Disabled tracer: spans time themselves but nothing is recorded.
+
+    The default on every engine/monitor/coordinator.  ``enabled`` is the
+    flag call sites check before computing expensive span attributes.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NullSpan()
+
+    def remote_span(
+        self, name: str, ctx: TraceContext | None, **attrs: Any
+    ) -> _NullSpan:
+        return _NullSpan()
+
+    def context(self) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def attach(self, span_dicts: Any) -> None:
+        pass
+
+    @property
+    def current(self) -> None:
+        return None
+
+    @property
+    def last_trace(self) -> None:
+        return None
+
+
+#: Shared default instance — stateless, so one object serves every layer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: span stack, parent links, bounded trace buffer.
+
+    Not thread-safe by design — each tracer belongs to one engine /
+    worker / coordinator loop, mirroring how the serve tier already
+    confines mutable state.  Worker replies are attached on the
+    coordinator's thread after the fan-out joins.
+    """
+
+    enabled = True
+
+    def __init__(self, *, max_traces: int = 64, id_prefix: str = "t") -> None:
+        self.max_traces = int(max_traces)
+        self.id_prefix = str(id_prefix)
+        self.traces: deque[Span] = deque(maxlen=self.max_traces)
+        self._stack: list[Span] = []
+        self._trace_seq = 0
+        self._span_seq = 0
+
+    # -- span lifecycle -------------------------------------------------
+
+    def _open(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        remote_parent: TraceContext | None = None,
+    ) -> Span:
+        if self._stack:
+            parent = self._stack[-1]
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        elif remote_parent is not None:
+            trace_id = remote_parent.trace_id
+            parent_id = remote_parent.span_id
+        else:
+            self._trace_seq += 1
+            trace_id = f"{self.id_prefix}-{self._trace_seq}"
+            parent_id = None
+        self._span_seq += 1
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=f"{self.id_prefix}:{self._span_seq}",
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        span.t_start = perf_counter()  # exclude bookkeeping from duration
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.t_end = perf_counter()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - unbalanced exit
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        if not self._stack and span.parent_id is None:
+            self.traces.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child of the current span (or a new trace root)."""
+        span = self._open(name, attrs)
+        try:
+            yield span
+        finally:
+            self._close(span)
+
+    @contextmanager
+    def remote_span(
+        self, name: str, ctx: TraceContext | None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Open a span parented under a context from another process.
+
+        The finished subtree is *not* appended to :attr:`traces` (its
+        root lives elsewhere); callers serialise it with
+        :meth:`Span.to_dict` and ship it home in the ``Reply``.
+        """
+        span = self._open(name, attrs, remote_parent=ctx)
+        try:
+            yield span
+        finally:
+            span.t_end = perf_counter()
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+
+    # -- introspection / propagation ------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_trace(self) -> Span | None:
+        return self.traces[-1] if self.traces else None
+
+    def context(self) -> TraceContext | None:
+        """Picklable handle to the current span for cross-process parents."""
+        cur = self.current
+        if cur is None:
+            return None
+        return TraceContext(trace_id=cur.trace_id, span_id=cur.span_id)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an event on the current span (no-op outside any span)."""
+        cur = self.current
+        if cur is not None:
+            cur.event(name, **attrs)
+
+    def attach(self, span_dicts: Any) -> None:
+        """Stitch serialised remote spans under the current span.
+
+        ``span_dicts`` is a list of :meth:`Span.to_dict` payloads from a
+        worker reply.  With no live span (e.g. absorption outside a
+        trace) the subtrees are dropped — there is nothing to parent
+        them under.
+        """
+        cur = self.current
+        if cur is None or not span_dicts:
+            return
+        for data in span_dicts:
+            span = Span.from_dict(data)
+            span.parent_id = cur.span_id
+            cur.children.append(span)
+
+
+def format_span_tree(span: Span, *, indent: int = 0) -> str:
+    """Human-readable one-line-per-span rendering of a trace."""
+    pad = "  " * indent
+    attrs = ""
+    if span.attrs:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(span.attrs.items()))
+        attrs = f"  [{inner}]"
+    lines = [f"{pad}{span.name}  {span.duration_seconds * 1e3:.3f} ms{attrs}"]
+    for off, name, ev_attrs in span.events:
+        detail = ""
+        if ev_attrs:
+            inner = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(ev_attrs.items())
+            )
+            detail = f"  [{inner}]"
+        lines.append(f"{pad}  @{off * 1e3:.3f} ms  {name}{detail}")
+    for child in span.children:
+        lines.append(format_span_tree(child, indent=indent + 1))
+    return "\n".join(lines)

@@ -27,10 +27,11 @@ committed its version cursor and re-derives the delta on retry).
 from __future__ import annotations
 
 import asyncio
-from dataclasses import replace
-from time import perf_counter
 from typing import Iterable
 
+from ..obs.exposition import MetricsServer
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER
 from ..stream.ingest import StreamEvent
 from ..stream.monitor import ContinuousMonitor, TickReport
 from ..trajectory.database import TrajectoryDatabase
@@ -70,6 +71,23 @@ class ServeCoordinator:
     timeout:
         Per-request worker reply deadline (process mode); an overdue or
         dead worker raises :class:`ShardFailure` instead of hanging.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When recording, every tick
+        produces one span tree — ingest fan-out, monitor stages, and the
+        per-shard worker spans stitched back under the coordinator's
+        root (cross-process propagation; see README "Observability").
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; worker registries
+        are merged into it every tick and across ``restart_shard``.
+        Created automatically when ``metrics_port`` is given.
+    metrics_port:
+        When not ``None``, start a stdlib HTTP scrape endpoint
+        (``/metrics`` Prometheus text, ``/metrics.json``, ``/traces``,
+        ``/slow``) on ``127.0.0.1:<port>`` (``0`` = ephemeral; read
+        :attr:`metrics_server` ``.port``/``.url``).
+    slow_log:
+        Optional :class:`repro.obs.SlowQueryLog` fed by the engine's
+        evaluations (slow requests keep their explain plan and trace).
     engine_kwargs:
         Forwarded to the coordinator engine (``n_samples``, ``backend``,
         ``fused``, ``incremental``, ...).  Workers inherit them with
@@ -84,6 +102,10 @@ class ServeCoordinator:
         seed: int | None = None,
         mode: str = "inline",
         timeout: float = 120.0,
+        tracer=None,
+        metrics=None,
+        metrics_port: int | None = None,
+        slow_log=None,
         **engine_kwargs,
     ) -> None:
         if mode not in ("inline", "process"):
@@ -98,6 +120,15 @@ class ServeCoordinator:
         self.router = ShardRouter(n_shards)
         self._seed = int(seed)
         self._engine_kwargs = dict(engine_kwargs)
+        if metrics is None and metrics_port is not None:
+            metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.slow_log = slow_log
+        # Workers build their *own* tracer/registry (telemetry objects
+        # never ride a WorkerConfig across the spawn boundary); replies
+        # ship spans + cumulative snapshots home instead.
+        self._telemetry = bool(self.tracer.enabled or metrics is not None)
         configs = {
             shard: self._config_for(shard) for shard in range(self.router.n_shards)
         }
@@ -111,10 +142,21 @@ class ServeCoordinator:
             router=self.router,
             transport=transport,
             seed=self._seed,
+            tracer=tracer,
+            metrics=metrics,
+            slow_log=slow_log,
             **engine_kwargs,
         )
         self.monitor = ContinuousMonitor(self.engine)
         self._stream = self.monitor.stream
+        self.metrics_server: MetricsServer | None = None
+        if metrics_port is not None:
+            self.metrics_server = MetricsServer(
+                metrics,
+                port=metrics_port,
+                tracer=self.tracer if self.tracer.enabled else None,
+                slow_log=slow_log,
+            )
 
     def _config_for(self, shard: int) -> WorkerConfig:
         return WorkerConfig(
@@ -125,6 +167,7 @@ class ServeCoordinator:
             ),
             seed=self._seed,
             engine_kwargs=dict(self._engine_kwargs),
+            telemetry=self._telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -172,43 +215,80 @@ class ServeCoordinator:
         engine = self.engine
         engine._inflight = tuple(s.name for s in self.monitor.subscriptions)
         engine.reset_shard_timings()
-        t0 = perf_counter()
-        ingest = None
-        try:
-            if events:
-                # Central validation + authoritative apply first: a crash
-                # during fan-out must never lose the batch (restart_shard
-                # rebuilds workers from this database).  Validation errors
-                # name the offending event's index and object id and leave
-                # every database untouched.
-                ingest = self._stream.apply(events)
-                engine._broadcast(
-                    {
-                        shard: ApplyEvents(events=shard_events)
-                        for shard, shard_events in self.router.partition_events(
-                            events
-                        ).items()
-                    }
+        # The serve-tick span roots this tick's trace: the apply fan-out's
+        # per-shard ingest spans and the monitor's tick subtree (with the
+        # workers' stitched sweep spans) all land under it.
+        with self.tracer.span("serve-tick") as sp_tick:
+            ingest = None
+            try:
+                with self.tracer.span("apply-fanout") as sp_apply:
+                    if events:
+                        # Central validation + authoritative apply first: a
+                        # crash during fan-out must never lose the batch
+                        # (restart_shard rebuilds workers from this
+                        # database).  Validation errors name the offending
+                        # event's index and object id and leave every
+                        # database untouched.
+                        ingest = self._stream.apply(events)
+                        engine._broadcast(
+                            {
+                                shard: ApplyEvents(events=shard_events)
+                                for shard, shard_events in (
+                                    self.router.partition_events(events).items()
+                                )
+                            }
+                        )
+                apply_seconds = sp_apply.duration_seconds
+                effective_now = now
+                if effective_now is None and ingest is not None:
+                    latest = ingest.latest_time
+                    current = self.monitor.now
+                    if latest is not None and (
+                        current is None or latest > current
+                    ):
+                        effective_now = latest
+                report = self.monitor.tick((), now=effective_now)
+            except ShardFailure as failure:
+                self._observe_failure(failure)
+                raise
+            finally:
+                engine._inflight = ()
+            # Fold the fan-out apply cost and per-shard busy times in via
+            # the explicit merge constructor — TickReport is frozen and
+            # its stage dict must not be mutated behind other holders.
+            stages = {
+                "ingest": report.stage_seconds.get("ingest", 0.0)
+                + apply_seconds
+            }
+            for shard, busy in sorted(engine.shard_busy_seconds.items()):
+                stages[f"shard{shard}"] = busy
+            report = report.with_stage_times(stages, ingest=ingest)
+            if self.tracer.enabled:
+                sp_tick.set(
+                    shards=self.router.n_shards,
+                    events=len(events),
+                    notifications=len(report.notifications),
                 )
-            apply_seconds = perf_counter() - t0
-            effective_now = now
-            if effective_now is None and ingest is not None:
-                latest = ingest.latest_time
-                current = self.monitor.now
-                if latest is not None and (current is None or latest > current):
-                    effective_now = latest
-            report = self.monitor.tick((), now=effective_now)
-        finally:
-            engine._inflight = ()
-        report = replace(report, ingest=ingest)
-        # TickReport is frozen but its stage dict is deliberately mutable:
-        # fold the fan-out apply cost and per-shard busy times in.
-        report.stage_seconds["ingest"] = (
-            report.stage_seconds.get("ingest", 0.0) + apply_seconds
-        )
-        for shard, busy in sorted(engine.shard_busy_seconds.items()):
-            report.stage_seconds[f"shard{shard}"] = busy
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_ticks_total", help="Completed serving ticks."
+            ).inc()
         return report
+
+    def _observe_failure(self, failure: ShardFailure) -> None:
+        """Record a mid-tick worker death on every telemetry channel."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shard_failures_total",
+                help="Worker deaths surfaced mid-tick, by shard.",
+                labels={"shard": str(failure.shard)},
+            ).inc()
+        self.tracer.event(
+            "shard-failure",
+            shard=failure.shard,
+            detail=failure.detail,
+            subscriptions=list(failure.subscriptions),
+        )
 
     async def tick_async(
         self,
@@ -245,6 +325,22 @@ class ServeCoordinator:
         engine = self.engine
         self._transport.restart(shard, self._config_for(shard))
         engine._shard_counters[shard] = {}
+        # The replacement worker's registry starts from zero: reset the
+        # last-seen snapshot so its first reply merges cleanly.  Totals
+        # absorbed before the crash stay in the coordinator's registry —
+        # the counters survive the replay.
+        engine._shard_metric_seen[shard] = {}
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shard_restarts_total",
+                help="Worker rebuild/replay recoveries, by shard.",
+                labels={"shard": str(shard)},
+            ).inc()
+        self.tracer.event(
+            "shard-restart",
+            shard=shard,
+            subscriptions=[s.name for s in self.monitor.subscriptions],
+        )
         epoch = (
             engine._last_batch_epoch
             if engine._last_batch_epoch is not None
@@ -279,6 +375,9 @@ class ServeCoordinator:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+            self.metrics_server = None
         self._transport.close()
 
     def __enter__(self) -> "ServeCoordinator":

@@ -93,6 +93,12 @@ class ShardedQueryEngine(QueryEngine):
         self._shard_counters: dict[int, dict[str, int]] = {
             s: {} for s in range(router.n_shards)
         }
+        # Last-seen cumulative metrics snapshots per shard — the registry
+        # analogue of _shard_counters (see MetricsRegistry.merge_delta);
+        # reset alongside it when a shard is restarted.
+        self._shard_metric_seen: dict[int, dict] = {
+            s: {} for s in range(router.n_shards)
+        }
         #: Per-shard handler busy time (seconds) accumulated since the
         #: coordinator last reset it — the per-shard stage timings surfaced
         #: in ``TickReport.stage_seconds``.
@@ -115,6 +121,15 @@ class ShardedQueryEngine(QueryEngine):
     # transport plumbing
     # ------------------------------------------------------------------
     def _absorb(self, shard: int, reply) -> None:
+        # Stitch the worker's finished span subtree under whatever span
+        # issued this command (absorption runs synchronously after the
+        # fan-out joins, on the coordinator's thread).
+        if reply.spans:
+            self.tracer.attach(reply.spans)
+        if self.metrics is not None and reply.metrics:
+            self.metrics.merge_delta(
+                reply.metrics, self._shard_metric_seen[shard]
+            )
         seen = self._shard_counters[shard]
         for key, value in reply.counters.items():
             delta = int(value) - seen.get(key, 0)
@@ -137,6 +152,8 @@ class ShardedQueryEngine(QueryEngine):
         )
 
     def _request(self, shard: int, command):
+        if self.tracer.enabled and hasattr(command, "trace"):
+            command.trace = self.tracer.context()
         try:
             reply = self._transport.request(shard, command)
         except ShardCrashed as exc:
@@ -145,6 +162,11 @@ class ShardedQueryEngine(QueryEngine):
         return reply.payload
 
     def _broadcast(self, commands: dict[int, object]) -> dict[int, object]:
+        if self.tracer.enabled:
+            ctx = self.tracer.context()
+            for command in commands.values():
+                if hasattr(command, "trace"):
+                    command.trace = ctx
         try:
             replies = self._transport.broadcast(commands)
         except ShardCrashed as exc:
@@ -300,31 +322,40 @@ class ShardedQueryEngine(QueryEngine):
                     job.full_shape = results[job.job_index].shape
                     job.dtype = str(results[job.job_index].dtype)
         try:
-            payloads = self._broadcast(
-                {
-                    shard: ComputeColumns(
-                        epoch=epoch,
-                        window=window,
-                        jobs=shard_jobs,
-                        shm_name=None if shm is None else shm.name,
-                    )
-                    for shard, shard_jobs in per_shard.items()
-                }
-            )
-            if shm is not None:
-                # Every column of every job belongs to exactly one shard,
-                # and each worker writes its whole sub-block (dead
-                # positions included), so the segment is fully populated.
-                for j, arr in enumerate(results):
-                    view = np.ndarray(
-                        arr.shape, dtype=arr.dtype, buffer=shm.buf,
-                        offset=offsets[j],
-                    )
-                    arr[...] = view
-            else:
-                for shard, payload in payloads.items():
-                    for job, sub in zip(per_shard[shard], payload):
-                        results[job.job_index][:, list(job.col_index), :] = sub
+            # The fan-out span collects each worker's stitched
+            # "shard-sweep" child (attached during absorption); "gather"
+            # times the cross-shard tensor assembly on the coordinator.
+            with self.tracer.span("shard-fanout") as sp_fanout:
+                payloads = self._broadcast(
+                    {
+                        shard: ComputeColumns(
+                            epoch=epoch,
+                            window=window,
+                            jobs=shard_jobs,
+                            shm_name=None if shm is None else shm.name,
+                        )
+                        for shard, shard_jobs in per_shard.items()
+                    }
+                )
+                sp_fanout.set(shards=len(per_shard), jobs=len(jobs))
+            with self.tracer.span("gather"):
+                if shm is not None:
+                    # Every column of every job belongs to exactly one
+                    # shard, and each worker writes its whole sub-block
+                    # (dead positions included), so the segment is fully
+                    # populated.
+                    for j, arr in enumerate(results):
+                        view = np.ndarray(
+                            arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                            offset=offsets[j],
+                        )
+                        arr[...] = view
+                else:
+                    for shard, payload in payloads.items():
+                        for job, sub in zip(per_shard[shard], payload):
+                            results[job.job_index][:, list(job.col_index), :] = (
+                                sub
+                            )
         finally:
             if shm is not None:
                 shm.close()

@@ -49,6 +49,10 @@ class WorkerConfig:
     db: Any
     seed: int
     engine_kwargs: dict = field(default_factory=dict)
+    #: Build the worker with its own recording ``Tracer`` + registry
+    #: (never the coordinator's objects — telemetry state is per-process
+    #: and ships home serialised inside each :class:`Reply`).
+    telemetry: bool = False
 
 
 @dataclass
@@ -56,6 +60,9 @@ class ApplyEvents:
     """Apply this shard's sub-batch of a centrally validated event batch."""
 
     events: list
+    #: Optional :class:`repro.obs.TraceContext` — the coordinator span to
+    #: parent this command's worker-side span under (``None`` = no trace).
+    trace: Any = None
 
 
 @dataclass
@@ -70,6 +77,7 @@ class SyncShard:
     """
 
     wholesale: bool
+    trace: Any = None
 
 
 @dataclass
@@ -111,6 +119,7 @@ class ComputeColumns:
     window: tuple | None
     jobs: list
     shm_name: str | None = None
+    trace: Any = None
 
 
 @dataclass
@@ -121,6 +130,7 @@ class PrefetchWorlds:
     targets: tuple = ()
     window: tuple | None = None
     n_samples: int | None = None
+    trace: Any = None
 
 
 @dataclass
@@ -136,6 +146,7 @@ class ReplayWorlds:
 
     epoch: int
     items: tuple
+    trace: Any = None
 
 
 @dataclass
@@ -156,11 +167,19 @@ class Reply:
     (hits, partial hits, misses, invalidated segments); the coordinator
     absorbs deltas so its own counters read as if it had done the
     sampling itself.  ``busy_seconds`` is the handler's wall time.
+
+    With telemetry enabled, ``spans`` carries the handler's finished
+    span subtree (:meth:`repro.obs.Span.to_dict` payloads) for the
+    coordinator to stitch under its live span, and ``metrics`` the
+    worker registry's *cumulative* snapshot — absorbed as deltas, same
+    as ``counters``, so a restart only resets the last-seen baseline.
     """
 
     payload: Any = None
     counters: dict = field(default_factory=dict)
     busy_seconds: float = 0.0
+    spans: list = field(default_factory=list)
+    metrics: dict | None = None
 
 
 @dataclass

@@ -28,6 +28,7 @@ import asyncio
 import multiprocessing
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 
 from .protocol import (
     CrashWorker,
@@ -51,6 +52,10 @@ class InlineTransport:
             shard: ShardWorkerState(config) for shard, config in configs.items()
         }
         self._dead: set[int] = set()
+        #: Cumulative per-shard request round-trip time (observability:
+        #: round trip minus the reply's ``busy_seconds`` is the transport
+        #: overhead — zero-ish inline, pickling + pipes in process mode).
+        self.roundtrip_seconds: dict[int, float] = {s: 0.0 for s in configs}
 
     def worker(self, shard: int) -> ShardWorkerState:
         """The live worker state (test introspection hook)."""
@@ -62,7 +67,12 @@ class InlineTransport:
         if isinstance(command, CrashWorker):
             self._dead.add(shard)
             raise ShardCrashed(shard, "worker crashed (CrashWorker hook)")
-        return self._workers[shard].handle(command)
+        t0 = perf_counter()
+        reply = self._workers[shard].handle(command)
+        self.roundtrip_seconds[shard] = (
+            self.roundtrip_seconds.get(shard, 0.0) + perf_counter() - t0
+        )
+        return reply
 
     def broadcast(self, commands: dict[int, object]) -> dict[int, object]:
         replies = {}
@@ -97,6 +107,11 @@ class ProcessTransport:
         self._timeout = float(timeout)
         self._procs: dict[int, multiprocessing.Process] = {}
         self._conns: dict[int, object] = {}
+        #: Cumulative per-shard request round-trip time (see
+        #: :class:`InlineTransport`); each shard is only ever touched by
+        #: the one fan-out thread carrying its request, so plain float
+        #: accumulation is safe.
+        self.roundtrip_seconds: dict[int, float] = {s: 0.0 for s in configs}
         for shard, config in sorted(configs.items()):
             self._start(shard, config)
         self._pool = ThreadPoolExecutor(
@@ -124,6 +139,7 @@ class ProcessTransport:
     def request(self, shard: int, command):
         conn = self._conns[shard]
         proc = self._procs[shard]
+        t0 = perf_counter()
         try:
             conn.send(command)
             if isinstance(command, CrashWorker):
@@ -147,6 +163,9 @@ class ProcessTransport:
             raise RuntimeError(
                 f"shard {shard} handler failed (worker survives):\n{reply.error}"
             )
+        self.roundtrip_seconds[shard] = (
+            self.roundtrip_seconds.get(shard, 0.0) + perf_counter() - t0
+        )
         return reply
 
     def broadcast(self, commands: dict[int, object]) -> dict[int, object]:

@@ -23,7 +23,8 @@ import numpy as np
 
 from ..core.evaluator import QueryEngine
 from ..core.queries import Query
-from ..markov.arena import SamplingArena
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..stream.ingest import ObservationStream
 from .protocol import (
     ApplyEvents,
@@ -64,14 +65,36 @@ def _open_shm(name: str):
 class ShardWorkerState:
     """The per-shard engine plus its command handlers."""
 
+    #: Worker-side span name per command type (the coordinator's trace
+    #: shows these stitched under the span that issued the command).
+    SPAN_NAMES = {
+        "ApplyEvents": "shard-ingest",
+        "SyncShard": "shard-sync",
+        "ComputeColumns": "shard-sweep",
+        "PrefetchWorlds": "shard-prefetch",
+        "ReplayWorlds": "shard-replay",
+    }
+
     def __init__(self, config: WorkerConfig) -> None:
         self.shard = int(config.shard)
         self.n_shards = int(config.n_shards)
         self.db = config.db
         kwargs = dict(config.engine_kwargs)
         kwargs.pop("rng", None)
+        # Telemetry objects never ride the config (they are per-process);
+        # a telemetry-enabled worker builds its own.
+        for key in ("tracer", "metrics", "slow_log"):
+            kwargs.pop(key, None)
         kwargs["reuse_worlds"] = True
         kwargs["refine_cache_size"] = 0
+        if getattr(config, "telemetry", False):
+            self.tracer = Tracer(id_prefix=f"shard{self.shard}")
+            self.metrics = MetricsRegistry()
+            kwargs["tracer"] = self.tracer
+            kwargs["metrics"] = self.metrics
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = None
         self.engine = QueryEngine(self.db, seed=config.seed, **kwargs)
         self.stream = ObservationStream(self.db)
 
@@ -87,11 +110,31 @@ class ShardWorkerState:
 
     def handle(self, command, shm_open=_open_shm) -> Reply:
         t0 = perf_counter()
-        payload = self._dispatch(command, shm_open)
+        spans: list = []
+        if self.tracer.enabled:
+            name = self.SPAN_NAMES.get(
+                type(command).__name__, type(command).__name__.lower()
+            )
+            with self.tracer.remote_span(
+                name, getattr(command, "trace", None), shard=self.shard
+            ) as span:
+                payload = self._dispatch(command, shm_open)
+            spans = [span.to_dict()]
+        else:
+            payload = self._dispatch(command, shm_open)
+        busy = perf_counter() - t0
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shard_busy_seconds",
+                help="Cumulative command-handler busy time, per shard.",
+                labels={"shard": str(self.shard)},
+            ).inc(busy)
         return Reply(
             payload=payload,
             counters=self.counters(),
-            busy_seconds=perf_counter() - t0,
+            busy_seconds=busy,
+            spans=spans,
+            metrics=self.metrics.snapshot() if self.metrics is not None else None,
         )
 
     def _dispatch(self, command, shm_open):
@@ -105,7 +148,7 @@ class ShardWorkerState:
                 # shard's own mutation log could name the delta — flush
                 # timing must match the single-process engine exactly.
                 engine._ust = None
-                engine._arena = SamplingArena()
+                engine._arena = engine._new_arena()
                 engine._worlds_token += 1
                 engine._mut_seen = engine.db.version
             else:

@@ -110,6 +110,10 @@ class USTTree:
         # them (the snapshot wholesale, the tables per object).
         self._columns: _SegmentColumns | None = None
         self._refine_tables: dict[str, tuple] = {}
+        #: Optional :class:`repro.obs.MetricsRegistry` feed — the owning
+        #: engine binds its registry here so prune volume is scrapeable
+        #: (``ust_prune_calls_total`` / ``ust_examined_entries_total``).
+        self.metrics = None
 
     def _segment_items(self, object_id: str) -> list[tuple[Rect, SegmentKey]]:
         """Index entries for one object's current reachability diamonds."""
@@ -233,8 +237,19 @@ class USTTree:
         if q_coords.shape[0] != times.size:
             raise ValueError("one query location per query time is required")
         if vectorized:
-            return self._prune_vectorized(q_coords, times, k, refine_per_tic)
-        return self._prune_reference(q_coords, times, k, refine_per_tic)
+            result = self._prune_vectorized(q_coords, times, k, refine_per_tic)
+        else:
+            result = self._prune_reference(q_coords, times, k, refine_per_tic)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "ust_prune_calls_total",
+                help="Filter-stage prune passes over the UST-tree.",
+            ).inc()
+            self.metrics.counter(
+                "ust_examined_entries_total",
+                help="Index entries examined across prune passes.",
+            ).inc(result.examined_entries)
+        return result
 
     def _prune_reference(
         self,

@@ -35,8 +35,7 @@ subscription against freshly drawn worlds (``reason="epoch-refresh"``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from time import perf_counter
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from ..core.evaluator import QueryEngine
@@ -162,6 +161,32 @@ class TickReport:
     #: changed — every subscription was force-re-evaluated.
     full_invalidation: bool = False
     stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def with_stage_times(
+        self,
+        extra_stages: dict[str, float] | None = None,
+        *,
+        ingest: IngestResult | None = None,
+        replace_stages: bool = False,
+    ) -> "TickReport":
+        """A copy with merged (or replaced) ``stage_seconds``.
+
+        ``TickReport`` is frozen; its ``stage_seconds`` dict must not be
+        mutated in place by wrappers (the serve coordinator used to —
+        aliasing every holder of the report).  This is the sanctioned
+        merge constructor: ``extra_stages`` entries override same-named
+        stages (or, with ``replace_stages=True``, replace the dict
+        wholesale), and ``ingest`` — when given — swaps the ingest
+        result (the coordinator substitutes its pre-partitioned one).
+        """
+        stages = dict(extra_stages or {})
+        if not replace_stages:
+            stages = {**self.stage_seconds, **stages}
+        return replace(
+            self,
+            stage_seconds=stages,
+            **({} if ingest is None else {"ingest": ingest}),
+        )
 
     @property
     def reevaluated(self) -> tuple[str, ...]:
@@ -319,24 +344,35 @@ class ContinuousMonitor:
         Returns the :class:`TickReport`; per-subscription callbacks fire
         after all due evaluations completed, in subscription order.
         """
-        t0 = perf_counter()
+        tracer = self.engine.tracer
+        # Every stage below runs inside a span; ``stage_seconds`` is read
+        # off the span durations (one timing truth — see repro.obs).
+        with tracer.span("tick") as sp_tick:
+            report = self._tick_spanned(events, now, tracer, sp_tick)
+        if self.engine.metrics is not None:
+            self._observe_tick(report)
+        return report
+
+    def _tick_spanned(self, events, now, tracer, sp_tick) -> TickReport:
         before = self._reuse_snapshot()
-        events = list(events)
-        ingest = self.stream.apply(events) if events else None
-        # The dirty set covers *every* mutation since the last tick — the
-        # batch just ingested plus anything applied to the database out of
-        # band (a "clean" verdict must mean provably unchanged, not merely
-        # untouched-by-this-batch).  When the mutation log can no longer
-        # name the delta, nothing is provable: force re-evaluation of all.
-        ranges = self.engine.db.changed_ranges_since(self._db_version_seen)
-        full_invalidation = ranges is None
-        dirty = frozenset() if full_invalidation else frozenset(ranges)
-        if now is not None:
-            self._now = int(now)
-        elif ingest is not None and ingest.latest_time is not None:
-            if self._now is None or ingest.latest_time > self._now:
-                self._now = ingest.latest_time
-        ingest_seconds = perf_counter() - t0
+        with tracer.span("ingest") as sp_ingest:
+            events = list(events)
+            ingest = self.stream.apply(events) if events else None
+            # The dirty set covers *every* mutation since the last tick —
+            # the batch just ingested plus anything applied to the database
+            # out of band (a "clean" verdict must mean provably unchanged,
+            # not merely untouched-by-this-batch).  When the mutation log
+            # can no longer name the delta, nothing is provable: force
+            # re-evaluation of all.
+            ranges = self.engine.db.changed_ranges_since(self._db_version_seen)
+            full_invalidation = ranges is None
+            dirty = frozenset() if full_invalidation else frozenset(ranges)
+            if now is not None:
+                self._now = int(now)
+            elif ingest is not None and ingest.latest_time is not None:
+                if self._now is None or ingest.latest_time > self._now:
+                    self._now = ingest.latest_time
+        ingest_seconds = sp_ingest.duration_seconds
 
         subscriptions = list(self._subscriptions.values())
         union = self._union_window(
@@ -360,18 +396,18 @@ class ContinuousMonitor:
             else "epoch-refresh" if self._refresh_pending else None
         )
 
-        t0 = perf_counter()
-        decisions = [
-            self.scheduler.decide(
-                sub,
-                dirty,
-                self._now,
-                force=force_reason,
-                dirty_ranges=ranges,
-            )
-            for sub in subscriptions
-        ]
-        schedule_seconds = perf_counter() - t0
+        with tracer.span("schedule") as sp_schedule:
+            decisions = [
+                self.scheduler.decide(
+                    sub,
+                    dirty,
+                    self._now,
+                    force=force_reason,
+                    dirty_ranges=ranges,
+                )
+                for sub in subscriptions
+            ]
+        schedule_seconds = sp_schedule.duration_seconds
         due = [d for d in decisions if d.due]
 
         # Ingest-to-ready: redraw the dirty influencers' invalidated
@@ -382,104 +418,117 @@ class ContinuousMonitor:
         # tick whose subscriptions all proved clean must sample nothing,
         # and a dirty object outside every influence set may never be
         # estimated at all.
-        t0 = perf_counter()
-        if (
-            dirty
-            and due
-            and not refreshing
-            and force_reason is None
-            and union is not None
-            and self.engine.incremental
-            and self.engine.restore_batch_epoch()
-        ):
-            influenced = set()
-            for decision in due:
-                influenced.update(decision.subscription.last_influencers or ())
-            targets = sorted(
-                oid for oid in dirty & influenced if oid in self.engine.db
-            )
-            if targets:
-                self.engine.prefetch_worlds(targets, window=union)
-        ingest_seconds += perf_counter() - t0
+        with tracer.span("prefetch") as sp_prefetch:
+            if (
+                dirty
+                and due
+                and not refreshing
+                and force_reason is None
+                and union is not None
+                and self.engine.incremental
+                and self.engine.restore_batch_epoch()
+            ):
+                influenced = set()
+                for decision in due:
+                    influenced.update(
+                        decision.subscription.last_influencers or ()
+                    )
+                targets = sorted(
+                    oid for oid in dirty & influenced if oid in self.engine.db
+                )
+                if targets:
+                    self.engine.prefetch_worlds(targets, window=union)
+        # The dirty prefetch is part of the ingest-to-ready cost (see the
+        # TickReport docs); the trace keeps it as its own span.
+        ingest_seconds += sp_prefetch.duration_seconds
         results: dict[str, object] = {}
         filter_seconds = estimate_seconds = evaluate_seconds = 0.0
         if due:
-            t0 = perf_counter()
-            evaluated = self.engine.evaluate_many(
-                [d.request for d in due],
-                # A refresh (explicit, or forced by a backward union move)
-                # draws a fresh epoch, held again by the following ticks;
-                # otherwise the monitoring epoch is held/restored as usual.
-                refresh_worlds=True if refreshing else False,
-                window=union,
-            )
-            results = {
-                d.subscription.name: r for d, r in zip(due, evaluated)
-            }
-            for r in evaluated:
-                stages = getattr(r.report, "stage_seconds", None) or {}
-                filter_seconds += stages.get("filter", 0.0)
-                estimate_seconds += stages.get("estimate", 0.0)
-            evaluate_seconds = perf_counter() - t0
-
-        t0 = perf_counter()
-        notifications = []
-        for decision in decisions:
-            sub = decision.subscription
-            if decision.due:
-                result = results[sub.name]
-                changed = not results_equal(sub.last_result, result)
-                sub.last_times = decision.request.times
-                if decision.candidates is None:
-                    # The verdict was reached without the filter stage;
-                    # the evaluation's own (post-ingest) sets are the
-                    # fresh baseline the next tick compares against.
-                    sub.last_candidates = tuple(result.candidates)
-                    sub.last_influencers = tuple(result.influencers)
-                else:
-                    sub.last_candidates = decision.candidates
-                    sub.last_influencers = decision.influencers
-                sub.last_result = result
-                sub.evaluations += 1
-            else:
-                result = sub.last_result
-                changed = False
-            notifications.append(
-                Notification(
-                    subscription=sub.name,
-                    changed=changed,
-                    reevaluated=decision.due,
-                    reason=decision.reason,
-                    result=result,
-                    times=decision.request.times,
+            with tracer.span("evaluate") as sp_evaluate:
+                evaluated = self.engine.evaluate_many(
+                    [d.request for d in due],
+                    # A refresh (explicit, or forced by a backward union
+                    # move) draws a fresh epoch, held again by the
+                    # following ticks; otherwise the monitoring epoch is
+                    # held/restored as usual.
+                    refresh_worlds=True if refreshing else False,
+                    window=union,
                 )
-            )
-        # The tick succeeded: only now does the monitor consider the
-        # database delta (and any pending refresh) consumed.
-        self._db_version_seen = self.engine.db.version
-        self._refresh_pending = False
-        if union is not None:
-            self._last_union = union
-        # Callbacks are isolated from each other: one subscriber's bug
-        # must not swallow the remaining subscribers' deltas.  The first
-        # failure is re-raised once every notification was delivered.
-        callback_errors: list[tuple[str, Exception]] = []
-        for notification in notifications:
-            callback = self._subscriptions[notification.subscription].callback
-            if callback is not None:
-                try:
-                    callback(notification)
-                except Exception as exc:  # noqa: BLE001 - isolation barrier
-                    callback_errors.append((notification.subscription, exc))
-        self.ticks += 1
-        if callback_errors:
-            name, exc = callback_errors[0]
-            raise RuntimeError(
-                f"subscription callback {name!r} raised during tick "
-                f"({len(callback_errors)} callback failure(s) total)"
-            ) from exc
-        notify_seconds = perf_counter() - t0
+                results = {
+                    d.subscription.name: r for d, r in zip(due, evaluated)
+                }
+                for r in evaluated:
+                    stages = getattr(r.report, "stage_seconds", None) or {}
+                    filter_seconds += stages.get("filter", 0.0)
+                    estimate_seconds += stages.get("estimate", 0.0)
+            evaluate_seconds = sp_evaluate.duration_seconds
+
+        with tracer.span("notify") as sp_notify:
+            notifications = []
+            for decision in decisions:
+                sub = decision.subscription
+                if decision.due:
+                    result = results[sub.name]
+                    changed = not results_equal(sub.last_result, result)
+                    sub.last_times = decision.request.times
+                    if decision.candidates is None:
+                        # The verdict was reached without the filter stage;
+                        # the evaluation's own (post-ingest) sets are the
+                        # fresh baseline the next tick compares against.
+                        sub.last_candidates = tuple(result.candidates)
+                        sub.last_influencers = tuple(result.influencers)
+                    else:
+                        sub.last_candidates = decision.candidates
+                        sub.last_influencers = decision.influencers
+                    sub.last_result = result
+                    sub.evaluations += 1
+                else:
+                    result = sub.last_result
+                    changed = False
+                notifications.append(
+                    Notification(
+                        subscription=sub.name,
+                        changed=changed,
+                        reevaluated=decision.due,
+                        reason=decision.reason,
+                        result=result,
+                        times=decision.request.times,
+                    )
+                )
+            # The tick succeeded: only now does the monitor consider the
+            # database delta (and any pending refresh) consumed.
+            self._db_version_seen = self.engine.db.version
+            self._refresh_pending = False
+            if union is not None:
+                self._last_union = union
+            # Callbacks are isolated from each other: one subscriber's bug
+            # must not swallow the remaining subscribers' deltas.  The first
+            # failure is re-raised once every notification was delivered.
+            callback_errors: list[tuple[str, Exception]] = []
+            for notification in notifications:
+                callback = self._subscriptions[notification.subscription].callback
+                if callback is not None:
+                    try:
+                        callback(notification)
+                    except Exception as exc:  # noqa: BLE001 - isolation barrier
+                        callback_errors.append((notification.subscription, exc))
+            self.ticks += 1
+            if callback_errors:
+                name, exc = callback_errors[0]
+                raise RuntimeError(
+                    f"subscription callback {name!r} raised during tick "
+                    f"({len(callback_errors)} callback failure(s) total)"
+                ) from exc
+        notify_seconds = sp_notify.duration_seconds
         after = self._reuse_snapshot()
+        if tracer.enabled:
+            sp_tick.set(
+                now=self._now,
+                subscriptions=len(decisions),
+                due=len(due),
+                dirty=len(dirty),
+                full_invalidation=full_invalidation,
+            )
         return TickReport(
             now=self._now,
             ingest=ingest,
@@ -496,6 +545,30 @@ class ContinuousMonitor:
                 "notify": notify_seconds,
             },
         )
+
+    def _observe_tick(self, report: TickReport) -> None:
+        """Feed the engine's metrics registry after a completed tick."""
+        m = self.engine.metrics
+        m.counter(
+            "monitor_ticks_total", help="Completed monitor ticks."
+        ).inc()
+        for stage, secs in report.stage_seconds.items():
+            m.histogram(
+                "tick_stage_seconds",
+                help="Per-stage monitor tick latency.",
+                labels={"stage": stage},
+            ).observe(secs)
+        m.counter(
+            "subscriptions_reevaluated_total",
+            help="Subscription re-evaluations across ticks.",
+        ).inc(len(report.reevaluated))
+        m.counter(
+            "notifications_changed_total",
+            help="Notifications whose result changed.",
+        ).inc(len(report.changed))
+        m.gauge(
+            "subscriptions", help="Currently registered subscriptions."
+        ).set(len(self._subscriptions))
 
     @staticmethod
     def _union_window(requests: Sequence[QueryRequest]) -> tuple[int, int]:

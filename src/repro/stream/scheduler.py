@@ -147,6 +147,9 @@ class SubscriptionScheduler:
         #: Cumulative decision counters (monitoring observability).
         self.decided = 0
         self.skipped = 0
+        # Per-reason Counter handles, cached so the per-subscription
+        # metrics feed is one dict hit + inc, not a registry lookup.
+        self._decision_counters: dict[str, object] = {}
 
     def decide(
         self, subscription: Subscription, dirty: frozenset[str] | set[str],
@@ -175,6 +178,27 @@ class SubscriptionScheduler:
         influence set) needs the explain pass to compare fresh filter
         sets.
         """
+        decision = self._decide(
+            subscription, dirty, now, force=force, dirty_ranges=dirty_ranges
+        )
+        metrics = self.engine.metrics
+        if metrics is not None:
+            counter = self._decision_counters.get(decision.reason)
+            if counter is None:
+                counter = metrics.counter(
+                    "scheduler_decisions_total",
+                    help="Scheduler verdicts, by reason.",
+                    labels={"reason": decision.reason},
+                )
+                self._decision_counters[decision.reason] = counter
+            counter.inc()
+        return decision
+
+    def _decide(
+        self, subscription: Subscription, dirty: frozenset[str] | set[str],
+        now: int | None, *, force: str | None = None,
+        dirty_ranges: dict[str, tuple[float, float]] | None = None,
+    ) -> Decision:
         request = subscription.request_at(now)
         self.decided += 1
 

@@ -1,0 +1,91 @@
+"""Scrape endpoint suite: the stdlib HTTP server over live telemetry."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.exposition import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def _get(url: str) -> tuple[int, dict, bytes]:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+@pytest.fixture
+def telemetry_server():
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    slow = SlowQueryLog(threshold_seconds=0.0)
+    with MetricsServer(
+        registry, port=0, tracer=tracer, slow_log=slow
+    ) as server:
+        yield registry, tracer, slow, server
+
+
+def test_metrics_endpoint_serves_prometheus_text(telemetry_server):
+    registry, _tracer, _slow, server = telemetry_server
+    registry.counter("ticks_total", help="Completed ticks.").inc(2)
+    registry.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    status, headers, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    text = body.decode()
+    assert "# TYPE ticks_total counter" in text
+    assert "ticks_total 2" in text
+    assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+    # "/" is an alias for the scrape path.
+    _, _, body_root = _get(server.url + "/")
+    assert body_root.decode() == text
+
+
+def test_json_traces_and_slow_routes(telemetry_server):
+    registry, tracer, slow, server = telemetry_server
+    registry.gauge("subscriptions").set(3)
+    with tracer.span("tick"):
+        with tracer.span("estimate"):
+            pass
+    slow.record("evaluate:forall", 0.25, explain={"mode": "forall"})
+
+    _, headers, body = _get(server.url + "/metrics.json")
+    assert headers["Content-Type"] == "application/json"
+    snap = json.loads(body)
+    assert snap["subscriptions"]["value"] == 3.0
+
+    _, _, body = _get(server.url + "/traces")
+    traces = json.loads(body)["traces"]
+    assert [t["name"] for t in traces] == ["tick"]
+    assert [c["name"] for c in traces[0]["children"]] == ["estimate"]
+
+    _, _, body = _get(server.url + "/slow")
+    payload = json.loads(body)
+    assert payload["entries"][0]["name"] == "evaluate:forall"
+    assert payload["entries"][0]["explain"] == {"mode": "forall"}
+
+
+def test_unknown_path_is_404(telemetry_server):
+    *_, server = telemetry_server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server.url + "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_server_without_tracer_or_slow_log_serves_empty():
+    registry = MetricsRegistry()
+    with MetricsServer(registry, port=0) as server:
+        assert server.port > 0
+        _, _, body = _get(server.url + "/traces")
+        assert json.loads(body) == {"traces": []}
+        _, _, body = _get(server.url + "/slow")
+        assert json.loads(body) == {"entries": []}
+        _, _, body = _get(server.url + "/metrics")
+        assert body == b""  # empty registry, empty exposition

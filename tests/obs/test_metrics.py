@@ -1,0 +1,179 @@
+"""Metrics registry unit suite: instruments, snapshot/merge, exposition."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowQueryLog
+
+pytestmark = pytest.mark.obs
+
+
+def test_counter_gauge_histogram_basics():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    g = Gauge()
+    g.set(7)
+    g.inc()
+    g.dec(3)
+    assert g.value == 5.0
+    h = Histogram(buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 2.0):
+        h.observe(v)
+    assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+    assert h.count == 4
+    assert h.sum == pytest.approx(3.05)
+
+
+def test_registry_create_on_first_use_and_labels():
+    reg = MetricsRegistry()
+    reg.counter("queries_total", labels={"mode": "forall"}).inc()
+    reg.counter("queries_total", labels={"mode": "forall"}).inc()
+    reg.counter("queries_total", labels={"mode": "exists"}).inc()
+    assert reg.value("queries_total", {"mode": "forall"}) == 2.0
+    assert reg.value("queries_total", {"mode": "exists"}) == 1.0
+    assert reg.value("queries_total", {"mode": "pcnn"}) == 0.0
+    assert reg.names() == ["queries_total"]
+    # Label order never matters: the key is sorted.
+    reg.counter("x", labels={"a": "1", "b": "2"}).inc()
+    assert reg.value("x", {"b": "2", "a": "1"}) == 1.0
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("busy_seconds")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.gauge("busy_seconds")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.histogram("busy_seconds")
+
+
+def test_snapshot_is_cumulative_and_picklable():
+    reg = MetricsRegistry()
+    reg.counter("ticks_total").inc(3)
+    reg.gauge("subscriptions").set(4)
+    reg.histogram("latency", buckets=(0.5, 1.0)).observe(0.2)
+    snap = reg.snapshot()
+    assert snap == pickle.loads(pickle.dumps(snap))
+    assert snap["ticks_total"]["value"] == 3.0
+    assert snap["subscriptions"]["type"] == "gauge"
+    assert snap["latency"]["counts"] == [1, 0, 0]
+    assert reg.to_json() == snap
+
+
+def test_merge_delta_absorbs_only_the_difference():
+    """The serve absorption contract: cumulative wire, delta fold."""
+    worker = MetricsRegistry()
+    coord = MetricsRegistry()
+    seen: dict = {}
+    worker.counter("sweeps_total").inc(2)
+    worker.histogram("busy", buckets=(1.0,)).observe(0.5)
+    worker.gauge("depth").set(3)
+    coord.merge_delta(worker.snapshot(), seen)
+    # Re-absorbing the same cumulative snapshot adds nothing.
+    coord.merge_delta(worker.snapshot(), seen)
+    assert coord.value("sweeps_total") == 2.0
+    assert coord.value("busy") == 1.0  # histogram count
+    assert coord.value("depth") == 3.0
+    # New activity arrives as a delta on the next snapshot.
+    worker.counter("sweeps_total").inc()
+    worker.histogram("busy", buckets=(1.0,)).observe(2.0)
+    coord.merge_delta(worker.snapshot(), seen)
+    assert coord.value("sweeps_total") == 3.0
+    hist = coord.histogram("busy", buckets=(1.0,))
+    assert hist.counts == [1, 1]
+    assert hist.sum == pytest.approx(2.5)
+
+
+def test_merge_delta_restart_reset_keeps_pre_crash_totals():
+    """restart_shard semantics: reset ``seen`` so a fresh worker's low
+
+    cumulative snapshot merges cleanly; previously absorbed totals stay.
+    """
+    coord = MetricsRegistry()
+    seen: dict = {}
+    old_worker = MetricsRegistry()
+    old_worker.counter("sweeps_total").inc(5)
+    coord.merge_delta(old_worker.snapshot(), seen)
+    assert coord.value("sweeps_total") == 5.0
+    # Crash: the replacement worker starts from zero; the coordinator
+    # resets the per-shard seen dict (what restart_shard does).
+    seen.clear()
+    new_worker = MetricsRegistry()
+    new_worker.counter("sweeps_total").inc(2)
+    coord.merge_delta(new_worker.snapshot(), seen)
+    assert coord.value("sweeps_total") == 7.0  # 5 pre-crash + 2 replayed
+
+
+def test_prometheus_text_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("ticks_total", help="Completed ticks.").inc(3)
+    reg.gauge("subscriptions").set(4.5)
+    h = reg.histogram(
+        "latency_seconds", labels={"stage": "estimate"}, buckets=(0.1, 1.0)
+    )
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    text = reg.to_prometheus_text()
+    lines = text.splitlines()
+    assert "# HELP ticks_total Completed ticks." in lines
+    assert "# TYPE ticks_total counter" in lines
+    assert "ticks_total 3" in lines  # integers render without .0
+    assert "subscriptions 4.5" in lines
+    assert "# TYPE latency_seconds histogram" in lines
+    # Cumulative buckets + +Inf, sum, count — parseable key/value pairs.
+    assert 'latency_seconds_bucket{stage="estimate",le="0.1"} 1' in lines
+    assert 'latency_seconds_bucket{stage="estimate",le="1"} 2' in lines
+    assert 'latency_seconds_bucket{stage="estimate",le="+Inf"} 3' in lines
+    assert 'latency_seconds_count{stage="estimate"} 3' in lines
+    assert any(
+        line.startswith('latency_seconds_sum{stage="estimate"} ')
+        for line in lines
+    )
+    for line in lines:
+        if line.startswith("#"):
+            continue
+        name_part, value_part = line.rsplit(" ", 1)
+        float(value_part)  # every sample value parses
+        assert name_part
+
+
+def test_default_latency_buckets_cover_the_range():
+    assert LATENCY_BUCKETS[0] <= 0.001
+    assert LATENCY_BUCKETS[-1] >= 5.0
+    assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+def test_slow_query_log_threshold_capacity_and_order():
+    log = SlowQueryLog(threshold_seconds=0.1, capacity=3)
+    assert not log.record("fast", 0.01)
+    assert len(log) == 0
+    assert log.record("a", 0.2, explain={"mode": "forall"})
+    assert log.record("b", 0.5)
+    assert log.record("c", 0.3)
+    # At capacity: a faster entry is rejected, a slower one evicts the
+    # current fastest.
+    assert not log.record("too-fast", 0.15)
+    assert log.record("d", 0.9, trace={"name": "evaluate"})
+    entries = log.entries()
+    assert [e["name"] for e in entries] == ["d", "b", "c"]
+    assert entries[0]["trace"] == {"name": "evaluate"}
+    assert entries[2]["seconds"] == pytest.approx(0.3)
+    payload = log.to_json()
+    assert payload["seen_total"] == 6
+    assert payload["recorded_total"] == 4
+    assert [e["name"] for e in payload["entries"]] == ["d", "b", "c"]
+    log.clear()
+    assert len(log) == 0

@@ -1,0 +1,161 @@
+"""Serve-tier telemetry: stitched cross-process traces, absorbed worker
+metrics, crash-recovery counters, and the live scrape endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import ServeCoordinator, ShardFailure
+
+from tests.serve.conftest import (
+    SEED,
+    event_script,
+    standard_subscriptions,
+    twin_db,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _subscribe_all(coord):
+    for name, request in standard_subscriptions():
+        coord.subscribe(request, name=name)
+
+
+def test_process_tick_trace_is_stitched_end_to_end():
+    """The acceptance trace: a 2-worker process-transport tick whose span
+
+    tree contains the coordinator stages *and* both workers' spans,
+    re-parented under the coordinator's root.
+    """
+    db = twin_db()
+    tracer = Tracer()
+    with ServeCoordinator(
+        db,
+        n_shards=2,
+        seed=SEED,
+        mode="process",
+        n_samples=100,
+        timeout=60,
+        tracer=tracer,
+        metrics=MetricsRegistry(),
+        metrics_port=0,
+    ) as coord:
+        _subscribe_all(coord)
+        script = event_script(db)
+        coord.tick(script[0])  # initial evaluation: all four subscriptions
+        root = tracer.last_trace
+        assert root.name == "serve-tick"
+        # Coordinator-side stages all present in the one tree.
+        for stage in ("apply-fanout", "tick", "ingest", "schedule",
+                      "evaluate", "shard-fanout", "gather", "notify"):
+            assert root.find(stage), stage
+        # Worker spans were serialised, shipped home, and stitched under
+        # live coordinator spans — from *both* shards.
+        sweeps = root.find("shard-sweep")
+        assert {s.attrs.get("shard") for s in sweeps} == {0, 1}
+        for sweep in sweeps:
+            assert sweep.trace_id == root.trace_id
+            assert sweep.duration_seconds > 0.0
+        # A tick with stream events also stitches the ingest fan-out.
+        coord.tick(script[1])
+        root = tracer.last_trace
+        ingests = root.find("shard-ingest")
+        assert ingests and all(
+            s.attrs.get("shard") in (0, 1) for s in ingests
+        )
+
+        # Worker registries merged into the coordinator's: per-shard busy
+        # counters exist for both shards and scrape over HTTP.
+        for shard in (0, 1):
+            assert coord.metrics.value(
+                "shard_busy_seconds", {"shard": str(shard)}
+            ) > 0.0
+        with urllib.request.urlopen(
+            coord.metrics_server.url + "/metrics", timeout=10
+        ) as resp:
+            text = resp.read().decode()
+        assert 'shard_busy_seconds{shard="0"}' in text
+        assert "serve_ticks_total 2" in text
+        assert "tick_stage_seconds_bucket" in text  # per-stage histograms
+        with urllib.request.urlopen(
+            coord.metrics_server.url + "/traces", timeout=10
+        ) as resp:
+            traces = json.loads(resp.read())["traces"]
+        assert traces[-1]["name"] == "serve-tick"
+
+
+def test_crash_recovery_counters_survive_replay():
+    """ShardFailure/restart_shard feed metrics; absorbed totals persist."""
+    db = twin_db()
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    with ServeCoordinator(
+        db,
+        n_shards=2,
+        seed=SEED,
+        mode="inline",
+        n_samples=100,
+        tracer=tracer,
+        metrics=metrics,
+    ) as coord:
+        _subscribe_all(coord)
+        script = event_script(db)
+        for t in range(3):
+            coord.tick(script[t])
+        busy_before = metrics.value("shard_busy_seconds", {"shard": "1"})
+        sweeps_before = metrics.value("queries_total", {"mode": "forall"})
+        assert busy_before > 0.0
+        coord.inject_crash(1)
+        with pytest.raises(ShardFailure) as excinfo:
+            coord.tick(script[3])
+        assert excinfo.value.shard == 1
+        assert metrics.value("shard_failures_total", {"shard": "1"}) == 1.0
+        # The failure landed on the trace as an event naming in-flight
+        # subscriptions.
+        failure_events = [
+            ev
+            for span in tracer.last_trace.iter_spans()
+            for ev in span.events
+            if ev[1] == "shard-failure"
+        ]
+        assert failure_events
+        assert failure_events[0][2]["shard"] == 1
+        assert set(failure_events[0][2]["subscriptions"]) == {
+            name for name, _ in standard_subscriptions()
+        }
+        coord.restart_shard(1)
+        assert metrics.value("shard_restarts_total", {"shard": "1"}) == 1.0
+        assert metrics.value("shard_failures_total", {"shard": "1"}) == 1.0
+        # Recovery tick: the replacement worker's fresh (low) cumulative
+        # snapshot merges as a clean delta — pre-crash absorbed totals
+        # survive the replay and keep growing.
+        coord.tick((), now=coord.now)
+        busy_after = metrics.value("shard_busy_seconds", {"shard": "1"})
+        assert busy_after >= busy_before
+        assert (
+            metrics.value("queries_total", {"mode": "forall"})
+            >= sweeps_before
+        )
+        for t in range(4, 6):
+            coord.tick(script[t])
+        assert metrics.value("serve_ticks_total") == 6.0
+
+
+def test_metrics_port_auto_creates_registry():
+    db = twin_db()
+    with ServeCoordinator(
+        db, n_shards=1, seed=SEED, mode="inline", n_samples=60, metrics_port=0
+    ) as coord:
+        assert coord.metrics is not None
+        _subscribe_all(coord)
+        coord.tick(())
+        with urllib.request.urlopen(
+            coord.metrics_server.url + "/metrics", timeout=10
+        ) as resp:
+            assert b"serve_ticks_total 1" in resp.read()
+    assert coord.metrics_server is None  # close() tears the endpoint down

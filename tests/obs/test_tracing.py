@@ -1,0 +1,181 @@
+"""Tracing unit suite: span trees, determinism, cross-process stitching."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    format_span_tree,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def test_span_tree_structure_and_ids():
+    tracer = Tracer()
+    with tracer.span("root", mode="forall") as root:
+        with tracer.span("plan"):
+            pass
+        with tracer.span("estimate") as est:
+            est.set(n_samples=100)
+            with tracer.span("sweep"):
+                pass
+    assert root.name == "root"
+    assert root.attrs == {"mode": "forall"}
+    assert [c.name for c in root.children] == ["plan", "estimate"]
+    assert [c.name for c in root.children[1].children] == ["sweep"]
+    # Deterministic sequential ids under the prefix — never wall clock.
+    assert root.trace_id == "t-1"
+    assert root.span_id == "t:1"
+    assert root.children[0].span_id == "t:2"
+    assert root.children[0].parent_id == "t:1"
+    assert root.children[1].children[0].parent_id == root.children[1].span_id
+    # Durations nest: the root covers its children.
+    assert root.duration_seconds >= est.duration_seconds >= 0.0
+    assert [s.name for s in root.iter_spans()] == [
+        "root",
+        "plan",
+        "estimate",
+        "sweep",
+    ]
+    assert root.find("sweep") == [root.children[1].children[0]]
+
+
+def test_same_workload_yields_same_ids():
+    def run():
+        tracer = Tracer(id_prefix="w")
+        for _ in range(3):
+            with tracer.span("tick"):
+                with tracer.span("inner"):
+                    pass
+        return [
+            (s.trace_id, s.span_id, [c.span_id for c in s.children])
+            for s in tracer.traces
+        ]
+
+    assert run() == run()
+
+
+def test_trace_ring_buffer_is_bounded():
+    tracer = Tracer(max_traces=4)
+    for i in range(10):
+        with tracer.span(f"op{i}"):
+            pass
+    assert len(tracer.traces) == 4
+    assert [s.name for s in tracer.traces] == ["op6", "op7", "op8", "op9"]
+    assert tracer.last_trace.name == "op9"
+
+
+def test_span_closes_on_exception():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    assert tracer.current is None  # the stack unwound
+    root = tracer.last_trace
+    assert root.name == "outer"
+    assert root.t_end is not None
+    assert root.children[0].t_end is not None
+
+
+def test_events_record_offsets_within_span():
+    tracer = Tracer()
+    with tracer.span("tick") as span:
+        tracer.event("shard-restart", shard=1)
+    assert len(span.events) == 1
+    offset, name, attrs = span.events[0]
+    assert name == "shard-restart"
+    assert attrs == {"shard": 1}
+    assert 0.0 <= offset <= span.duration_seconds
+    # Outside any span, event() is a silent no-op.
+    tracer.event("orphan")
+
+
+def test_remote_span_round_trip_and_attach():
+    """The serve stitching path: context → worker subtree → attach."""
+    coordinator = Tracer(id_prefix="coord")
+    worker = Tracer(id_prefix="shard1")
+    with coordinator.span("serve-tick"):
+        ctx = coordinator.context()
+        assert isinstance(ctx, TraceContext)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        # Worker side: a remote span parented under the coordinator's
+        # context, shipped home as a plain dict (the Reply payload).
+        with worker.remote_span("shard-sweep", ctx, shard=1) as wspan:
+            with worker.span("arena-build"):
+                pass
+        assert wspan.trace_id == ctx.trace_id
+        assert wspan.parent_id == ctx.span_id
+        assert worker.traces == worker.traces.__class__(
+            maxlen=worker.max_traces
+        )  # remote subtrees are not retained worker-side
+        shipped = [wspan.to_dict()]
+        assert pickle.loads(pickle.dumps(shipped)) == shipped
+        coordinator.attach(shipped)
+    root = coordinator.last_trace
+    assert [c.name for c in root.children] == ["shard-sweep"]
+    stitched = root.children[0]
+    assert stitched.parent_id == root.span_id  # re-parented on attach
+    assert stitched.attrs == {"shard": 1}
+    assert [c.name for c in stitched.children] == ["arena-build"]
+    assert stitched.duration_seconds >= stitched.children[0].duration_seconds
+
+
+def test_span_dict_round_trip_preserves_tree():
+    tracer = Tracer()
+    with tracer.span("root", k=2) as root:
+        root.event("milestone", objects=3)
+        with tracer.span("child"):
+            pass
+    data = root.to_dict()
+    rebuilt = Span.from_dict(data)
+    assert rebuilt.name == "root"
+    assert rebuilt.attrs == {"k": 2}
+    assert rebuilt.duration_seconds == pytest.approx(root.duration_seconds)
+    assert [c.name for c in rebuilt.children] == ["child"]
+    assert rebuilt.events[0][1] == "milestone"
+    assert rebuilt.to_dict() == data
+
+
+def test_null_tracer_times_but_records_nothing():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    with tracer.span("anything", big=list(range(100))) as span:
+        span.set(ignored=1)
+        span.event("ignored")
+        total = sum(range(1000))
+    assert total == 499500
+    assert span.duration_seconds > 0.0
+    assert tracer.context() is None
+    assert tracer.current is None and tracer.last_trace is None
+    with tracer.remote_span("x", None) as rspan:
+        pass
+    assert rspan.duration_seconds >= 0.0
+    tracer.attach([{"name": "dropped"}])  # no-op
+    assert NULL_TRACER.enabled is False
+
+
+def test_format_span_tree_renders_every_span():
+    tracer = Tracer()
+    with tracer.span("tick", n=2) as root:
+        root.event("mark")
+        with tracer.span("ingest"):
+            pass
+        with tracer.span("evaluate"):
+            pass
+    text = format_span_tree(root)
+    lines = text.splitlines()
+    assert lines[0].startswith("tick")
+    assert "[n=2]" in lines[0]
+    assert any(line.strip().startswith("@") and "mark" in line for line in lines)
+    assert any(line.startswith("  ingest") for line in lines)
+    assert any(line.startswith("  evaluate") for line in lines)
+    assert all("ms" in line for line in lines if not line.strip().startswith("@"))
